@@ -1,0 +1,73 @@
+//! JFSL [17]: join-first, skyline-later — the blocking, non-shared baseline.
+
+use caqe_contract::QueryScore;
+use caqe_core::{ExecConfig, ExecutionStrategy, QueryOutcome, RunOutcome, Workload};
+use caqe_data::Table;
+use caqe_operators::{hash_join_project, skyline_bnl, JoinSpec};
+use caqe_regions::buchta_estimate;
+use caqe_types::{SimClock, Stats};
+use std::time::Instant;
+
+/// Join-first-skyline-later: per query (priority order), materialize the
+/// entire join, run a blocking BNL skyline, and only then report every
+/// result. The worst progressiveness profile, and — with no sharing — the
+/// most repeated work.
+#[derive(Debug, Clone, Default)]
+pub struct JfslStrategy;
+
+impl ExecutionStrategy for JfslStrategy {
+    fn name(&self) -> &'static str {
+        "JFSL"
+    }
+
+    fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome {
+        let wall = Instant::now();
+        let mut clock = SimClock::new(exec.cost_model);
+        let mut stats = Stats::new();
+        let mut per_query: Vec<Option<QueryOutcome>> = vec![None; workload.len()];
+
+        for qid in workload.by_priority() {
+            let spec = workload.query(qid);
+            // Full join, repeated per query: no shared sub-expressions.
+            let join = hash_join_project(
+                r.records(),
+                t.records(),
+                JoinSpec::on_column(spec.join_col),
+                &spec.mapping,
+                &mut clock,
+                &mut stats,
+            );
+            let points: Vec<Vec<f64>> = join.iter().map(|o| o.vals.clone()).collect();
+            // Blocking skyline: nothing is reported until it completes.
+            let sky = skyline_bnl(&points, spec.pref, &mut clock, &mut stats);
+
+            let est = buchta_estimate(points.len().max(1) as f64, spec.pref.len());
+            let mut score = QueryScore::new(spec.contract.clone(), est);
+            let mut emissions = Vec::with_capacity(sky.len());
+            let mut results = Vec::with_capacity(sky.len());
+            for &i in &sky {
+                clock.charge_emits(1);
+                stats.tuples_emitted += 1;
+                let ts = clock.now();
+                let u = score.record(ts);
+                emissions.push((ts, u));
+                results.push((join[i].rid, join[i].tid));
+            }
+            per_query[qid.index()] = Some(QueryOutcome {
+                query: qid,
+                emissions,
+                results,
+                p_score: score.p_score(),
+                satisfaction: score.final_satisfaction(),
+            });
+        }
+
+        RunOutcome {
+            strategy: self.name().to_string(),
+            per_query: per_query.into_iter().map(Option::unwrap).collect(),
+            stats,
+            virtual_seconds: clock.now(),
+            wall_seconds: wall.elapsed().as_secs_f64(),
+        }
+    }
+}

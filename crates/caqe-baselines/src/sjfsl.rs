@@ -1,0 +1,31 @@
+//! S-JFSL: the sharing-based strawman the paper introduces for comparison —
+//! the min-max-cuboid shared plan with blind pipelining (§7.1).
+
+use caqe_core::{run_engine, EngineConfig, ExecConfig, ExecutionStrategy, RunOutcome, Workload};
+use caqe_data::Table;
+
+/// S-JFSL pipelines every join tuple through the shared min-max-cuboid plan
+/// in FIFO cell-pair order. It enjoys the shared plan's reduction in join
+/// and skyline work, but with no output look-ahead, no contract-driven
+/// ordering, no dominance-based discarding and no feedback — isolating the
+/// value of CAQE's optimizer from the value of plan sharing.
+#[derive(Debug, Clone, Default)]
+pub struct SJfslStrategy;
+
+impl ExecutionStrategy for SJfslStrategy {
+    fn name(&self) -> &'static str {
+        "S-JFSL"
+    }
+
+    fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome {
+        run_engine(
+            self.name(),
+            r,
+            t,
+            workload,
+            exec,
+            &EngineConfig::s_jfsl(),
+            0,
+        )
+    }
+}

@@ -1,0 +1,107 @@
+//! Micro-benchmarks for the shared-plan machinery: min-max cuboid
+//! construction, shared skyline insertion (with and without the Theorem 1
+//! shortcut), and region construction with the coarse skyline.
+
+use caqe_cuboid::{MinMaxCuboid, SharedSkylinePlan};
+use caqe_data::{Distribution, TableGenerator};
+use caqe_operators::MappingSet;
+use caqe_partition::{Partitioning, QuadTreeConfig};
+use caqe_regions::{build_regions, DependencyGraph, RegionBuildInput};
+use caqe_types::{DimMask, QueryId, SimClock, Stats};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn workload_prefs() -> Vec<DimMask> {
+    vec![
+        DimMask::from_dims([0, 1]),
+        DimMask::from_dims([1, 2, 3]),
+        DimMask::from_dims([0, 1, 2, 3, 4]),
+        DimMask::from_dims([2, 3]),
+        DimMask::from_dims([0, 2, 4]),
+        DimMask::from_dims([1, 2, 3, 4]),
+        DimMask::from_dims([3, 4]),
+        DimMask::from_dims([0, 1, 2]),
+        DimMask::from_dims([0, 1, 3, 4]),
+        DimMask::from_dims([1, 4]),
+        DimMask::from_dims([2, 3, 4]),
+    ]
+}
+
+fn bench_cuboid_build(c: &mut Criterion) {
+    let prefs = workload_prefs();
+    c.bench_function("minmax_cuboid_build_11q_5d", |b| {
+        b.iter(|| black_box(MinMaxCuboid::build(&prefs)))
+    });
+}
+
+fn bench_shared_insert(c: &mut Criterion) {
+    let prefs = workload_prefs();
+    let points: Vec<Vec<f64>> = TableGenerator::new(2000, 5, Distribution::Independent)
+        .generate("P")
+        .records()
+        .iter()
+        .map(|r| r.vals.clone())
+        .collect();
+    let mut group = c.benchmark_group("shared_plan_insert_2000");
+    for dva in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("theorem1", dva),
+            &dva,
+            |b, &dva| {
+                b.iter(|| {
+                    let mut plan =
+                        SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), dva);
+                    let mut clock = SimClock::default();
+                    let mut stats = Stats::new();
+                    for (i, p) in points.iter().enumerate() {
+                        black_box(plan.insert(i as u64, p, &mut clock, &mut stats));
+                    }
+                    stats.dom_comparisons
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_region_build(c: &mut Criterion) {
+    let gen = TableGenerator::new(4000, 3, Distribution::Independent).with_selectivities(&[0.02]);
+    let r = gen.generate("R");
+    let t = gen.generate("T");
+    let pr = Partitioning::build(&r, QuadTreeConfig::with_cell_budget(16));
+    let pt = Partitioning::build(&t, QuadTreeConfig::with_cell_budget(16));
+    let mapping = MappingSet::mixed(3, 3, 5);
+    let queries: Vec<(QueryId, DimMask)> = workload_prefs()
+        .into_iter()
+        .enumerate()
+        .map(|(i, m)| (QueryId(i as u16), m))
+        .collect();
+    let mut group = c.benchmark_group("lookahead");
+    for prune in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("regions+dg", prune),
+            &prune,
+            |b, &prune| {
+                b.iter(|| {
+                    let input = RegionBuildInput {
+                        part_r: &pr,
+                        part_t: &pt,
+                        join_col: 0,
+                        mapping: &mapping,
+                        queries: &queries,
+                        coarse_pruning: prune,
+                    };
+                    let mut clock = SimClock::default();
+                    let mut stats = Stats::new();
+                    let set = build_regions(&input, &mut clock, &mut stats);
+                    let dg = DependencyGraph::build(&set, &mut clock, &mut stats);
+                    black_box((set.len(), dg.threats_in(caqe_types::RegionId(0)).len()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cuboid_build, bench_shared_insert, bench_region_build);
+criterion_main!(benches);

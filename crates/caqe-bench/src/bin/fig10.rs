@@ -1,0 +1,54 @@
+//! Figure 10: resource statistics under contract C2 for all three data
+//! distributions — (a) join results (memory), (b) pairwise skyline
+//! comparisons (CPU), (c) total execution time.
+//!
+//! ```text
+//! cargo run --release -p caqe-bench --bin fig10 -- [--n <rows>] [--json]
+//! ```
+
+use caqe_bench::report::{cli_arg, cli_flag, render_jsonl, render_table};
+use caqe_bench::{run_comparison, ComparisonRow, ExperimentConfig};
+use caqe_data::Distribution;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = cli_flag(&args, "--json");
+
+    let mut rows: Vec<ComparisonRow> = Vec::new();
+    for dist in Distribution::ALL {
+        let mut cfg = ExperimentConfig::new(dist, 2);
+        if let Some(n) = cli_arg(&args, "--n") {
+            cfg.n = n.parse().expect("--n takes a number");
+        } else if dist == Distribution::Anticorrelated {
+            cfg.n = 1200;
+        }
+        rows.extend(run_comparison(&cfg));
+    }
+
+    if json {
+        println!("{}", render_jsonl(&rows));
+        return;
+    }
+    print!(
+        "{}",
+        render_table("Figure 10 (statistics under C2, |S_Q|=11)", &rows)
+    );
+    for dist in Distribution::ALL {
+        let label = dist.label();
+        let caqe = rows
+            .iter()
+            .find(|r| r.distribution == label && r.strategy == "CAQE")
+            .expect("CAQE row");
+        println!("\n-- {label}: factors relative to CAQE --");
+        for r in rows.iter().filter(|r| r.distribution == label) {
+            println!(
+                "  {:<9} joins x{:>6.1}  comparisons x{:>7.1}  time x{:>6.1}",
+                r.strategy,
+                r.join_results as f64 / caqe.join_results.max(1) as f64,
+                r.dom_comparisons as f64 / caqe.dom_comparisons.max(1) as f64,
+                r.virtual_seconds / caqe.virtual_seconds.max(1e-9),
+            );
+        }
+    }
+    println!();
+}

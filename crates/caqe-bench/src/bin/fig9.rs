@@ -1,0 +1,73 @@
+//! Figure 9: average contract satisfaction of CAQE, S-JFSL, JFSL, ProgXe+
+//! and SSMJ under contracts C1–C5, per data distribution.
+//!
+//! ```text
+//! cargo run --release -p caqe-bench --bin fig9 -- [--dist correlated|independent|anticorrelated]
+//!                                                 [--n <rows>] [--queries <k>] [--json]
+//! ```
+//!
+//! Without `--dist`, all three panels (9.a correlated, 9.b independent,
+//! 9.c anti-correlated) are produced.
+
+use caqe_bench::report::{cli_arg, cli_flag, render_jsonl, render_table};
+use caqe_bench::{run_comparison, ComparisonRow, ExperimentConfig};
+use caqe_data::Distribution;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dists: Vec<Distribution> = match cli_arg(&args, "--dist") {
+        Some(d) => vec![Distribution::parse(&d).expect("unknown distribution")],
+        None => Distribution::ALL.to_vec(),
+    };
+    let json = cli_flag(&args, "--json");
+
+    for dist in dists {
+        let panel = match dist {
+            Distribution::Correlated => "Figure 9.a (correlated)",
+            Distribution::Independent => "Figure 9.b (independent)",
+            Distribution::Anticorrelated => "Figure 9.c (anti-correlated)",
+        };
+        let mut rows: Vec<ComparisonRow> = Vec::new();
+        let mut reference: Option<f64> = None;
+        for contract in 1..=5 {
+            let mut cfg = ExperimentConfig::new(dist, contract);
+            if let Some(n) = cli_arg(&args, "--n") {
+                cfg.n = n.parse().expect("--n takes a number");
+            } else if dist == Distribution::Anticorrelated {
+                // The skyline worst case: keep the default panel tractable.
+                cfg.n = 1200;
+            }
+            if let Some(k) = cli_arg(&args, "--queries") {
+                cfg.workload_size = k.parse().expect("--queries takes a number");
+            }
+            // One calibration probe per panel, shared across contracts.
+            let r = *reference.get_or_insert_with(|| cfg.reference_seconds());
+            cfg.reference_secs = Some(r);
+            rows.extend(run_comparison(&cfg));
+        }
+        if json {
+            println!("{}", render_jsonl(&rows));
+        } else {
+            print!("{}", render_table(panel, &rows));
+            summarize(&rows);
+        }
+    }
+}
+
+/// Prints the per-contract satisfaction ranking — the bar heights of Fig. 9.
+fn summarize(rows: &[ComparisonRow]) {
+    for contract in ["C1", "C2", "C3", "C4", "C5"] {
+        let mut per: Vec<(&str, f64)> = rows
+            .iter()
+            .filter(|r| r.contract == contract)
+            .map(|r| (r.strategy.as_str(), r.avg_satisfaction))
+            .collect();
+        per.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let ranked: Vec<String> = per
+            .iter()
+            .map(|(s, v)| format!("{s}={v:.3}"))
+            .collect();
+        println!("  {contract}: {}", ranked.join("  "));
+    }
+    println!();
+}

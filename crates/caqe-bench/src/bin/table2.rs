@@ -1,0 +1,43 @@
+//! Table 2: the five contract classes, printed as utility values over a
+//! time grid so the shapes of Figures 2–3 are visible in a terminal.
+//!
+//! ```text
+//! cargo run --release -p caqe-bench --bin table2
+//! ```
+
+use caqe_contract::{Contract, EmissionCtx};
+
+fn main() {
+    let t_param = 10.0;
+    let interval = 1.0;
+    let est_total = 100.0;
+    let grid: [f64; 9] = [1.0, 2.0, 5.0, 8.0, 10.0, 12.0, 20.0, 50.0, 100.0];
+
+    println!("Table 2 — progressive contracts (t_C1 = t_C3 = {t_param}s, interval = {interval}s, N_est = {est_total})");
+    println!();
+    print!("{:<6}", "ts");
+    for c in 1..=5 {
+        print!("{:>9}", format!("C{c}"));
+    }
+    println!();
+    for &ts in &grid {
+        print!("{ts:<6}");
+        for id in 1..=5 {
+            let contract = Contract::table2(id, t_param, interval);
+            // Score the k-th result where k tracks a steady reporter
+            // producing one result per interval.
+            let seq = (ts / interval).ceil().max(1.0) as u64;
+            let u = contract.utility(&EmissionCtx::new(ts, seq, est_total));
+            print!("{u:>9.3}");
+        }
+        println!();
+    }
+
+    println!();
+    println!("Shapes (per contract):");
+    println!("  C1 — hard deadline: 1 until t_C1, 0 after (Figure 2.a)");
+    println!("  C2 — logarithmic decay 1/log10(ts), clamped to [0,1]");
+    println!("  C3 — soft deadline: 1 until t_C3, then 1/(ts − t_C3)");
+    println!("  C4 — cardinality quota: 10% of results due every interval");
+    println!("  C5 — hybrid: ϑ_C4 · (1/ts) (Equation 5)");
+}

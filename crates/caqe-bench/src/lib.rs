@@ -1,0 +1,19 @@
+//! Experiment harness regenerating the paper's evaluation (§7).
+//!
+//! * [`workloads`] — the paper's query workload: `|S_Q|` skyline-over-join
+//!   queries differing in their skyline dimensions (`d ∈ [2, 5]`), with the
+//!   per-contract priority assignments of §7.2;
+//! * [`experiment`] — one-stop comparison runner producing the rows behind
+//!   Figures 9, 10 and 11 for all five systems;
+//! * [`report`] — plain-text table rendering and JSON row emission so
+//!   EXPERIMENTS.md can be regenerated verbatim.
+//!
+//! Binaries: `fig9`, `fig10`, `fig11`, `table2`, `ablation` — see
+//! DESIGN.md §5 for the per-experiment index.
+
+pub mod experiment;
+pub mod report;
+pub mod workloads;
+
+pub use experiment::{run_comparison, ComparisonRow, ExperimentConfig};
+pub use workloads::{paper_workload, ContractParams, PriorityPolicy};

@@ -1,0 +1,110 @@
+//! Plain-text and JSON rendering of comparison rows.
+
+use crate::experiment::ComparisonRow;
+
+/// Renders rows as an aligned plain-text table, one line per row.
+pub fn render_table(title: &str, rows: &[ComparisonRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!(
+        "{:<9} {:<15} {:<4} {:>4} {:>8} {:>12} {:>12} {:>12} {:>10} {:>8}\n",
+        "strategy",
+        "distribution",
+        "ctr",
+        "|Q|",
+        "avg-sat",
+        "p-score",
+        "joins",
+        "dom-cmps",
+        "virt-sec",
+        "results"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<9} {:<15} {:<4} {:>4} {:>8.3} {:>12.1} {:>12} {:>12} {:>10.2} {:>8}\n",
+            r.strategy,
+            r.distribution,
+            r.contract,
+            r.workload_size,
+            r.avg_satisfaction,
+            r.total_p_score,
+            r.join_results,
+            r.dom_comparisons,
+            r.virtual_seconds,
+            r.results
+        ));
+    }
+    out
+}
+
+/// Serializes rows as JSON lines (one object per row) for machine use.
+pub fn render_jsonl(rows: &[ComparisonRow]) -> String {
+    rows.iter()
+        .map(|r| serde_json::to_string(r).expect("row serialization"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Parses a `--key value`-style CLI, returning the value for `key`.
+pub fn cli_arg(args: &[String], key: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == key)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare flag is present.
+pub fn cli_flag(args: &[String], key: &str) -> bool {
+    args.iter().any(|a| a == key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> ComparisonRow {
+        ComparisonRow {
+            strategy: "CAQE".into(),
+            distribution: "independent".into(),
+            contract: "C2".into(),
+            workload_size: 11,
+            avg_satisfaction: 0.82,
+            total_p_score: 123.4,
+            join_results: 1000,
+            dom_comparisons: 5000,
+            region_comparisons: 700,
+            virtual_seconds: 12.5,
+            wall_seconds: 0.2,
+            results: 88,
+        }
+    }
+
+    #[test]
+    fn table_contains_key_fields() {
+        let s = render_table("Figure 9.b", &[row()]);
+        assert!(s.contains("Figure 9.b"));
+        assert!(s.contains("CAQE"));
+        assert!(s.contains("0.820"));
+        assert!(s.contains("independent"));
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let s = render_jsonl(&[row(), row()]);
+        assert_eq!(s.lines().count(), 2);
+        let v: serde_json::Value = serde_json::from_str(s.lines().next().unwrap()).unwrap();
+        assert_eq!(v["strategy"], "CAQE");
+        assert_eq!(v["join_results"], 1000);
+    }
+
+    #[test]
+    fn cli_helpers() {
+        let args: Vec<String> = ["--dist", "correlated", "--full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(cli_arg(&args, "--dist").as_deref(), Some("correlated"));
+        assert_eq!(cli_arg(&args, "--n"), None);
+        assert!(cli_flag(&args, "--full"));
+        assert!(!cli_flag(&args, "--quick"));
+    }
+}

@@ -1,0 +1,211 @@
+//! The paper's experimental query workload (§7.1–7.2).
+//!
+//! Queries "perform join, project and skyline operations … and differ in
+//! their skyline dimensions". We draw `|S_Q|` preference subspaces of sizes
+//! 2–5 over a 5-dimensional output space (built with DVA-safe mixed mapping
+//! functions), and assign priorities per the experiment's policy:
+//!
+//! * contracts C1/C2 — queries with *more* skyline dimensions get higher
+//!   priority;
+//! * contracts C3/C4 — queries with *fewer* dimensions get higher priority;
+//! * contract C5 — priorities uniform.
+
+use caqe_contract::Contract;
+use caqe_core::{QuerySpec, Workload};
+use caqe_operators::MappingSet;
+use caqe_types::{DimMask, VirtualSeconds};
+
+/// How query priorities relate to skyline dimensionality (§7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityPolicy {
+    /// Higher-dimensional queries get higher priority (C1, C2).
+    HighDimsFirst,
+    /// Lower-dimensional queries get higher priority (C3, C4).
+    LowDimsFirst,
+    /// Uniform priorities (C5).
+    Uniform,
+}
+
+impl PriorityPolicy {
+    /// The paper's policy for a Table 2 contract id.
+    pub fn for_contract(id: usize) -> PriorityPolicy {
+        match id {
+            1 | 2 => PriorityPolicy::HighDimsFirst,
+            3 | 4 => PriorityPolicy::LowDimsFirst,
+            _ => PriorityPolicy::Uniform,
+        }
+    }
+}
+
+/// Tunable contract parameters (`t_C1`, `t_C3`, and the reporting interval
+/// `n_{i,j}` of C4/C5), in virtual seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContractParams {
+    /// Deadline parameter for C1 and C3.
+    pub t_param: VirtualSeconds,
+    /// Interval for the cardinality-based contracts C4 and C5.
+    pub interval: VirtualSeconds,
+}
+
+impl ContractParams {
+    /// The paper ties contract tightness to the workload's cost regime
+    /// (10 s for correlated, 40 s for independent, 30 min for
+    /// anti-correlated at N = 500 K). We generalize: the deadline is a
+    /// fraction of a reference total execution time measured by a
+    /// calibration run, with the interval at a tenth of the deadline.
+    pub fn from_reference(reference_secs: VirtualSeconds, fraction: f64) -> Self {
+        let t = (reference_secs * fraction).max(1e-3);
+        ContractParams {
+            t_param: t,
+            interval: t / 10.0,
+        }
+    }
+}
+
+/// The fixed menu of preference subspaces over the 5-dim output space,
+/// sizes 2–5, from which workloads of any size up to 16 are drawn. The
+/// first eleven form the paper's `|S_Q| = 11` workload.
+const PREF_MENU: [&[usize]; 16] = [
+    &[0, 1],
+    &[1, 2, 3],
+    &[0, 1, 2, 3, 4],
+    &[2, 3],
+    &[0, 2, 4],
+    &[1, 2, 3, 4],
+    &[3, 4],
+    &[0, 1, 2],
+    &[0, 1, 3, 4],
+    &[1, 4],
+    &[2, 3, 4],
+    &[0, 4],
+    &[0, 2, 3],
+    &[0, 1, 2, 4],
+    &[1, 3],
+    &[1, 2, 4],
+];
+
+/// Builds the evaluation workload.
+///
+/// * `size` — number of queries `|S_Q|` (1–16; the paper uses 1–11);
+/// * `input_dims` — attribute count of each base table;
+/// * `contract_id` — Table 2 contract (1–5) applied to every query;
+/// * `params` — the contract's tunable deadline/interval;
+/// * `policy` — priority assignment (see [`PriorityPolicy`]).
+///
+/// # Panics
+/// Panics if `size` is 0 or exceeds the menu.
+pub fn paper_workload(
+    size: usize,
+    input_dims: usize,
+    contract_id: usize,
+    params: ContractParams,
+    policy: PriorityPolicy,
+) -> Workload {
+    assert!((1..=PREF_MENU.len()).contains(&size), "1 ≤ |S_Q| ≤ 16");
+    let out_dims = 5;
+    let mapping = MappingSet::mixed(input_dims, input_dims, out_dims);
+    let chosen = &PREF_MENU[..size];
+    let (min_d, max_d) = chosen
+        .iter()
+        .fold((usize::MAX, 0), |(lo, hi), p| (lo.min(p.len()), hi.max(p.len())));
+
+    let queries = chosen
+        .iter()
+        .map(|dims| {
+            let pref = DimMask::from_dims(dims.iter().copied());
+            let priority = match policy {
+                PriorityPolicy::Uniform => 0.5,
+                PriorityPolicy::HighDimsFirst => rank_priority(dims.len(), min_d, max_d, false),
+                PriorityPolicy::LowDimsFirst => rank_priority(dims.len(), min_d, max_d, true),
+            };
+            QuerySpec {
+                join_col: 0,
+                mapping: mapping.clone(),
+                pref,
+                priority,
+                contract: Contract::table2(contract_id, params.t_param, params.interval),
+            }
+        })
+        .collect();
+    Workload::new(queries)
+}
+
+/// Maps a dimensionality to a priority in `[0.1, 1.0]`, linear between the
+/// workload's min and max dimensionality, inverted when `low_first`.
+fn rank_priority(d: usize, min_d: usize, max_d: usize, low_first: bool) -> f64 {
+    if max_d == min_d {
+        return 0.5;
+    }
+    let frac = (d - min_d) as f64 / (max_d - min_d) as f64;
+    let frac = if low_first { 1.0 - frac } else { frac };
+    0.1 + 0.9 * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ContractParams {
+        ContractParams {
+            t_param: 10.0,
+            interval: 1.0,
+        }
+    }
+
+    #[test]
+    fn workload_size_respected() {
+        for size in [1, 4, 11, 16] {
+            let w = paper_workload(size, 3, 2, params(), PriorityPolicy::Uniform);
+            assert_eq!(w.len(), size);
+        }
+    }
+
+    #[test]
+    fn menu_subspaces_are_valid_and_distinct() {
+        let w = paper_workload(16, 3, 1, params(), PriorityPolicy::Uniform);
+        let mut seen = std::collections::BTreeSet::new();
+        for q in w.queries() {
+            assert!((2..=5).contains(&q.pref.len()));
+            assert!(seen.insert(q.pref), "duplicate subspace {}", q.pref);
+        }
+    }
+
+    #[test]
+    fn priority_policies_order_by_dimensionality() {
+        let hi = paper_workload(11, 3, 1, params(), PriorityPolicy::HighDimsFirst);
+        let lo = paper_workload(11, 3, 3, params(), PriorityPolicy::LowDimsFirst);
+        for (qh, ql) in hi.queries().iter().zip(lo.queries()) {
+            assert!((0.1..=1.0).contains(&qh.priority));
+            // Same query, opposite policies: priorities mirror around 0.55.
+            assert!((qh.priority + ql.priority - 1.1).abs() < 1e-9);
+        }
+        // The 5-dim query outranks every 2-dim query under HighDimsFirst.
+        let five = hi.queries().iter().find(|q| q.pref.len() == 5).unwrap();
+        let two = hi.queries().iter().find(|q| q.pref.len() == 2).unwrap();
+        assert!(five.priority > two.priority);
+    }
+
+    #[test]
+    fn contracts_follow_table2() {
+        for id in 1..=5 {
+            let w = paper_workload(3, 2, id, params(), PriorityPolicy::for_contract(id));
+            assert_eq!(w.query(caqe_types::QueryId(0)).contract.label(), format!("C{id}"));
+        }
+    }
+
+    #[test]
+    fn reference_scaled_params() {
+        let p = ContractParams::from_reference(100.0, 0.3);
+        assert!((p.t_param - 30.0).abs() < 1e-12);
+        assert!((p.interval - 3.0).abs() < 1e-12);
+        // Degenerate reference stays positive.
+        let tiny = ContractParams::from_reference(0.0, 0.5);
+        assert!(tiny.t_param > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_size_rejected() {
+        let _ = paper_workload(0, 2, 1, params(), PriorityPolicy::Uniform);
+    }
+}

@@ -1,0 +1,20 @@
+//! Progressiveness contracts (§3 of the paper).
+//!
+//! A *contract* `C` for query `Q` is a progressive utility function `ϑ` that
+//! assigns each result tuple a utility score based on *when* it is reported
+//! (Definition 4). This crate provides:
+//!
+//! * [`model::Contract`] — the contract classes of Table 2 (C1–C5) plus the
+//!   piecewise and product combinators of §3.2–3.3;
+//! * [`tracker::QueryScore`] — per-query accumulation of the
+//!   progressiveness score `pScore` (Equation 7) and the run-time
+//!   satisfaction metric `v(Q_i, t_j)` (§6);
+//! * [`weights`] — the satisfaction-based weight feedback of Equation 11.
+
+pub mod model;
+pub mod tracker;
+pub mod weights;
+
+pub use model::{Contract, EmissionCtx};
+pub use tracker::QueryScore;
+pub use weights::update_weights;

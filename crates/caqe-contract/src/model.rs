@@ -1,0 +1,331 @@
+//! Contract specification models (§3.2, Table 2 of the paper).
+//!
+//! | Id | Class | Utility function |
+//! |----|-------|------------------|
+//! | C1 | time | step: 1 until `t_hard`, 0 after |
+//! | C2 | time | `1 / log10(ts)` decay, clamped to `[0, 1]` |
+//! | C3 | time | 1 until `t_soft`, then `1 / (ts − t_soft)` |
+//! | C4 | cardinality | a fraction `frac` of all results every `interval` |
+//! | C5 | hybrid | `ϑ_C4 · (1/ts)` |
+//!
+//! **C4 semantics.** The paper specifies "10% of total results be returned
+//! every minute" and penalizes intervals that under-deliver (Equation 3).
+//! We realize this as a *cumulative quota*: the `k`-th result of a query is
+//! due at `deadline(k) = interval · k / (frac · N_est)`; a result emitted by
+//! its deadline has utility 1, a late result decays as
+//! `deadline(k) / ts`. This keeps the paper's intent — steady progressive
+//! delivery scores 1, a blocking dump at the end scores near 0 — while
+//! attaching the score to individual tuples as Definition 4 requires.
+
+use caqe_types::VirtualSeconds;
+
+/// Everything a contract may consult when scoring one emitted result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmissionCtx {
+    /// Emission (reporting) time of the tuple, `τ_k.ts`.
+    pub ts: VirtualSeconds,
+    /// 1-based sequence number of this result within its query.
+    pub seq: u64,
+    /// Best current estimate of the query's total result count `N_est`.
+    pub est_total: f64,
+}
+
+impl EmissionCtx {
+    /// Convenience constructor.
+    pub fn new(ts: VirtualSeconds, seq: u64, est_total: f64) -> Self {
+        EmissionCtx { ts, seq, est_total }
+    }
+}
+
+/// A progressiveness contract: the utility function `ϑ` of Definition 4.
+///
+/// ```
+/// use caqe_contract::{Contract, EmissionCtx};
+///
+/// // 30-second hard deadline (Table 2, C1):
+/// let c = Contract::Deadline { t_hard: 30.0 };
+/// assert_eq!(c.utility(&EmissionCtx::new(12.0, 1, 100.0)), 1.0);
+/// assert_eq!(c.utility(&EmissionCtx::new(31.0, 2, 100.0)), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Contract {
+    /// C1 — hard response-time deadline (Example 7): utility 1 up to
+    /// `t_hard`, 0 afterwards.
+    Deadline {
+        /// The hard deadline in virtual seconds.
+        t_hard: VirtualSeconds,
+    },
+    /// C2 — logarithmic decay: `1 / log10(ts)`, clamped to `[0, 1]`.
+    LogDecay,
+    /// C3 — soft deadline with hyperbolic decay: 1 up to `t_soft`, then
+    /// `1 / (ts − t_soft)` (clamped to ≤ 1).
+    SoftDeadline {
+        /// Start of the decay in virtual seconds.
+        t_soft: VirtualSeconds,
+    },
+    /// C4 — cardinality quota: a fraction `frac` of all results every
+    /// `interval` seconds (cumulative-quota semantics, see module docs).
+    Quota {
+        /// Fraction of the total result set due per interval (paper: 0.1).
+        frac: f64,
+        /// Interval length in virtual seconds.
+        interval: VirtualSeconds,
+    },
+    /// C5 — the paper's hybrid: `ϑ_C4 · ϑ_time` with `ϑ_time = 1/ts`.
+    Hybrid {
+        /// Fraction of the total result set due per interval.
+        frac: f64,
+        /// Interval length in virtual seconds.
+        interval: VirtualSeconds,
+    },
+    /// A piecewise-constant time contract (Examples 7–8): utility of the
+    /// first segment whose end time is ≥ `ts`; `tail` applies after the last
+    /// segment.
+    Piecewise {
+        /// `(segment end time, utility)` pairs, ascending by end time.
+        steps: Vec<(VirtualSeconds, f64)>,
+        /// Utility after the final segment.
+        tail: f64,
+    },
+    /// Generic hybrid combinator (Equation 5): the product of two utility
+    /// scores, assumed independent.
+    Product(Box<Contract>, Box<Contract>),
+}
+
+impl Contract {
+    /// The utility score `ϑ(τ_k)` of one emitted result.
+    pub fn utility(&self, ctx: &EmissionCtx) -> f64 {
+        match self {
+            Contract::Deadline { t_hard } => {
+                if ctx.ts <= *t_hard {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Contract::LogDecay => {
+                let ts = ctx.ts.max(1.0 + 1e-9);
+                (1.0 / ts.log10()).clamp(0.0, 1.0)
+            }
+            Contract::SoftDeadline { t_soft } => {
+                if ctx.ts <= *t_soft {
+                    1.0
+                } else {
+                    (1.0 / (ctx.ts - t_soft)).clamp(0.0, 1.0)
+                }
+            }
+            Contract::Quota { frac, interval } => quota_utility(*frac, *interval, ctx),
+            Contract::Hybrid { frac, interval } => {
+                let time = (1.0 / ctx.ts.max(1e-9)).clamp(0.0, 1.0);
+                quota_utility(*frac, *interval, ctx) * time
+            }
+            Contract::Piecewise { steps, tail } => steps
+                .iter()
+                .find(|(end, _)| ctx.ts <= *end)
+                .map(|(_, u)| *u)
+                .unwrap_or(*tail),
+            Contract::Product(a, b) => a.utility(ctx) * b.utility(ctx),
+        }
+    }
+
+    /// The five contract models of Table 2 with the paper's default
+    /// parameters, indexed 1–5.
+    ///
+    /// `t_param` is the tunable `t_C1` / `t_C3` deadline and `interval` the
+    /// `n_{i,j}` reporting interval (both in virtual seconds).
+    ///
+    /// # Panics
+    /// Panics for ids outside `1..=5`.
+    pub fn table2(id: usize, t_param: VirtualSeconds, interval: VirtualSeconds) -> Contract {
+        match id {
+            1 => Contract::Deadline { t_hard: t_param },
+            2 => Contract::LogDecay,
+            3 => Contract::SoftDeadline { t_soft: t_param },
+            4 => Contract::Quota {
+                frac: 0.1,
+                interval,
+            },
+            5 => Contract::Hybrid {
+                frac: 0.1,
+                interval,
+            },
+            other => panic!("Table 2 defines contracts C1..C5, got C{other}"),
+        }
+    }
+
+    /// Short display label ("C1".."C5" for Table 2 models).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Contract::Deadline { .. } => "C1",
+            Contract::LogDecay => "C2",
+            Contract::SoftDeadline { .. } => "C3",
+            Contract::Quota { .. } => "C4",
+            Contract::Hybrid { .. } => "C5",
+            Contract::Piecewise { .. } => "piecewise",
+            Contract::Product(..) => "product",
+        }
+    }
+}
+
+/// Cumulative-quota utility (see module docs for the semantics).
+fn quota_utility(frac: f64, interval: VirtualSeconds, ctx: &EmissionCtx) -> f64 {
+    debug_assert!(frac > 0.0 && frac <= 1.0);
+    let n_est = ctx.est_total.max(1.0);
+    // Results due per interval; the k-th result's deadline.
+    let per_interval = (frac * n_est).max(1e-9);
+    let deadline = interval * (ctx.seq as f64 / per_interval).ceil();
+    if ctx.ts <= deadline {
+        1.0
+    } else {
+        (deadline / ctx.ts).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(ts: f64) -> EmissionCtx {
+        EmissionCtx::new(ts, 1, 100.0)
+    }
+
+    #[test]
+    fn c1_step() {
+        let c = Contract::Deadline { t_hard: 30.0 };
+        assert_eq!(c.utility(&ctx(10.0)), 1.0);
+        assert_eq!(c.utility(&ctx(30.0)), 1.0);
+        assert_eq!(c.utility(&ctx(30.1)), 0.0);
+    }
+
+    #[test]
+    fn c2_log_decay() {
+        let c = Contract::LogDecay;
+        // Before 10s the raw value exceeds 1 → clamped.
+        assert_eq!(c.utility(&ctx(5.0)), 1.0);
+        assert!((c.utility(&ctx(10.0)) - 1.0).abs() < 1e-9);
+        assert!((c.utility(&ctx(100.0)) - 0.5).abs() < 1e-9);
+        assert!((c.utility(&ctx(1000.0)) - 1.0 / 3.0).abs() < 1e-9);
+        // Monotone non-increasing.
+        assert!(c.utility(&ctx(50.0)) >= c.utility(&ctx(500.0)));
+        // ts < 1 does not explode.
+        assert_eq!(c.utility(&ctx(0.5)), 1.0);
+    }
+
+    #[test]
+    fn c3_soft_deadline() {
+        // Paper §7.2: with t_C3 = 10, "a tuple with a time stamp of 12
+        // seconds has a utility of 0.5".
+        let c = Contract::SoftDeadline { t_soft: 10.0 };
+        assert_eq!(c.utility(&ctx(8.0)), 1.0);
+        assert!((c.utility(&ctx(12.0)) - 0.5).abs() < 1e-9);
+        assert!((c.utility(&ctx(14.0)) - 0.25).abs() < 1e-9);
+        // Just past the deadline, clamp prevents > 1.
+        assert_eq!(c.utility(&ctx(10.5)), 1.0);
+    }
+
+    #[test]
+    fn c4_quota_on_time_scores_one() {
+        // 10% of 100 results per 10s ⇒ 1 result due per second.
+        let c = Contract::Quota {
+            frac: 0.1,
+            interval: 10.0,
+        };
+        // Result #5 due at ceil(5/10)*10 = 10s.
+        assert_eq!(c.utility(&EmissionCtx::new(9.0, 5, 100.0)), 1.0);
+        assert_eq!(c.utility(&EmissionCtx::new(10.0, 5, 100.0)), 1.0);
+        // Late by 2× → utility 0.5.
+        assert!((c.utility(&EmissionCtx::new(20.0, 5, 100.0)) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn c4_blocking_dump_scores_poorly() {
+        let c = Contract::Quota {
+            frac: 0.1,
+            interval: 1.0,
+        };
+        // All 100 results dumped at t = 1000s; quota would have finished by
+        // t = 10s. Early sequence numbers are heavily penalized.
+        let n = 100u64;
+        let mean: f64 = (1..=n)
+            .map(|k| c.utility(&EmissionCtx::new(1000.0, k, n as f64)))
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean < 0.02, "blocking dump scored {mean}");
+        // Steady on-time delivery scores 1.
+        let steady: f64 = (1..=n)
+            .map(|k| c.utility(&EmissionCtx::new(k as f64 / 10.0, k, n as f64)))
+            .sum::<f64>()
+            / n as f64;
+        assert_eq!(steady, 1.0);
+    }
+
+    #[test]
+    fn c5_hybrid_combines_time_and_quota() {
+        let c = Contract::Hybrid {
+            frac: 0.1,
+            interval: 10.0,
+        };
+        // On-time result at ts=2: quota 1 × time 1/2 = 0.5.
+        assert!((c.utility(&EmissionCtx::new(2.0, 1, 100.0)) - 0.5).abs() < 1e-9);
+        // ts ≤ 1 → time component clamped to 1.
+        assert_eq!(c.utility(&EmissionCtx::new(0.5, 1, 100.0)), 1.0);
+    }
+
+    #[test]
+    fn piecewise_example8() {
+        // Figure 2.b: 1 until 5 min, 0.8 until 30 min, then log decay — we
+        // approximate the tail with 0 here and test the segments.
+        let c = Contract::Piecewise {
+            steps: vec![(5.0, 1.0), (30.0, 0.8)],
+            tail: 0.0,
+        };
+        assert_eq!(c.utility(&ctx(3.0)), 1.0);
+        assert_eq!(c.utility(&ctx(5.0)), 1.0);
+        assert_eq!(c.utility(&ctx(20.0)), 0.8);
+        assert_eq!(c.utility(&ctx(31.0)), 0.0);
+    }
+
+    #[test]
+    fn product_is_equation5() {
+        // Example 11: cardinality × time.
+        let c = Contract::Product(
+            Box::new(Contract::Quota {
+                frac: 0.1,
+                interval: 60.0,
+            }),
+            Box::new(Contract::Deadline { t_hard: 1800.0 }),
+        );
+        let on_time = EmissionCtx::new(30.0, 1, 100.0);
+        assert_eq!(c.utility(&on_time), 1.0);
+        let too_late = EmissionCtx::new(2000.0, 1, 100.0);
+        assert_eq!(c.utility(&too_late), 0.0);
+    }
+
+    #[test]
+    fn table2_constructor() {
+        for id in 1..=5 {
+            let c = Contract::table2(id, 10.0, 1.0);
+            assert_eq!(c.label(), format!("C{id}"));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn table2_rejects_unknown_id() {
+        let _ = Contract::table2(6, 1.0, 1.0);
+    }
+
+    #[test]
+    fn utilities_bounded() {
+        // All Table 2 contracts stay within [0, 1] over a broad grid.
+        for id in 1..=5 {
+            let c = Contract::table2(id, 10.0, 1.0);
+            for &ts in &[0.1, 1.0, 5.0, 10.0, 50.0, 1e4] {
+                for &seq in &[1u64, 10, 100] {
+                    let u = c.utility(&EmissionCtx::new(ts, seq, 200.0));
+                    assert!((0.0..=1.0).contains(&u), "C{id} at ts={ts}: {u}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Per-query score accumulation: `pScore` (Equation 7) and the run-time
+//! satisfaction metric `v(Q_i, t_j)` (§6 of the paper).
+
+use crate::model::{Contract, EmissionCtx};
+use caqe_types::VirtualSeconds;
+
+/// Tracks the emissions of one query under its contract.
+#[derive(Debug, Clone)]
+pub struct QueryScore {
+    contract: Contract,
+    /// Best current estimate of the query's final result count.
+    est_total: f64,
+    emissions: Vec<(VirtualSeconds, f64)>,
+    sum_utility: f64,
+}
+
+impl QueryScore {
+    /// A fresh tracker for a query under `contract`, with an initial
+    /// estimate of the final result cardinality.
+    pub fn new(contract: Contract, est_total: f64) -> Self {
+        QueryScore {
+            contract,
+            est_total: est_total.max(1.0),
+            emissions: Vec::new(),
+            sum_utility: 0.0,
+        }
+    }
+
+    /// The contract being tracked.
+    pub fn contract(&self) -> &Contract {
+        &self.contract
+    }
+
+    /// Updates the result-cardinality estimate (executors refine it as the
+    /// look-ahead produces better information). Affects only *future*
+    /// emissions — utilities are assigned at reporting time, as in the
+    /// paper.
+    pub fn set_est_total(&mut self, est_total: f64) {
+        self.est_total = est_total.max(1.0);
+    }
+
+    /// The current cardinality estimate.
+    pub fn est_total(&self) -> f64 {
+        self.est_total
+    }
+
+    /// Records one emitted result at virtual time `ts`, returning its
+    /// utility score.
+    pub fn record(&mut self, ts: VirtualSeconds) -> f64 {
+        let seq = self.emissions.len() as u64 + 1;
+        let u = self
+            .contract
+            .utility(&EmissionCtx::new(ts, seq, self.est_total));
+        self.emissions.push((ts, u));
+        self.sum_utility += u;
+        u
+    }
+
+    /// The utility a *hypothetical* emission at time `ts` with sequence
+    /// offset `ahead` (1 = the very next result) would earn. Used by the
+    /// optimizer's benefit model (Equation 8) without perturbing state.
+    pub fn hypothetical_utility(&self, ts: VirtualSeconds, ahead: u64) -> f64 {
+        let seq = self.emissions.len() as u64 + ahead;
+        self.contract
+            .utility(&EmissionCtx::new(ts, seq, self.est_total))
+    }
+
+    /// Number of results emitted so far.
+    pub fn count(&self) -> u64 {
+        self.emissions.len() as u64
+    }
+
+    /// The progressiveness score `pScore` (Equation 7): the sum of all
+    /// assigned utilities.
+    pub fn p_score(&self) -> f64 {
+        self.sum_utility
+    }
+
+    /// The run-time satisfaction metric `v(Q_i, t)`: the average utility of
+    /// all results reported so far; 0 while the query has produced nothing
+    /// (an unserved query is maximally unsatisfied, driving the Equation 11
+    /// weight boost).
+    pub fn runtime_satisfaction(&self) -> f64 {
+        if self.emissions.is_empty() {
+            0.0
+        } else {
+            self.sum_utility / self.emissions.len() as f64
+        }
+    }
+
+    /// The final per-query satisfaction reported in Figures 9 and 11: the
+    /// mean utility per result, clamped to `[0, 1]`. A query with no results
+    /// at all is vacuously satisfied.
+    pub fn final_satisfaction(&self) -> f64 {
+        if self.emissions.is_empty() {
+            1.0
+        } else {
+            (self.sum_utility / self.emissions.len() as f64).clamp(0.0, 1.0)
+        }
+    }
+
+    /// The recorded `(timestamp, utility)` pairs, in emission order.
+    pub fn emissions(&self) -> &[(VirtualSeconds, f64)] {
+        &self.emissions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p_score_sums_utilities() {
+        let mut s = QueryScore::new(Contract::Deadline { t_hard: 10.0 }, 100.0);
+        assert_eq!(s.record(5.0), 1.0);
+        assert_eq!(s.record(9.0), 1.0);
+        assert_eq!(s.record(11.0), 0.0);
+        assert_eq!(s.p_score(), 2.0);
+        assert_eq!(s.count(), 3);
+        assert!((s.runtime_satisfaction() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.final_satisfaction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_query_runtime_vs_final() {
+        let s = QueryScore::new(Contract::LogDecay, 10.0);
+        assert_eq!(s.runtime_satisfaction(), 0.0);
+        assert_eq!(s.final_satisfaction(), 1.0);
+        assert_eq!(s.p_score(), 0.0);
+    }
+
+    #[test]
+    fn sequence_numbers_feed_quota_contracts() {
+        // 10% of 10 per 1s ⇒ 1 due per second.
+        let mut s = QueryScore::new(
+            Contract::Quota {
+                frac: 0.1,
+                interval: 1.0,
+            },
+            10.0,
+        );
+        assert_eq!(s.record(0.5), 1.0); // #1 due at 1s
+        assert_eq!(s.record(1.5), 1.0); // #2 due at 2s
+        let late = s.record(30.0); // #3 due at 3s → 0.1
+        assert!((late - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hypothetical_does_not_mutate() {
+        let s = QueryScore::new(Contract::Deadline { t_hard: 10.0 }, 100.0);
+        assert_eq!(s.hypothetical_utility(5.0, 1), 1.0);
+        assert_eq!(s.hypothetical_utility(15.0, 1), 0.0);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn estimate_update_changes_future_scores_only() {
+        let mut s = QueryScore::new(
+            Contract::Quota {
+                frac: 0.1,
+                interval: 1.0,
+            },
+            10.0,
+        );
+        let before = s.record(0.5);
+        s.set_est_total(1000.0);
+        assert_eq!(s.est_total(), 1000.0);
+        // Previously recorded utility remains in the score.
+        assert_eq!(s.p_score(), before);
+    }
+
+    #[test]
+    fn estimates_are_floored_at_one() {
+        let s = QueryScore::new(Contract::LogDecay, 0.0);
+        assert_eq!(s.est_total(), 1.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Satisfaction-based weight feedback (Equation 11 of the paper).
+//!
+//! After each region is processed, queries whose run-time satisfaction lags
+//! behind the current best get their CSM weight bumped so the optimizer
+//! favours regions that serve them next:
+//!
+//! ```text
+//! w'_i = w_i + (v_max − v_i) / Σ_j (v_max − v_j)
+//! ```
+
+/// Applies Equation 11 in place.
+///
+/// `satisfactions[i]` is the run-time satisfaction metric `v(Q_i)` of query
+/// `i`. When every query is equally satisfied the denominator vanishes and
+/// the weights are left unchanged.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn update_weights(weights: &mut [f64], satisfactions: &[f64]) {
+    assert_eq!(weights.len(), satisfactions.len());
+    if weights.is_empty() {
+        return;
+    }
+    let v_max = satisfactions.iter().copied().fold(f64::MIN, f64::max);
+    let denom: f64 = satisfactions.iter().map(|&v| v_max - v).sum();
+    if denom <= f64::EPSILON {
+        return;
+    }
+    for (w, &v) in weights.iter_mut().zip(satisfactions) {
+        *w += (v_max - v) / denom;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example20_weights() {
+        // Paper Example 20: v = {0, 1, 0.7, 0}, all w_i = 1
+        // → w' = {1.43, 1, 1.13, 1.43}.
+        let mut w = vec![1.0; 4];
+        update_weights(&mut w, &[0.0, 1.0, 0.7, 0.0]);
+        let expect = [1.43, 1.0, 1.13, 1.43];
+        for (got, want) in w.iter().zip(expect) {
+            assert!((got - want).abs() < 0.005, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn equal_satisfaction_leaves_weights_unchanged() {
+        let mut w = vec![1.0, 2.0, 3.0];
+        update_weights(&mut w, &[0.5, 0.5, 0.5]);
+        assert_eq!(w, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn boosts_sum_to_one() {
+        let mut w = vec![1.0; 5];
+        update_weights(&mut w, &[0.1, 0.9, 0.3, 0.9, 0.0]);
+        let total: f64 = w.iter().sum();
+        assert!((total - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn most_unsatisfied_gets_largest_boost() {
+        let mut w = vec![1.0; 3];
+        update_weights(&mut w, &[0.0, 0.5, 1.0]);
+        assert!(w[0] > w[1] && w[1] > w[2]);
+        assert_eq!(w[2], 1.0);
+    }
+
+    #[test]
+    fn empty_is_noop() {
+        let mut w: Vec<f64> = vec![];
+        update_weights(&mut w, &[]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn length_mismatch_panics() {
+        let mut w = vec![1.0];
+        update_weights(&mut w, &[0.1, 0.2]);
+    }
+}

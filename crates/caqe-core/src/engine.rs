@@ -1,0 +1,642 @@
+//! The contract-aware execution engine (§5.3–§6, Algorithm 1).
+//!
+//! One parametric engine implements CAQE and, through
+//! [`EngineConfig`](crate::config::EngineConfig) presets, the shared-plan
+//! S-JFSL baseline and the count-driven core of ProgXe+:
+//!
+//! 1. build quad-tree partitionings and per-join-group shared state
+//!    (regions, dependency graph, min-max-cuboid skyline plan);
+//! 2. loop: pick the next region per the scheduling policy; join its cell
+//!    pair; insert surviving join tuples into the shared skyline plan;
+//!    discard output cells/regions dominated by the new tuples; emit every
+//!    pending result that is now guaranteed final; update the run-time
+//!    satisfaction weights (Equation 11);
+//! 3. stop when every region is processed or discarded; by then every
+//!    query's final skyline has been emitted.
+
+use crate::config::{EngineConfig, ExecConfig, SchedulingPolicy};
+use crate::group::{build_groups, ArenaTuple, JoinGroup};
+use crate::outcome::{QueryOutcome, RunOutcome};
+use crate::workload::Workload;
+use caqe_contract::{update_weights, QueryScore};
+use caqe_data::Table;
+use caqe_partition::Partitioning;
+use caqe_regions::{buchta_estimate, estimate_ticks, prog_est, region_csm};
+use caqe_types::ids::QuerySet;
+use caqe_types::{QueryId, RegionId, SimClock, Stats, Value};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// A tuple waiting for its safety guarantee before progressive emission.
+#[derive(Debug, Clone)]
+struct PendingTuple {
+    tag: u64,
+    /// Per query the tuple is still pending for: an optional cached
+    /// *witness* — an alive region known to threaten the tuple. While the
+    /// witness stays alive (and serving the query), re-checking safety costs
+    /// nothing; only when it dies is the threat list re-scanned.
+    entries: Vec<(QueryId, Option<RegionId>)>,
+}
+
+/// Per-group mutable emission state.
+#[derive(Default)]
+struct PendingState {
+    /// Pending tuples indexed by their origin region.
+    by_origin: HashMap<u32, Vec<PendingTuple>>,
+}
+
+/// Runs the engine over a workload.
+///
+/// `start_ticks` offsets the virtual clock, letting sequential per-query
+/// baselines (ProgXe+) continue a shared timeline across invocations.
+pub fn run_engine(
+    name: &str,
+    r: &Table,
+    t: &Table,
+    workload: &Workload,
+    exec: &ExecConfig,
+    engine: &EngineConfig,
+    start_ticks: u64,
+) -> RunOutcome {
+    let wall_start = Instant::now();
+    let mut clock = SimClock::new(exec.cost_model);
+    clock.advance(start_ticks);
+    let mut stats = Stats::new();
+
+    let part_r = Partitioning::build(r, exec.quadtree);
+    let part_t = Partitioning::build(t, exec.quadtree);
+
+    // Blind blocking pipelines never consult the dependency graph; everyone
+    // else needs it for scheduling, discarding or emission safety.
+    let needs_dg = engine.progressive_emission
+        || engine.dominance_discard
+        || engine.policy != SchedulingPolicy::Fifo;
+    let mut groups = build_groups(
+        workload,
+        &part_r,
+        &part_t,
+        exec,
+        engine.coarse_pruning,
+        needs_dg,
+        &mut clock,
+        &mut stats,
+    );
+
+    let nq = workload.len();
+    let mut scores: Vec<QueryScore> = Vec::with_capacity(nq);
+    for (qi, spec) in workload.queries().iter().enumerate() {
+        let qid = QueryId(qi as u16);
+        // Initial cardinality estimate: Buchta over the expected join size
+        // of the regions serving the query.
+        let join_est: f64 = groups
+            .iter()
+            .flat_map(|g| g.regions.regions())
+            .filter(|reg| reg.serving.contains(qid))
+            .map(|reg| reg.est_join)
+            .sum();
+        let est = buchta_estimate(join_est.max(1.0), spec.pref.len());
+        scores.push(QueryScore::new(spec.contract.clone(), est));
+    }
+    let mut weights = workload.initial_weights();
+
+    let mut pendings: Vec<PendingState> = (0..groups.len())
+        .map(|_| PendingState::default())
+        .collect();
+    let mut emissions: Vec<Vec<(f64, f64)>> = vec![Vec::new(); nq];
+    let mut results: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nq];
+
+    while let Some((gi, rid)) =
+        select_region(&groups, engine.policy, &scores, &weights, &clock)
+    {
+        // --- Tuple-level processing of the chosen region (§6). ---
+        clock.charge_region_overhead();
+        stats.regions_processed += 1;
+
+        let new_by_query = process_region_tuples(
+            &mut groups[gi],
+            r,
+            t,
+            &part_r,
+            &part_t,
+            rid,
+            &mut pendings[gi],
+            engine.progressive_emission,
+            &mut clock,
+            &mut stats,
+        );
+
+        groups[gi].regions.region_mut(rid).processed = true;
+
+        // Origins whose pending tuples must be re-examined this round.
+        let mut recheck: Vec<u32> = vec![rid.0];
+        recheck.extend(
+            groups[gi].static_threats_out[rid.index()]
+                .iter()
+                .map(|e| e.peer.0),
+        );
+
+        // --- Discard regions / cells dominated by the new tuples. ---
+        if engine.dominance_discard {
+            discard_dominated(
+                &mut groups[gi],
+                rid,
+                &new_by_query,
+                &mut recheck,
+                &mut clock,
+                &mut stats,
+            );
+        }
+
+        // --- Scheduling-graph maintenance (Algorithm 1). ---
+        let out_peers: Vec<RegionId> = groups[gi]
+            .dg
+            .threats_out(rid)
+            .iter()
+            .map(|e| e.peer)
+            .collect();
+        groups[gi].dg.remove(rid);
+        for p in out_peers {
+            groups[gi].prog_cache[p.index()] = None;
+        }
+        groups[gi].prog_cache[rid.index()] = None;
+
+        // --- Progressive result reporting (§6, Example 19). ---
+        if engine.progressive_emission {
+            recheck.sort_unstable();
+            recheck.dedup();
+            emit_safe(
+                &mut groups[gi],
+                &mut pendings[gi],
+                &recheck,
+                &mut scores,
+                &mut emissions,
+                &mut results,
+                &mut clock,
+                &mut stats,
+            );
+        }
+
+        // --- Satisfaction feedback (Equation 11). ---
+        if engine.feedback {
+            let sats: Vec<f64> = scores.iter().map(|s| s.runtime_satisfaction()).collect();
+            update_weights(&mut weights, &sats);
+        }
+    }
+
+    if engine.progressive_emission {
+        // Every region is processed or dead; all pending tuples must have
+        // been emitted by the final recheck cascade.
+        debug_assert!(pendings
+            .iter()
+            .all(|p| p.by_origin.values().all(|v| v.is_empty())));
+    } else {
+        // Blocking profile (S-JFSL): report every query's final skyline
+        // only now that all processing has finished.
+        for g in &groups {
+            for (local, &global) in g.members.iter().enumerate() {
+                let mut entries: Vec<(u64, u64, u64)> = g
+                    .plan
+                    .query_skyline_entries(caqe_types::QueryId(local as u16))
+                    .iter()
+                    .map(|(tag, _)| {
+                        let tu = &g.arena[*tag as usize];
+                        (*tag, tu.rid, tu.tid)
+                    })
+                    .collect();
+                entries.sort_unstable();
+                for (_, rid, tid) in entries {
+                    clock.charge_emits(1);
+                    stats.tuples_emitted += 1;
+                    let ts = clock.now();
+                    let u = scores[global.index()].record(ts);
+                    emissions[global.index()].push((ts, u));
+                    results[global.index()].push((rid, tid));
+                }
+            }
+        }
+    }
+
+    let per_query = (0..nq)
+        .map(|qi| {
+            let qid = QueryId(qi as u16);
+            let score = &scores[qi];
+            QueryOutcome {
+                query: qid,
+                emissions: std::mem::take(&mut emissions[qi]),
+                results: std::mem::take(&mut results[qi]),
+                p_score: score.p_score(),
+                satisfaction: score.final_satisfaction(),
+            }
+        })
+        .collect();
+
+    RunOutcome {
+        strategy: name.to_string(),
+        per_query,
+        stats,
+        virtual_seconds: clock.now(),
+        wall_seconds: wall_start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Picks the next region per the scheduling policy: among dependency-graph
+/// roots when any exist (falling back to all alive regions on cycles), the
+/// one with the highest score.
+fn select_region(
+    groups: &[JoinGroup],
+    policy: SchedulingPolicy,
+    scores: &[QueryScore],
+    weights: &[f64],
+    clock: &SimClock,
+) -> Option<(usize, RegionId)> {
+    if policy == SchedulingPolicy::Fifo {
+        for (gi, g) in groups.iter().enumerate() {
+            if let Some(rid) = g.regions.regions().iter().find(|r| r.is_alive()).map(|r| r.id)
+            {
+                return Some((gi, rid));
+            }
+        }
+        return None;
+    }
+
+    let mut best: Option<(usize, RegionId, f64)> = None;
+    let mut any_alive = false;
+    for roots_only in [true, false] {
+        for (gi, g) in groups.iter().enumerate() {
+            for reg in g.regions.regions() {
+                if !reg.is_alive() {
+                    continue;
+                }
+                any_alive = true;
+                if roots_only && !g.dg.is_root(reg.id) {
+                    continue;
+                }
+                let score = candidate_score(g, reg.id, policy, scores, weights, clock);
+                if best.is_none_or(|(_, _, s)| score > s) {
+                    best = Some((gi, reg.id, score));
+                }
+            }
+        }
+        if best.is_some() || !any_alive {
+            break;
+        }
+        // No roots (mutual-domination cycle): fall back to all alive.
+    }
+    best.map(|(gi, rid, _)| (gi, rid))
+}
+
+/// Scores one candidate region under the active policy.
+fn candidate_score(
+    g: &JoinGroup,
+    rid: RegionId,
+    policy: SchedulingPolicy,
+    scores: &[QueryScore],
+    weights: &[f64],
+    clock: &SimClock,
+) -> f64 {
+    let reg = g.regions.region(rid);
+    // Dominance-potential tiebreaker: heavily overlapping regions can drive
+    // every progressiveness estimate to zero at once. Preferring the region
+    // whose *worst* corner sorts best breaks the tie productively — its
+    // tuples dominate the most output space, triggering the discard cascade
+    // that unblocks safe emission everywhere else.
+    let potential: f64 = g
+        .members
+        .iter()
+        .filter(|&&q| reg.serving.contains(q))
+        .map(|&q| {
+            let mask = g.regions.pref(q);
+            let hi_score: f64 = mask.iter().map(|k| reg.bounds.hi()[k]).sum();
+            weights[q.index()] / (1.0 + hi_score / mask.len() as f64)
+        })
+        .sum();
+    match policy {
+        SchedulingPolicy::ContractDriven => {
+            // Equation 8 scores the expected utility of the region's
+            // progressive output at its projected completion time; we rank
+            // by benefit *per unit cost* so that, under utility functions
+            // that are flat early on (e.g. C2's log decay), small
+            // fast-emitting regions are preferred over monoliths.
+            let ticks = estimate_ticks(reg, clock.model(), g.mapping.output_dims());
+            let csm = region_csm(
+                &g.regions,
+                &g.dg,
+                reg,
+                scores,
+                weights,
+                clock,
+                g.mapping.output_dims(),
+            ) / ticks.max(1) as f64;
+            csm + 1e-3 * potential
+        }
+        SchedulingPolicy::CountDriven => {
+            // ProgXe+: estimated progressive output per tick, contract-blind.
+            let ticks = estimate_ticks(reg, clock.model(), g.mapping.output_dims());
+            let total: f64 = g
+                .members
+                .iter()
+                .map(|&q| prog_est(&g.regions, &g.dg, reg, q))
+                .sum();
+            total / ticks.max(1) as f64 + 1e-3 * potential
+        }
+        SchedulingPolicy::Fifo => 0.0,
+    }
+}
+
+/// Joins the region's cell pair, projects, and inserts surviving tuples into
+/// the shared skyline plan. Returns, per member query (local order), the
+/// output-space points newly admitted to that query's skyline.
+#[allow(clippy::too_many_arguments)]
+fn process_region_tuples(
+    g: &mut JoinGroup,
+    r: &Table,
+    t: &Table,
+    part_r: &Partitioning,
+    part_t: &Partitioning,
+    rid: RegionId,
+    pending: &mut PendingState,
+    progressive: bool,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<Vec<Vec<Value>>> {
+    let n_local = g.members.len();
+    let mut new_by_query: Vec<Vec<Vec<Value>>> = vec![Vec::new(); n_local];
+
+    let (r_cell, t_cell, serving) = {
+        let reg = g.regions.region(rid);
+        (reg.r_cell, reg.t_cell, reg.serving)
+    };
+    if serving.is_empty() {
+        return new_by_query;
+    }
+
+    // Hash join within the cell pair (build on T side).
+    let mut index: HashMap<u32, Vec<usize>> = HashMap::new();
+    for &ti in &part_t.cell(t_cell).rows {
+        index
+            .entry(t.record(ti).key(g.join_col))
+            .or_default()
+            .push(ti);
+    }
+
+    let out_dims = g.mapping.output_dims() as u64;
+    let r_rows: Vec<usize> = part_r.cell(r_cell).rows.clone();
+    for ri in r_rows {
+        clock.charge_join_probes(1);
+        stats.join_probes += 1;
+        let rrec = r.record(ri);
+        let Some(matches) = index.get(&rrec.key(g.join_col)) else {
+            continue;
+        };
+        for &ti in matches {
+            clock.charge_join_probes(1);
+            stats.join_probes += 1;
+            let trec = t.record(ti);
+            clock.charge_map_evals(out_dims);
+            stats.map_evals += out_dims;
+            stats.join_results += 1;
+            let vals = g.mapping.apply(&rrec.vals, &trec.vals);
+
+            // Cell-level lineage: which queries can this tuple still serve?
+            let reg = g.regions.region(rid);
+            let lineage = match reg.locate(&vals) {
+                Some(c) => reg.cell_lineage(c).intersect(reg.serving),
+                None => reg.serving,
+            };
+            if lineage.is_empty() {
+                stats.tuples_discarded += 1;
+                continue;
+            }
+
+            let tag = g.arena.len() as u64;
+            g.arena.push(ArenaTuple {
+                rid: rrec.id,
+                tid: trec.id,
+                vals: vals.clone(),
+                origin: rid,
+            });
+            let ins = g.plan.insert(tag, &vals, clock, stats);
+
+            // Register newly admitted skyline tuples as pending emissions.
+            let mut pend_entries: Vec<(QueryId, Option<RegionId>)> = Vec::new();
+            for (local, &in_sky) in ins.in_query_sky.iter().enumerate() {
+                let global = g.members[local];
+                if in_sky && serving.contains(global) && lineage.contains(global) {
+                    pend_entries.push((global, None));
+                    new_by_query[local].push(vals.clone());
+                }
+            }
+            if progressive && !pend_entries.is_empty() {
+                pending
+                    .by_origin
+                    .entry(rid.0)
+                    .or_default()
+                    .push(PendingTuple {
+                        tag,
+                        entries: pend_entries,
+                    });
+            }
+
+            // Handle evictions: invalidated provisional results.
+            if progressive {
+                for (local_q, evicted) in &ins.query_evictions {
+                    let global = g.members[local_q.index()];
+                    for &etag in evicted {
+                        let origin = g.arena[etag as usize].origin;
+                        if let Some(list) = pending.by_origin.get_mut(&origin.0) {
+                            for p in list.iter_mut() {
+                                if p.tag == etag {
+                                    p.entries.retain(|(q, _)| *q != global);
+                                }
+                            }
+                            list.retain(|p| !p.entries.is_empty());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    new_by_query
+}
+
+/// Discards output cells (and whole regions) of threatened neighbors that
+/// are dominated by newly materialized skyline tuples (§6).
+fn discard_dominated(
+    g: &mut JoinGroup,
+    rid: RegionId,
+    new_by_query: &[Vec<Vec<Value>>],
+    recheck: &mut Vec<u32>,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) {
+    let edges: Vec<(RegionId, QuerySet)> = g
+        .dg
+        .threats_out(rid)
+        .iter()
+        .map(|e| (e.peer, e.queries))
+        .collect();
+
+    for (peer, w) in edges {
+        let mut shrunk = false;
+        let mut died = false;
+        {
+            let prefs: Vec<(usize, QueryId)> = g
+                .members
+                .iter()
+                .enumerate()
+                .map(|(l, &q)| (l, q))
+                .collect();
+            for (local, global) in prefs {
+                if !w.contains(global) {
+                    continue;
+                }
+                let mask = g.regions.pref(global);
+                let news = &new_by_query[local];
+                if news.is_empty() {
+                    continue;
+                }
+                let reg = g.regions.region(peer);
+                if reg.processed || !reg.serving.contains(global) {
+                    continue;
+                }
+                // Find cells fully dominated by some new tuple.
+                let mut kills: Vec<usize> = Vec::new();
+                for (c, cell) in reg.grid().iter().enumerate() {
+                    if !reg.cell_lineage(c).contains(global) {
+                        continue;
+                    }
+                    for tuple in news {
+                        clock.charge_dom_cmps(1);
+                        stats.region_comparisons += 1;
+                        if point_dominates_rect(tuple, cell.lo(), mask) {
+                            kills.push(c);
+                            break;
+                        }
+                    }
+                }
+                if kills.is_empty() {
+                    continue;
+                }
+                let reg = g.regions.region_mut(peer);
+                let single = QuerySet::singleton(global);
+                for c in kills {
+                    let dead = reg.kill_cell(c, single);
+                    if !dead.is_empty() {
+                        shrunk = true;
+                    }
+                }
+                if reg.serving.is_empty() {
+                    died = true;
+                }
+            }
+        }
+        if shrunk || died {
+            g.prog_cache[peer.index()] = None;
+            // The peer threatens fewer things now; its own targets may have
+            // become safe.
+            recheck.extend(g.static_threats_out[peer.index()].iter().map(|e| e.peer.0));
+        }
+        if died {
+            stats.regions_pruned += 1;
+            let out_peers: Vec<RegionId> = g
+                .dg
+                .threats_out(peer)
+                .iter()
+                .map(|e| e.peer)
+                .collect();
+            g.dg.remove(peer);
+            for p in out_peers {
+                g.prog_cache[p.index()] = None;
+            }
+            // A dead region never produces tuples: anything it threatened
+            // must be rechecked.
+            recheck.push(peer.0);
+        }
+    }
+}
+
+/// `p ≺_V` every point of the box whose lower corner is `lo`.
+fn point_dominates_rect(p: &[Value], lo: &[Value], mask: caqe_types::DimMask) -> bool {
+    let mut strict = false;
+    for k in mask.iter() {
+        if p[k] > lo[k] {
+            return false;
+        }
+        if p[k] < lo[k] {
+            strict = true;
+        }
+    }
+    strict
+}
+
+/// Emits every pending tuple (of the given origin regions) that can no
+/// longer be dominated by any alive region (§6, Example 19).
+#[allow(clippy::too_many_arguments)]
+fn emit_safe(
+    g: &mut JoinGroup,
+    pending: &mut PendingState,
+    origins: &[u32],
+    scores: &mut [QueryScore],
+    emissions: &mut [Vec<(f64, f64)>],
+    results: &mut [Vec<(u64, u64)>],
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) {
+    for &origin in origins {
+        let Some(mut list) = pending.by_origin.remove(&origin) else {
+            continue;
+        };
+        let threats = &g.static_threats_in[origin as usize];
+        let regions = &g.regions;
+        let arena = &g.arena;
+        list.retain_mut(|p| {
+            let tuple = &arena[p.tag as usize];
+            p.entries.retain_mut(|(q, witness)| {
+                // Fast path: the cached witness still blocks this tuple —
+                // region bounds are immutable, so alive + serving is enough.
+                if let Some(w) = witness {
+                    let reg = regions.region(*w);
+                    if !reg.processed && reg.serving.contains(*q) {
+                        return true;
+                    }
+                }
+                let mask = regions.pref(*q);
+                let mut blocker: Option<RegionId> = None;
+                for e in threats {
+                    if !e.queries.contains(*q) {
+                        continue;
+                    }
+                    let reg = regions.region(e.peer);
+                    if reg.processed || !reg.serving.contains(*q) {
+                        continue;
+                    }
+                    clock.charge_dom_cmps(1);
+                    stats.region_comparisons += 1;
+                    if reg.bounds.may_dominate_point(&tuple.vals, mask) {
+                        blocker = Some(e.peer);
+                        break;
+                    }
+                }
+                match blocker {
+                    Some(b) => {
+                        *witness = Some(b);
+                        true
+                    }
+                    None => {
+                        clock.charge_emits(1);
+                        stats.tuples_emitted += 1;
+                        let ts = clock.now();
+                        let u = scores[q.index()].record(ts);
+                        emissions[q.index()].push((ts, u));
+                        results[q.index()].push((tuple.rid, tuple.tid));
+                        false
+                    }
+                }
+            });
+            !p.entries.is_empty()
+        });
+        if !list.is_empty() {
+            pending.by_origin.insert(origin, list);
+        }
+    }
+}

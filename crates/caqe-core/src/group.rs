@@ -1,0 +1,198 @@
+//! Join groups: queries that share a join condition and mapping functions.
+//!
+//! The paper's shared plan (§4.1) targets queries that are "identical except
+//! for their skyline dimensions". Real workloads (Figure 1) mix join
+//! conditions (`JC_1`, `JC_2`), so the engine partitions the workload into
+//! *join groups*: within a group the join, projection and subspace skylines
+//! are fully shared through one min-max cuboid; across groups the optimizer
+//! still schedules regions globally by CSM.
+
+use crate::config::ExecConfig;
+use crate::workload::Workload;
+use caqe_cuboid::{MinMaxCuboid, SharedSkylinePlan};
+use caqe_operators::MappingSet;
+use caqe_partition::Partitioning;
+use caqe_regions::depgraph::Edge;
+use caqe_regions::{build_regions, DependencyGraph, RegionBuildInput, RegionSet};
+use caqe_types::{DimMask, QueryId, SimClock, Stats, Value};
+
+/// One materialized join tuple living in a group's arena.
+#[derive(Debug, Clone)]
+pub struct ArenaTuple {
+    /// Contributing R record id.
+    pub rid: u64,
+    /// Contributing T record id.
+    pub tid: u64,
+    /// Output-space point.
+    pub vals: Vec<Value>,
+    /// The region whose processing materialized this tuple.
+    pub origin: caqe_types::RegionId,
+}
+
+/// A join group with all its shared execution state.
+pub struct JoinGroup {
+    /// The shared join column.
+    pub join_col: usize,
+    /// The shared mapping functions.
+    pub mapping: MappingSet,
+    /// Global ids of member queries, in local order.
+    pub members: Vec<QueryId>,
+    /// The group's output regions (serving sets use global query ids).
+    pub regions: RegionSet,
+    /// Scheduling dependency graph (mutated as regions complete).
+    pub dg: DependencyGraph,
+    /// Immutable snapshot of threat in-edges, used for safe emission after
+    /// the scheduling graph has shed nodes.
+    pub static_threats_in: Vec<Vec<Edge>>,
+    /// Immutable snapshot of threat out-edges: when a region dies, the
+    /// pending tuples of exactly these targets must be re-examined.
+    pub static_threats_out: Vec<Vec<Edge>>,
+    /// The shared min-max-cuboid skyline plan (local query indexing).
+    pub plan: SharedSkylinePlan,
+    /// Materialized join tuples; the tag passed to the plan is the index
+    /// into this arena.
+    pub arena: Vec<ArenaTuple>,
+    /// Cached progressiveness estimates per region (local-query order);
+    /// `None` marks a dirty entry.
+    pub prog_cache: Vec<Option<Vec<f64>>>,
+}
+
+impl JoinGroup {
+    /// The local index of a global query id, if it belongs to this group.
+    pub fn local_of(&self, q: QueryId) -> Option<usize> {
+        self.members.iter().position(|&m| m == q)
+    }
+}
+
+/// Groups the workload's queries and builds per-group shared state.
+///
+/// `coarse_pruning` controls whether the look-ahead coarse skyline runs
+/// (CAQE / ProgXe+) or is skipped (S-JFSL). `build_dg` controls whether the
+/// dependency graph is materialized at all — blind blocking pipelines have
+/// no use for it and should not pay for it.
+#[allow(clippy::too_many_arguments)] // one engine toggle per argument
+pub fn build_groups(
+    workload: &Workload,
+    part_r: &Partitioning,
+    part_t: &Partitioning,
+    exec: &ExecConfig,
+    coarse_pruning: bool,
+    build_dg: bool,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<JoinGroup> {
+    // Group by (join column, mapping functions).
+    let mut groups: Vec<(usize, MappingSet, Vec<QueryId>)> = Vec::new();
+    for (i, q) in workload.queries().iter().enumerate() {
+        let qid = QueryId(i as u16);
+        match groups
+            .iter_mut()
+            .find(|(col, m, _)| *col == q.join_col && *m == q.mapping)
+        {
+            Some((_, _, members)) => members.push(qid),
+            None => groups.push((q.join_col, q.mapping.clone(), vec![qid])),
+        }
+    }
+
+    groups
+        .into_iter()
+        .map(|(join_col, mapping, members)| {
+            let queries: Vec<(QueryId, DimMask)> = members
+                .iter()
+                .map(|&q| (q, workload.query(q).pref))
+                .collect();
+            let input = RegionBuildInput {
+                part_r,
+                part_t,
+                join_col,
+                mapping: &mapping,
+                queries: &queries,
+                coarse_pruning,
+            };
+            let regions = build_regions(&input, clock, stats);
+            let dg = if build_dg {
+                DependencyGraph::build(&regions, clock, stats)
+            } else {
+                DependencyGraph::empty(regions.len())
+            };
+            let static_threats_in = (0..regions.len())
+                .map(|i| dg.threats_in(caqe_types::RegionId(i as u32)).to_vec())
+                .collect();
+            let static_threats_out = (0..regions.len())
+                .map(|i| dg.threats_out(caqe_types::RegionId(i as u32)).to_vec())
+                .collect();
+            let prefs: Vec<DimMask> = queries.iter().map(|(_, m)| *m).collect();
+            let plan =
+                SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), exec.assume_dva);
+            let prog_cache = vec![None; regions.len()];
+            JoinGroup {
+                join_col,
+                mapping,
+                members,
+                regions,
+                dg,
+                static_threats_in,
+                static_threats_out,
+                plan,
+                arena: Vec::new(),
+                prog_cache,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::{QuerySpec, WorkloadBuilder};
+    use caqe_contract::Contract;
+    use caqe_data::{Distribution, TableGenerator};
+    use caqe_partition::QuadTreeConfig;
+
+    fn spec(join_col: usize, pref: DimMask) -> QuerySpec {
+        QuerySpec {
+            join_col,
+            mapping: MappingSet::concat(2, 2),
+            pref,
+            priority: 0.5,
+            contract: Contract::LogDecay,
+        }
+    }
+
+    #[test]
+    fn grouping_by_join_condition() {
+        let w = WorkloadBuilder::new()
+            .query(spec(0, DimMask::from_dims([0, 1])))
+            .query(spec(1, DimMask::from_dims([1, 2])))
+            .query(spec(0, DimMask::from_dims([2, 3])))
+            .build();
+        let gen = TableGenerator::new(200, 2, Distribution::Independent)
+            .with_selectivities(&[0.1, 0.1]);
+        let r = gen.generate("R");
+        let t = gen.generate("T");
+        let cfg = QuadTreeConfig {
+            max_leaf_size: 64,
+            max_depth: 4,
+            max_cells: usize::MAX,
+        };
+        let pr = Partitioning::build(&r, cfg);
+        let pt = Partitioning::build(&t, cfg);
+        let exec = ExecConfig::default();
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let groups = build_groups(&w, &pr, &pt, &exec, true, true, &mut clock, &mut stats);
+        assert_eq!(groups.len(), 2);
+        let g0 = groups.iter().find(|g| g.join_col == 0).unwrap();
+        assert_eq!(g0.members, vec![QueryId(0), QueryId(2)]);
+        assert_eq!(g0.local_of(QueryId(2)), Some(1));
+        assert_eq!(g0.local_of(QueryId(1)), None);
+        let g1 = groups.iter().find(|g| g.join_col == 1).unwrap();
+        assert_eq!(g1.members, vec![QueryId(1)]);
+        // Shared state shapes line up.
+        for g in &groups {
+            assert_eq!(g.static_threats_in.len(), g.regions.len());
+            assert_eq!(g.prog_cache.len(), g.regions.len());
+            assert!(g.arena.is_empty());
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! The execution-strategy abstraction the experiment harness compares.
+
+use crate::config::{EngineConfig, ExecConfig};
+use crate::engine::run_engine;
+use crate::outcome::RunOutcome;
+use crate::workload::Workload;
+use caqe_data::Table;
+
+/// A technique that executes a whole workload over a pair of base tables —
+/// CAQE itself or any of the paper's competitors (§7.1).
+pub trait ExecutionStrategy {
+    /// Display name used in experiment output ("CAQE", "JFSL", …).
+    fn name(&self) -> &'static str;
+
+    /// Executes the workload and reports the outcome.
+    fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome;
+}
+
+/// The full CAQE framework.
+#[derive(Debug, Clone, Default)]
+pub struct CaqeStrategy;
+
+impl ExecutionStrategy for CaqeStrategy {
+    fn name(&self) -> &'static str {
+        "CAQE"
+    }
+
+    fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome {
+        run_engine(
+            self.name(),
+            r,
+            t,
+            workload,
+            exec,
+            &EngineConfig::caqe(),
+            0,
+        )
+    }
+}

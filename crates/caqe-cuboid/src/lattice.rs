@@ -1,0 +1,99 @@
+//! Skycube lattice helpers (§4.1, Figure 5).
+
+use caqe_types::ids::QuerySet;
+use caqe_types::{DimMask, QueryId};
+
+/// The set of queries a subspace *serves* (Definition 6): `U` serves `Q_i`
+/// iff `U ⊆ P_i`, where `P_i` is the query's preference subspace.
+pub fn q_serve(subspace: DimMask, query_prefs: &[DimMask]) -> QuerySet {
+    let mut s = QuerySet::EMPTY;
+    for (i, &p) in query_prefs.iter().enumerate() {
+        if subspace.is_subset_of(p) {
+            s.insert(QueryId(i as u16));
+        }
+    }
+    s
+}
+
+/// All `2^d − 1` non-empty subspaces of the union of the queries' preference
+/// dimensions — the full skycube lattice of Figure 5, in ascending level
+/// (cardinality) order.
+///
+/// # Panics
+/// Panics if the union spans more than 16 dimensions (the lattice would
+/// have > 65535 members; the paper evaluates `d ∈ [2, 5]`).
+pub fn skycube_subspaces(query_prefs: &[DimMask]) -> Vec<DimMask> {
+    let full = query_prefs
+        .iter()
+        .fold(DimMask::EMPTY, |acc, &p| acc.union(p));
+    let dims: Vec<usize> = full.iter().collect();
+    assert!(dims.len() <= 16, "skycube limited to 16 total dimensions");
+    let mut out: Vec<DimMask> = Vec::with_capacity((1usize << dims.len()) - 1);
+    for bits in 1u32..(1u32 << dims.len()) {
+        let mut m = DimMask::EMPTY;
+        for (pos, &dim) in dims.iter().enumerate() {
+            if (bits >> pos) & 1 == 1 {
+                m = m.union(DimMask::singleton(dim));
+            }
+        }
+        out.push(m);
+    }
+    out.sort_by_key(|m| (m.len(), m.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The running workload of Figure 1: four queries over dims d1..d4.
+    pub fn figure1_prefs() -> Vec<DimMask> {
+        vec![
+            DimMask::from_dims([0, 1]),       // Q1: {d1, d2}
+            DimMask::from_dims([0, 1, 2]),    // Q2: {d1, d2, d3}
+            DimMask::from_dims([1, 2]),       // Q3: {d2, d3}
+            DimMask::from_dims([1, 2, 3]),    // Q4: {d2, d3, d4}
+        ]
+    }
+
+    #[test]
+    fn example12_q_serve() {
+        let prefs = figure1_prefs();
+        // {d2, d3} contributes to Q2, Q3 and Q4.
+        let s = q_serve(DimMask::from_dims([1, 2]), &prefs);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(QueryId(1)));
+        assert!(s.contains(QueryId(2)));
+        assert!(s.contains(QueryId(3)));
+        // {d2, d4} contributes only to Q4.
+        let s = q_serve(DimMask::from_dims([1, 3]), &prefs);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(QueryId(3)));
+    }
+
+    #[test]
+    fn skycube_has_15_subspaces_for_4_dims() {
+        let subs = skycube_subspaces(&figure1_prefs());
+        assert_eq!(subs.len(), 15);
+        // Ascending level order.
+        for w in subs.windows(2) {
+            assert!(w[0].len() <= w[1].len());
+        }
+    }
+
+    #[test]
+    fn skycube_respects_sparse_dims() {
+        // Queries over dims {1, 5}: skycube covers only those dims.
+        let prefs = vec![DimMask::from_dims([1, 5])];
+        let subs = skycube_subspaces(&prefs);
+        assert_eq!(subs.len(), 3);
+        assert!(subs.contains(&DimMask::singleton(1)));
+        assert!(subs.contains(&DimMask::singleton(5)));
+        assert!(subs.contains(&DimMask::from_dims([1, 5])));
+    }
+
+    #[test]
+    fn empty_workload_empty_skycube() {
+        assert!(skycube_subspaces(&[]).is_empty());
+    }
+}

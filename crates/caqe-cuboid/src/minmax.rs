@@ -1,0 +1,308 @@
+//! The min-max cuboid (Definition 7, Figure 6).
+
+use crate::lattice::{q_serve, skycube_subspaces};
+use caqe_types::ids::QuerySet;
+use caqe_types::{DimMask, QueryId};
+
+/// The pruned subspace lattice that the shared plan maintains skylines over.
+///
+/// A subspace `U` (with non-empty `QServe`) is kept iff at least one of
+/// Definition 7's conditions holds:
+///
+/// 1. `|U| = 1` or `U` serves more than one query;
+/// 2. no strict superset `V ⊃ U` has the same served-query set (i.e. `U` is
+///    maximal for its lineage);
+/// 3. `U` is the full preference subspace of some query.
+///
+/// ```
+/// use caqe_cuboid::MinMaxCuboid;
+/// use caqe_types::DimMask;
+///
+/// // The Figure 1 workload keeps 8 of the skycube's 15 subspaces.
+/// let prefs = vec![
+///     DimMask::from_dims([0, 1]),
+///     DimMask::from_dims([0, 1, 2]),
+///     DimMask::from_dims([1, 2]),
+///     DimMask::from_dims([1, 2, 3]),
+/// ];
+/// let cuboid = MinMaxCuboid::build(&prefs);
+/// assert_eq!(cuboid.len(), 8);
+/// assert!(cuboid.contains(DimMask::from_dims([1, 2])));
+/// assert!(!cuboid.contains(DimMask::from_dims([0, 3])));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MinMaxCuboid {
+    /// Kept subspaces in ascending level order.
+    subspaces: Vec<DimMask>,
+    /// `serves[i]` = queries served by `subspaces[i]`.
+    serves: Vec<QuerySet>,
+    /// `children[i]` = indices of kept subspaces strictly contained in
+    /// `subspaces[i]`.
+    children: Vec<Vec<usize>>,
+    /// `query_subspace[q]` = index of query `q`'s full preference subspace.
+    query_subspace: Vec<usize>,
+    /// The queries' preference subspaces, as given.
+    prefs: Vec<DimMask>,
+}
+
+impl MinMaxCuboid {
+    /// Builds the min-max cuboid for a workload given each query's
+    /// preference subspace `P_i`.
+    ///
+    /// # Panics
+    /// Panics if `prefs` is empty, any preference is empty, or the union of
+    /// dimensions exceeds 16.
+    pub fn build(prefs: &[DimMask]) -> Self {
+        assert!(!prefs.is_empty(), "workload must contain at least one query");
+        assert!(
+            prefs.iter().all(|p| !p.is_empty()),
+            "every query needs at least one skyline dimension"
+        );
+        let all = skycube_subspaces(prefs);
+        let serve_of = |u: DimMask| q_serve(u, prefs);
+
+        let mut kept: Vec<(DimMask, QuerySet)> = Vec::new();
+        for &u in &all {
+            let s = serve_of(u);
+            if s.is_empty() {
+                continue;
+            }
+            let cond1 = u.len() == 1 || s.len() > 1;
+            // Condition 2: U is maximal for its lineage. Because any
+            // superset's lineage is a subset of U's, "QServe(U) ⊆ QServe(V)"
+            // for a strict superset V means equality.
+            let cond2 = !all
+                .iter()
+                .any(|&v| u.is_strict_subset_of(v) && s.is_subset_of(serve_of(v)));
+            let cond3 = prefs.contains(&u);
+            if cond1 || cond2 || cond3 {
+                kept.push((u, s));
+            }
+        }
+        kept.sort_by_key(|(m, _)| (m.len(), m.0));
+
+        let subspaces: Vec<DimMask> = kept.iter().map(|(m, _)| *m).collect();
+        let serves: Vec<QuerySet> = kept.iter().map(|(_, s)| *s).collect();
+        let children: Vec<Vec<usize>> = subspaces
+            .iter()
+            .map(|&u| {
+                subspaces
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v.is_strict_subset_of(u))
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        let query_subspace: Vec<usize> = prefs
+            .iter()
+            .map(|&p| {
+                subspaces
+                    .iter()
+                    .position(|&u| u == p)
+                    .expect("condition 3 guarantees each query's subspace is kept")
+            })
+            .collect();
+        MinMaxCuboid {
+            subspaces,
+            serves,
+            children,
+            query_subspace,
+            prefs: prefs.to_vec(),
+        }
+    }
+
+    /// The kept subspaces, ascending by level.
+    pub fn subspaces(&self) -> &[DimMask] {
+        &self.subspaces
+    }
+
+    /// Number of kept subspaces.
+    pub fn len(&self) -> usize {
+        self.subspaces.len()
+    }
+
+    /// Whether the cuboid is empty (never true for a valid workload).
+    pub fn is_empty(&self) -> bool {
+        self.subspaces.is_empty()
+    }
+
+    /// The queries served by kept subspace `i`.
+    pub fn serves(&self, i: usize) -> QuerySet {
+        self.serves[i]
+    }
+
+    /// Indices of kept subspaces strictly contained in kept subspace `i`.
+    pub fn children(&self, i: usize) -> &[usize] {
+        &self.children[i]
+    }
+
+    /// Index of the kept subspace equal to query `q`'s preference subspace.
+    pub fn query_subspace(&self, q: QueryId) -> usize {
+        self.query_subspace[q.index()]
+    }
+
+    /// The preference subspace of query `q`.
+    pub fn pref(&self, q: QueryId) -> DimMask {
+        self.prefs[q.index()]
+    }
+
+    /// Number of queries in the workload.
+    pub fn num_queries(&self) -> usize {
+        self.prefs.len()
+    }
+
+    /// Whether a subspace was kept.
+    pub fn contains(&self, u: DimMask) -> bool {
+        self.subspaces.binary_search_by_key(&(u.len(), u.0), |m| (m.len(), m.0)).is_ok()
+    }
+
+    /// Index of a kept subspace, if present.
+    pub fn index_of(&self, u: DimMask) -> Option<usize> {
+        self.subspaces
+            .binary_search_by_key(&(u.len(), u.0), |m| (m.len(), m.0))
+            .ok()
+    }
+
+    /// Kept subspaces grouped by level (cardinality), ascending — the rows
+    /// of Figure 6.
+    pub fn levels(&self) -> Vec<Vec<DimMask>> {
+        let mut levels: Vec<Vec<DimMask>> = Vec::new();
+        for &u in &self.subspaces {
+            let l = u.len() - 1;
+            while levels.len() <= l {
+                levels.push(Vec::new());
+            }
+            levels[l].push(u);
+        }
+        levels.retain(|l| !l.is_empty());
+        levels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_prefs() -> Vec<DimMask> {
+        vec![
+            DimMask::from_dims([0, 1]),
+            DimMask::from_dims([0, 1, 2]),
+            DimMask::from_dims([1, 2]),
+            DimMask::from_dims([1, 2, 3]),
+        ]
+    }
+
+    #[test]
+    fn figure6_exact_cuboid() {
+        let c = MinMaxCuboid::build(&figure1_prefs());
+        let expect: Vec<DimMask> = vec![
+            DimMask::singleton(0),
+            DimMask::singleton(1),
+            DimMask::singleton(2),
+            DimMask::singleton(3),
+            DimMask::from_dims([0, 1]),
+            DimMask::from_dims([1, 2]),
+            DimMask::from_dims([0, 1, 2]),
+            DimMask::from_dims([1, 2, 3]),
+        ];
+        assert_eq!(c.subspaces(), expect.as_slice());
+    }
+
+    #[test]
+    fn figure6_levels() {
+        let c = MinMaxCuboid::build(&figure1_prefs());
+        let levels = c.levels();
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0].len(), 4); // all singletons
+        assert_eq!(levels[1].len(), 2); // {d1,d2}, {d2,d3}
+        assert_eq!(levels[2].len(), 2); // {d1,d2,d3}, {d2,d3,d4}
+    }
+
+    #[test]
+    fn query_subspaces_are_kept() {
+        let prefs = figure1_prefs();
+        let c = MinMaxCuboid::build(&prefs);
+        for (i, &p) in prefs.iter().enumerate() {
+            let idx = c.query_subspace(QueryId(i as u16));
+            assert_eq!(c.subspaces()[idx], p);
+            assert!(c.serves(idx).contains(QueryId(i as u16)));
+        }
+    }
+
+    #[test]
+    fn children_are_strict_subsets() {
+        let c = MinMaxCuboid::build(&figure1_prefs());
+        for i in 0..c.len() {
+            for &ch in c.children(i) {
+                assert!(c.subspaces()[ch].is_strict_subset_of(c.subspaces()[i]));
+            }
+        }
+        // {d1,d2,d3} contains d1, d2, d3, {d1,d2}, {d2,d3}.
+        let i = c.index_of(DimMask::from_dims([0, 1, 2])).unwrap();
+        assert_eq!(c.children(i).len(), 5);
+    }
+
+    #[test]
+    fn single_query_cuboid() {
+        // One query over {d1, d2}: singletons + the query subspace.
+        let c = MinMaxCuboid::build(&[DimMask::from_dims([0, 1])]);
+        assert_eq!(
+            c.subspaces(),
+            &[
+                DimMask::singleton(0),
+                DimMask::singleton(1),
+                DimMask::from_dims([0, 1])
+            ]
+        );
+    }
+
+    #[test]
+    fn identical_queries_share_everything() {
+        let p = DimMask::from_dims([0, 1, 2]);
+        let c = MinMaxCuboid::build(&[p, p, p]);
+        // Singletons + full subspace; intermediate 2-dim subspaces serve all
+        // three queries (cond 1) so they are kept too.
+        assert!(c.contains(p));
+        for k in 0..3 {
+            assert!(c.contains(DimMask::singleton(k)));
+        }
+        for i in 0..c.len() {
+            assert!(!c.serves(i).is_empty());
+        }
+    }
+
+    #[test]
+    fn cuboid_is_subset_of_skycube() {
+        let prefs = figure1_prefs();
+        let c = MinMaxCuboid::build(&prefs);
+        let sky = crate::lattice::skycube_subspaces(&prefs);
+        assert!(c.len() <= sky.len());
+        for &u in c.subspaces() {
+            assert!(sky.contains(&u));
+        }
+    }
+
+    #[test]
+    fn definition7_holds_for_every_kept_subspace() {
+        let prefs = figure1_prefs();
+        let c = MinMaxCuboid::build(&prefs);
+        let all = crate::lattice::skycube_subspaces(&prefs);
+        for (i, &u) in c.subspaces().iter().enumerate() {
+            let s = c.serves(i);
+            assert!(!s.is_empty());
+            let cond1 = u.len() == 1 || s.len() > 1;
+            let cond2 = !all
+                .iter()
+                .any(|&v| u.is_strict_subset_of(v) && s.is_subset_of(q_serve(v, &prefs)));
+            let cond3 = prefs.contains(&u);
+            assert!(cond1 || cond2 || cond3, "kept subspace {u} violates Def. 7");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_pref_rejected() {
+        let _ = MinMaxCuboid::build(&[DimMask::EMPTY]);
+    }
+}

@@ -1,0 +1,396 @@
+//! Shared skyline maintenance over the min-max cuboid (§4.1, §5.2, §6).
+//!
+//! [`SharedSkylinePlan`] maintains one incremental skyline per kept subspace
+//! and inserts every join result bottom-up (level order). Two pruning ideas
+//! keep the maintenance cheap:
+//!
+//! * **Theorem 1** (under the Distinct Value Attributes assumption): a tuple
+//!   that survived in a *child* subspace is guaranteed to survive in the
+//!   parent — the "am I dominated?" scan is skipped entirely;
+//! * **monotone presorting** (the Sort-Filter-Skyline idea [6]): each
+//!   subspace skyline is kept sorted by the sum of its members' values over
+//!   the subspace. A dominator always has a strictly smaller sum than its
+//!   victim (given distinct values), so rejection tests scan only the
+//!   *prefix* below the new tuple's score and eviction tests only the
+//!   *suffix* above it.
+//!
+//! Workloads whose mapping functions can produce tied values should
+//! construct the plan with `assume_dva = false`, which disables the
+//! Theorem 1 shortcut (the prefix/suffix split remains valid because a
+//! dominator's sum is never *larger* — on ties the boundary is included).
+
+use crate::minmax::MinMaxCuboid;
+use caqe_types::{relate_in, DimMask, DomRelation, QueryId, SimClock, Stats, Value};
+
+/// Result of inserting one tuple into the shared plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedInsert {
+    /// Bitmask over cuboid-subspace indices where the tuple was admitted.
+    pub added_mask: u64,
+    /// For each query (indexed by `QueryId`), whether the tuple is now in
+    /// that query's skyline (`SKY_{P_i}` of the processed prefix).
+    pub in_query_sky: Vec<bool>,
+    /// Tags evicted from each query's full preference subspace by this
+    /// insertion — previously *provisional* results invalidated by the
+    /// non-monotonic nature of skyline-over-join (§1.4).
+    pub query_evictions: Vec<(QueryId, Vec<u64>)>,
+}
+
+/// One member of a subspace skyline.
+#[derive(Debug, Clone)]
+struct Entry {
+    score: Value,
+    tag: u64,
+    point: Vec<Value>,
+}
+
+/// A subspace skyline kept sorted ascending by monotone score.
+#[derive(Debug, Clone, Default)]
+struct SubspaceSky {
+    entries: Vec<Entry>,
+}
+
+impl SubspaceSky {
+    fn position(&self, score: Value) -> usize {
+        self.entries
+            .partition_point(|e| e.score < score)
+    }
+}
+
+/// One incremental skyline per min-max-cuboid subspace, with Theorem 1 and
+/// presorting-based comparison sharing.
+#[derive(Debug, Clone)]
+pub struct SharedSkylinePlan {
+    cuboid: MinMaxCuboid,
+    skylines: Vec<SubspaceSky>,
+    assume_dva: bool,
+}
+
+impl SharedSkylinePlan {
+    /// Creates a plan over a cuboid.
+    ///
+    /// # Panics
+    /// Panics if the cuboid keeps more than 64 subspaces (bitmask limit; the
+    /// paper's workloads keep ≤ 31 over 5 dimensions).
+    pub fn new(cuboid: MinMaxCuboid, assume_dva: bool) -> Self {
+        assert!(cuboid.len() <= 64, "cuboid too large for added-mask bits");
+        let skylines = (0..cuboid.len()).map(|_| SubspaceSky::default()).collect();
+        SharedSkylinePlan {
+            cuboid,
+            skylines,
+            assume_dva,
+        }
+    }
+
+    /// The underlying cuboid.
+    pub fn cuboid(&self) -> &MinMaxCuboid {
+        &self.cuboid
+    }
+
+    /// Number of queries in the workload.
+    pub fn num_queries(&self) -> usize {
+        self.cuboid.num_queries()
+    }
+
+    /// Tags currently in query `q`'s skyline.
+    pub fn query_skyline_tags(&self, q: QueryId) -> Vec<u64> {
+        let i = self.cuboid.query_subspace(q);
+        self.skylines[i].entries.iter().map(|e| e.tag).collect()
+    }
+
+    /// `(tag, point)` members of query `q`'s skyline (sorted by monotone
+    /// score, best first).
+    pub fn query_skyline_entries(&self, q: QueryId) -> Vec<(u64, Vec<Value>)> {
+        let i = self.cuboid.query_subspace(q);
+        self.skylines[i]
+            .entries
+            .iter()
+            .map(|e| (e.tag, e.point.clone()))
+            .collect()
+    }
+
+    /// Size of query `q`'s current skyline.
+    pub fn query_skyline_len(&self, q: QueryId) -> usize {
+        self.skylines[self.cuboid.query_subspace(q)].entries.len()
+    }
+
+    /// Inserts a tuple bottom-up through every cuboid subspace.
+    ///
+    /// `tag` must be unique across all insertions into this plan.
+    pub fn insert(
+        &mut self,
+        tag: u64,
+        point: &[Value],
+        clock: &mut SimClock,
+        stats: &mut Stats,
+    ) -> SharedInsert {
+        let n_subs = self.cuboid.len();
+        let mut added_mask: u64 = 0;
+        let mut query_evictions: Vec<(QueryId, Vec<u64>)> = Vec::new();
+
+        for i in 0..n_subs {
+            let mask = self.cuboid.subspaces()[i];
+            let child_bits: u64 = self
+                .cuboid
+                .children(i)
+                .iter()
+                .fold(0u64, |acc, &c| acc | (1u64 << c));
+            let known_survivor = self.assume_dva && (added_mask & child_bits) != 0;
+
+            let score: Value = mask.iter().map(|k| point[k]).sum();
+            let sky = &mut self.skylines[i];
+            let pos = sky.position(score);
+
+            // Rejection scan over the prefix (scores ≤ ours): a dominator
+            // cannot have a larger monotone score.
+            let mut rejected = false;
+            if !known_survivor {
+                let boundary = sky
+                    .entries
+                    .partition_point(|e| e.score <= score);
+                for e in &sky.entries[..boundary] {
+                    clock.charge_dom_cmps(1);
+                    stats.dom_comparisons += 1;
+                    if relate_in(&e.point, point, mask) == DomRelation::Dominates {
+                        rejected = true;
+                        break;
+                    }
+                }
+            }
+            if rejected {
+                continue;
+            }
+
+            // Eviction sweep over the suffix (scores ≥ ours): a victim
+            // cannot have a smaller monotone score.
+            let mut evicted: Vec<u64> = Vec::new();
+            {
+                let mut k = pos;
+                while k < sky.entries.len() {
+                    clock.charge_dom_cmps(1);
+                    stats.dom_comparisons += 1;
+                    if relate_in(point, &sky.entries[k].point, mask) == DomRelation::Dominates {
+                        evicted.push(sky.entries.remove(k).tag);
+                    } else {
+                        k += 1;
+                    }
+                }
+            }
+            sky.entries.insert(
+                pos,
+                Entry {
+                    score,
+                    tag,
+                    point: point.to_vec(),
+                },
+            );
+            added_mask |= 1u64 << i;
+
+            if !evicted.is_empty() {
+                for q in 0..self.cuboid.num_queries() {
+                    let qid = QueryId(q as u16);
+                    if self.cuboid.query_subspace(qid) == i {
+                        query_evictions.push((qid, evicted.clone()));
+                    }
+                }
+            }
+        }
+
+        let in_query_sky = (0..self.cuboid.num_queries())
+            .map(|q| {
+                let i = self.cuboid.query_subspace(QueryId(q as u16));
+                added_mask & (1u64 << i) != 0
+            })
+            .collect();
+
+        SharedInsert {
+            added_mask,
+            in_query_sky,
+            query_evictions,
+        }
+    }
+
+    /// The subspace mask maintained at cuboid position `i` (diagnostics).
+    pub fn subspace(&self, i: usize) -> DimMask {
+        self.cuboid.subspaces()[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqe_operators::skyline_reference;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn figure1_prefs() -> Vec<DimMask> {
+        vec![
+            DimMask::from_dims([0, 1]),
+            DimMask::from_dims([0, 1, 2]),
+            DimMask::from_dims([1, 2]),
+            DimMask::from_dims([1, 2, 3]),
+        ]
+    }
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<Value>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..100.0)).collect())
+            .collect()
+    }
+
+    fn insert_all(plan: &mut SharedSkylinePlan, points: &[Vec<Value>]) -> (SimClock, Stats) {
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        for (i, p) in points.iter().enumerate() {
+            plan.insert(i as u64, p, &mut clock, &mut stats);
+        }
+        (clock, stats)
+    }
+
+    #[test]
+    fn shared_plan_matches_reference_for_every_query() {
+        let prefs = figure1_prefs();
+        let points = random_points(400, 4, 7);
+        let cuboid = MinMaxCuboid::build(&prefs);
+        let mut plan = SharedSkylinePlan::new(cuboid, true);
+        insert_all(&mut plan, &points);
+        for (q, &p) in prefs.iter().enumerate() {
+            let mut got = plan.query_skyline_tags(QueryId(q as u16));
+            got.sort_unstable();
+            let mut expect: Vec<u64> = skyline_reference(&points, p)
+                .into_iter()
+                .map(|i| i as u64)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "query Q{} skyline mismatch", q + 1);
+        }
+    }
+
+    #[test]
+    fn anticorrelated_heavy_load_stays_exact() {
+        // The stress case: near-constant-sum points make huge skylines.
+        let mut rng = StdRng::seed_from_u64(11);
+        let points: Vec<Vec<Value>> = (0..600)
+            .map(|_| {
+                let a: f64 = rng.gen_range(0.0..100.0);
+                let b: f64 = rng.gen_range(0.0..100.0);
+                let jitter: f64 = rng.gen_range(0.0..0.5);
+                vec![a, 100.0 - a + jitter, b, 100.0 - b]
+            })
+            .collect();
+        let prefs = figure1_prefs();
+        let cuboid = MinMaxCuboid::build(&prefs);
+        let mut plan = SharedSkylinePlan::new(cuboid, true);
+        insert_all(&mut plan, &points);
+        for (q, &p) in prefs.iter().enumerate() {
+            let mut got = plan.query_skyline_tags(QueryId(q as u16));
+            got.sort_unstable();
+            let mut expect: Vec<u64> = skyline_reference(&points, p)
+                .into_iter()
+                .map(|i| i as u64)
+                .collect();
+            expect.sort_unstable();
+            assert_eq!(got, expect, "query Q{} mismatch", q + 1);
+        }
+    }
+
+    #[test]
+    fn dva_shortcuts_do_not_change_results() {
+        let prefs = figure1_prefs();
+        let points = random_points(300, 4, 13);
+        let cuboid = MinMaxCuboid::build(&prefs);
+        let mut fast = SharedSkylinePlan::new(cuboid.clone(), true);
+        let mut slow = SharedSkylinePlan::new(cuboid, false);
+        let (_, sf) = insert_all(&mut fast, &points);
+        let (_, ss) = insert_all(&mut slow, &points);
+        for q in 0..prefs.len() {
+            let mut a = fast.query_skyline_tags(QueryId(q as u16));
+            let mut b = slow.query_skyline_tags(QueryId(q as u16));
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+        // Theorem 1 sharing must save comparisons.
+        assert!(
+            sf.dom_comparisons < ss.dom_comparisons,
+            "sharing saved nothing: {} vs {}",
+            sf.dom_comparisons,
+            ss.dom_comparisons
+        );
+    }
+
+    #[test]
+    fn evictions_reported_for_owning_query() {
+        let prefs = vec![DimMask::singleton(0), DimMask::singleton(1)];
+        let cuboid = MinMaxCuboid::build(&prefs);
+        let mut plan = SharedSkylinePlan::new(cuboid, true);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let r1 = plan.insert(0, &[5.0, 1.0], &mut clock, &mut stats);
+        assert!(r1.in_query_sky.iter().all(|&b| b));
+        let r2 = plan.insert(1, &[2.0, 3.0], &mut clock, &mut stats);
+        assert!(r2.in_query_sky[0]);
+        assert!(!r2.in_query_sky[1]);
+        assert_eq!(r2.query_evictions, vec![(QueryId(0), vec![0])]);
+        assert_eq!(plan.query_skyline_tags(QueryId(0)), vec![1]);
+        assert_eq!(plan.query_skyline_tags(QueryId(1)), vec![0]);
+    }
+
+    #[test]
+    fn added_mask_is_monotone_up_the_lattice() {
+        let prefs = figure1_prefs();
+        let points = random_points(200, 4, 99);
+        let cuboid = MinMaxCuboid::build(&prefs);
+        let mut plan = SharedSkylinePlan::new(cuboid.clone(), true);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        for (i, p) in points.iter().enumerate() {
+            let r = plan.insert(i as u64, p, &mut clock, &mut stats);
+            for s in 0..cuboid.len() {
+                if cuboid
+                    .children(s)
+                    .iter()
+                    .any(|&c| r.added_mask & (1 << c) != 0)
+                {
+                    assert!(
+                        r.added_mask & (1 << s) != 0,
+                        "Theorem 1 violated at subspace {}",
+                        cuboid.subspaces()[s]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn skyline_entries_stay_score_sorted() {
+        let prefs = vec![DimMask::from_dims([0, 1])];
+        let cuboid = MinMaxCuboid::build(&prefs);
+        let mut plan = SharedSkylinePlan::new(cuboid, true);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        for (i, p) in random_points(200, 2, 3).iter().enumerate() {
+            plan.insert(i as u64, p, &mut clock, &mut stats);
+        }
+        let entries = plan.query_skyline_entries(QueryId(0));
+        let scores: Vec<f64> = entries.iter().map(|(_, p)| p[0] + p[1]).collect();
+        for w in scores.windows(2) {
+            assert!(w[0] <= w[1], "entries out of score order");
+        }
+    }
+
+    #[test]
+    fn skyline_len_tracks_entries() {
+        let prefs = vec![DimMask::from_dims([0, 1])];
+        let cuboid = MinMaxCuboid::build(&prefs);
+        let mut plan = SharedSkylinePlan::new(cuboid, true);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        plan.insert(0, &[1.0, 9.0], &mut clock, &mut stats);
+        plan.insert(1, &[9.0, 1.0], &mut clock, &mut stats);
+        plan.insert(2, &[5.0, 5.0], &mut clock, &mut stats);
+        assert_eq!(plan.query_skyline_len(QueryId(0)), 3);
+        assert_eq!(plan.query_skyline_entries(QueryId(0)).len(), 3);
+    }
+}

@@ -1,0 +1,16 @@
+//! Tables, records and the synthetic data generators used by the paper's
+//! evaluation (§7.1).
+//!
+//! The paper stress-tests skyline algorithms with the de-facto standard
+//! generator of Börzsönyi et al. [3]: *independent*, *correlated* and
+//! *anti-correlated* attribute distributions, attribute values in `[1, 100]`,
+//! table cardinalities `N ∈ [10K, 500K]`, and a join selectivity
+//! `σ ∈ [10⁻⁴, 10⁻¹]` controlled here through the join-key domain size.
+
+pub mod generator;
+pub mod record;
+pub mod table;
+
+pub use generator::{Distribution, TableGenerator};
+pub use record::{JoinKey, Record};
+pub use table::Table;

@@ -1,0 +1,52 @@
+//! Base-table records.
+
+use caqe_types::Value;
+
+/// Join keys are small categorical values; the domain size controls join
+/// selectivity (`σ = 1 / |domain|` for uniformly drawn keys on both sides).
+pub type JoinKey = u32;
+
+/// One row of a base table: a unique id, `d` real-valued preference
+/// attributes (smaller preferred), and one categorical key per join
+/// predicate supported by the schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Row id, unique within its table.
+    pub id: u64,
+    /// Preference attribute values, `vals.len() == table.dims()`.
+    pub vals: Vec<Value>,
+    /// One join key per join column, `keys.len() == table.join_cols()`.
+    pub keys: Vec<JoinKey>,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(id: u64, vals: Vec<Value>, keys: Vec<JoinKey>) -> Self {
+        Record { id, vals, keys }
+    }
+
+    /// The value of preference attribute `k`.
+    #[inline]
+    pub fn val(&self, k: usize) -> Value {
+        self.vals[k]
+    }
+
+    /// The join key for join column `c`.
+    #[inline]
+    pub fn key(&self, c: usize) -> JoinKey {
+        self.keys[c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let r = Record::new(7, vec![1.0, 2.0], vec![3, 4]);
+        assert_eq!(r.id, 7);
+        assert_eq!(r.val(1), 2.0);
+        assert_eq!(r.key(0), 3);
+    }
+}

@@ -1,0 +1,151 @@
+//! In-memory base tables.
+
+use crate::record::{JoinKey, Record};
+use caqe_types::{Rect, Value};
+
+/// An in-memory base table (e.g. the `R`, `T`, `Hotels`, `Tours` tables of
+/// the paper's examples).
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    dims: usize,
+    join_cols: usize,
+    records: Vec<Record>,
+}
+
+impl Table {
+    /// Creates a table from records, validating that every record matches
+    /// the declared arity.
+    ///
+    /// # Panics
+    /// Panics if a record's value or key arity differs from the declared
+    /// `dims` / `join_cols`.
+    pub fn new(
+        name: impl Into<String>,
+        dims: usize,
+        join_cols: usize,
+        records: Vec<Record>,
+    ) -> Self {
+        for r in &records {
+            assert_eq!(r.vals.len(), dims, "record value arity mismatch");
+            assert_eq!(r.keys.len(), join_cols, "record key arity mismatch");
+        }
+        Table {
+            name: name.into(),
+            dims,
+            join_cols,
+            records,
+        }
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of preference attributes per record.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of join columns per record.
+    pub fn join_cols(&self) -> usize {
+        self.join_cols
+    }
+
+    /// Number of records (the paper's `N`).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// The record at index `i`.
+    pub fn record(&self, i: usize) -> &Record {
+        &self.records[i]
+    }
+
+    /// The bounding box of the table's preference attributes, or `None` for
+    /// an empty table. Quad-tree partitioning starts from this box.
+    pub fn value_bounds(&self) -> Option<Rect> {
+        Rect::bounding(self.records.iter().map(|r| r.vals.as_slice()))
+    }
+
+    /// The set of distinct keys appearing in join column `c`.
+    pub fn key_domain(&self, c: usize) -> Vec<JoinKey> {
+        let mut keys: Vec<JoinKey> = self.records.iter().map(|r| r.key(c)).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
+    }
+
+    /// Minimum attribute value across all records and dimensions; useful for
+    /// sanity checks of the non-negativity assumption (§2.1).
+    pub fn min_value(&self) -> Option<Value> {
+        self.records
+            .iter()
+            .flat_map(|r| r.vals.iter().copied())
+            .min_by(Value::total_cmp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::new(
+            "R",
+            2,
+            1,
+            vec![
+                Record::new(0, vec![1.0, 9.0], vec![0]),
+                Record::new(1, vec![4.0, 2.0], vec![1]),
+                Record::new(2, vec![2.0, 5.0], vec![0]),
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = sample();
+        assert_eq!(t.name(), "R");
+        assert_eq!(t.dims(), 2);
+        assert_eq!(t.join_cols(), 1);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.record(1).id, 1);
+    }
+
+    #[test]
+    fn bounds_and_domains() {
+        let t = sample();
+        let b = t.value_bounds().unwrap();
+        assert_eq!(b.lo(), &[1.0, 2.0]);
+        assert_eq!(b.hi(), &[4.0, 9.0]);
+        assert_eq!(t.key_domain(0), vec![0, 1]);
+        assert_eq!(t.min_value(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new("E", 2, 0, vec![]);
+        assert!(t.is_empty());
+        assert!(t.value_bounds().is_none());
+        assert!(t.min_value().is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        let _ = Table::new("X", 3, 0, vec![Record::new(0, vec![1.0], vec![])]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Single-query relational and skyline operators (§2.2 of the paper),
+//! implemented from scratch and instrumented with the operation counters
+//! and virtual clock that the evaluation metrics rely on.
+//!
+//! * [`mapping`] — the `PROJECT_[F, X]` operator: scalar mapping functions
+//!   transforming join results into the multi-query output space, with
+//!   exact interval arithmetic for coarse (cell-level) evaluation.
+//! * [`join`] — equi-joins (`R ⋈_{JC} T`): an instrumented nested-loop join
+//!   and a hash join, both fused with projection.
+//! * [`skyline`] — `SKY_P`: block-nested-loop (BNL [3]), sort-filter-skyline
+//!   (SFS [6]) and an incremental skyline maintenance structure used by the
+//!   progressive executors.
+
+pub mod join;
+pub mod mapping;
+pub mod skyline;
+
+pub use join::{hash_join_project, nested_loop_join_project, JoinSpec, OutTuple};
+pub use mapping::{MappingFn, MappingSet};
+pub use skyline::{
+    monotone_score,
+    skyline_bnl, skyline_reference, skyline_sfs, IncrementalSkyline, InsertOutcome,
+};

@@ -1,0 +1,390 @@
+//! Skyline algorithms over a single point set (`SKY_P`, §2.2).
+//!
+//! Three implementations with different roles in the reproduction:
+//!
+//! * [`skyline_reference`] — the obviously correct O(n²) definition-checker,
+//!   used as the oracle in property tests;
+//! * [`skyline_bnl`] — Block-Nested-Loop [3], the classic in-memory
+//!   algorithm the paper's JFSL baseline uses;
+//! * [`skyline_sfs`] — Sort-Filter-Skyline [6]: presorting by a monotone
+//!   score means a later point can never dominate an earlier survivor, which
+//!   both prunes comparisons and makes every emitted survivor *final* — the
+//!   progressiveness backbone of the SSMJ baseline;
+//! * [`IncrementalSkyline`] — streaming skyline maintenance with removal
+//!   notification, the workhorse of the shared min-max-cuboid plan.
+//!
+//! All of them count every pairwise dominance comparison (the paper's CPU
+//! metric, Figure 10.b) through the supplied [`Stats`] and [`SimClock`].
+
+use caqe_types::{relate_in, DimMask, DomRelation, SimClock, Stats, Value};
+
+/// Naive O(n²) skyline straight from Definition 2. Returns the indices of
+/// non-dominated points, preserving input order. Oracle for tests; not
+/// instrumented.
+///
+/// ```
+/// use caqe_operators::skyline_reference;
+/// use caqe_types::DimMask;
+///
+/// let pts = vec![vec![1.0, 9.0], vec![9.0, 1.0], vec![5.0, 5.0], vec![6.0, 6.0]];
+/// assert_eq!(skyline_reference(&pts, DimMask::full(2)), vec![0, 1, 2]);
+/// ```
+pub fn skyline_reference(points: &[Vec<Value>], mask: DimMask) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| {
+            !points.iter().enumerate().any(|(j, q)| {
+                j != i && relate_in(q, &points[i], mask) == DomRelation::Dominates
+            })
+        })
+        .collect()
+}
+
+/// Block-Nested-Loop skyline [3]: maintains a window of current skyline
+/// candidates and compares every incoming point against it.
+///
+/// Returns indices of skyline points in input order of survival.
+pub fn skyline_bnl(
+    points: &[Vec<Value>],
+    mask: DimMask,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<usize> {
+    let mut window: Vec<usize> = Vec::new();
+    'next: for (i, p) in points.iter().enumerate() {
+        let mut k = 0;
+        while k < window.len() {
+            clock.charge_dom_cmps(1);
+            stats.dom_comparisons += 1;
+            match relate_in(&points[window[k]], p, mask) {
+                DomRelation::Dominates => continue 'next,
+                DomRelation::DominatedBy => {
+                    window.swap_remove(k);
+                }
+                // Definition 1: equal points do not dominate — keep both.
+                DomRelation::Equal | DomRelation::Incomparable => k += 1,
+            }
+        }
+        window.push(i);
+    }
+    window.sort_unstable();
+    window
+}
+
+/// The monotone sorting score used by SFS: the sum of the point's values on
+/// the subspace dimensions. If `sum_V(a) < sum_V(b)` then `b` cannot
+/// dominate `a`.
+#[inline]
+pub fn monotone_score(p: &[Value], mask: DimMask) -> Value {
+    mask.iter().map(|k| p[k]).sum()
+}
+
+/// Sort-Filter-Skyline [6]: sorts by [`monotone_score`], then filters.
+/// Survivors are final the moment they are admitted, which is what makes
+/// SFS-style processing *progressive*.
+pub fn skyline_sfs(
+    points: &[Vec<Value>],
+    mask: DimMask,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        monotone_score(&points[a], mask).total_cmp(&monotone_score(&points[b], mask))
+    });
+    let mut sky: Vec<usize> = Vec::new();
+    'next: for i in order {
+        for &s in &sky {
+            clock.charge_dom_cmps(1);
+            stats.dom_comparisons += 1;
+            match relate_in(&points[s], &points[i], mask) {
+                DomRelation::Dominates => continue 'next,
+                // After monotone presorting an incoming point can never
+                // dominate an admitted survivor.
+                DomRelation::DominatedBy => unreachable!("SFS invariant violated"),
+                // Definition 1: equal points do not dominate — keep both.
+                DomRelation::Equal | DomRelation::Incomparable => {}
+            }
+        }
+        sky.push(i);
+    }
+    sky.sort_unstable();
+    sky
+}
+
+/// Outcome of inserting one point into an [`IncrementalSkyline`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The point was dominated by an existing skyline member and rejected.
+    /// (Points *equal* on the subspace are both kept: Definition 1 requires
+    /// strict improvement somewhere for dominance.)
+    Dominated,
+    /// The point joined the skyline; `removed` lists the tags of previous
+    /// members it knocked out — the non-monotonic deletions that §1.4 of the
+    /// paper highlights as the key difficulty of skyline-over-join sharing.
+    Added {
+        /// Tags of evicted former skyline members.
+        removed: Vec<u64>,
+    },
+}
+
+/// Streaming skyline maintenance over one subspace.
+///
+/// Each member carries an opaque `tag` so executors can correlate skyline
+/// membership with their own tuple arenas.
+#[derive(Debug, Clone)]
+pub struct IncrementalSkyline {
+    mask: DimMask,
+    entries: Vec<(u64, Vec<Value>)>,
+}
+
+impl IncrementalSkyline {
+    /// An empty skyline over subspace `mask`.
+    pub fn new(mask: DimMask) -> Self {
+        IncrementalSkyline {
+            mask,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The subspace this skyline is maintained over.
+    pub fn mask(&self) -> DimMask {
+        self.mask
+    }
+
+    /// Current number of skyline members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the skyline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Tags of the current members, in insertion order.
+    pub fn tags(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().map(|(t, _)| *t)
+    }
+
+    /// Whether the given tag is currently a member.
+    pub fn contains_tag(&self, tag: u64) -> bool {
+        self.entries.iter().any(|(t, _)| *t == tag)
+    }
+
+    /// Inserts a point, maintaining the skyline invariant. Counts one
+    /// dominance comparison per member examined.
+    pub fn insert(
+        &mut self,
+        tag: u64,
+        point: &[Value],
+        clock: &mut SimClock,
+        stats: &mut Stats,
+    ) -> InsertOutcome {
+        let mut removed = Vec::new();
+        let mut k = 0;
+        while k < self.entries.len() {
+            clock.charge_dom_cmps(1);
+            stats.dom_comparisons += 1;
+            match relate_in(&self.entries[k].1, point, self.mask) {
+                DomRelation::Dominates => {
+                    debug_assert!(removed.is_empty(), "partial order violated");
+                    return InsertOutcome::Dominated;
+                }
+                DomRelation::DominatedBy => {
+                    removed.push(self.entries.swap_remove(k).0);
+                }
+                // Definition 1: equal points do not dominate — keep both.
+                DomRelation::Equal | DomRelation::Incomparable => k += 1,
+            }
+        }
+        self.entries.push((tag, point.to_vec()));
+        InsertOutcome::Added { removed }
+    }
+
+    /// Like [`insert`](Self::insert) but without mutating: returns whether
+    /// the point *would* survive. Still counts the comparisons performed.
+    pub fn would_survive(
+        &self,
+        point: &[Value],
+        clock: &mut SimClock,
+        stats: &mut Stats,
+    ) -> bool {
+        for (_, q) in &self.entries {
+            clock.charge_dom_cmps(1);
+            stats.dom_comparisons += 1;
+            if relate_in(q, point, self.mask) == DomRelation::Dominates {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Current members as `(tag, point)` pairs.
+    pub fn entries(&self) -> &[(u64, Vec<Value>)] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(raw: &[&[Value]]) -> Vec<Vec<Value>> {
+        raw.iter().map(|p| p.to_vec()).collect()
+    }
+
+    fn run_all(points: &[Vec<Value>], mask: DimMask) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+        let reference = skyline_reference(points, mask);
+        let mut c = SimClock::default();
+        let mut s = Stats::new();
+        let bnl = skyline_bnl(points, mask, &mut c, &mut s);
+        let sfs = skyline_sfs(points, mask, &mut c, &mut s);
+        (reference, bnl, sfs)
+    }
+
+    #[test]
+    fn all_algorithms_agree_small() {
+        let points = pts(&[
+            &[1.0, 9.0],
+            &[9.0, 1.0],
+            &[5.0, 5.0],
+            &[6.0, 6.0], // dominated by [5,5]
+            &[1.0, 9.5], // dominated by [1,9]
+        ]);
+        let (r, b, s) = run_all(&points, DimMask::full(2));
+        assert_eq!(r, vec![0, 1, 2]);
+        assert_eq!(b, r);
+        assert_eq!(s, r);
+    }
+
+    #[test]
+    fn subspace_changes_skyline() {
+        let points = pts(&[&[1.0, 9.0], &[2.0, 1.0]]);
+        // Full space: both survive.
+        assert_eq!(skyline_reference(&points, DimMask::full(2)).len(), 2);
+        // On {d1} only the first survives.
+        assert_eq!(
+            skyline_reference(&points, DimMask::singleton(0)),
+            vec![0]
+        );
+        // On {d2} only the second survives.
+        assert_eq!(
+            skyline_reference(&points, DimMask::singleton(1)),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn sfs_uses_fewer_or_equal_comparisons_than_bnl() {
+        // Descending-quality input is BNL's bad case.
+        let points: Vec<Vec<Value>> = (0..200)
+            .map(|i| vec![(200 - i) as Value, (200 - i) as Value])
+            .collect();
+        let mask = DimMask::full(2);
+        let mut c1 = SimClock::default();
+        let mut s1 = Stats::new();
+        skyline_bnl(&points, mask, &mut c1, &mut s1);
+        let mut c2 = SimClock::default();
+        let mut s2 = Stats::new();
+        skyline_sfs(&points, mask, &mut c2, &mut s2);
+        assert!(s2.dom_comparisons <= s1.dom_comparisons);
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let points = pts(&[
+            &[3.0, 3.0],
+            &[1.0, 5.0],
+            &[5.0, 1.0],
+            &[2.0, 2.0], // evicts [3,3]
+            &[9.0, 9.0], // dominated
+        ]);
+        let mask = DimMask::full(2);
+        let mut sky = IncrementalSkyline::new(mask);
+        let mut c = SimClock::default();
+        let mut s = Stats::new();
+        let mut outcomes = Vec::new();
+        for (i, p) in points.iter().enumerate() {
+            outcomes.push(sky.insert(i as u64, p, &mut c, &mut s));
+        }
+        assert_eq!(outcomes[4], InsertOutcome::Dominated);
+        assert_eq!(
+            outcomes[3],
+            InsertOutcome::Added {
+                removed: vec![0]
+            }
+        );
+        let mut tags: Vec<u64> = sky.tags().collect();
+        tags.sort_unstable();
+        let mut expect: Vec<u64> = skyline_reference(&points, mask)
+            .into_iter()
+            .map(|i| i as u64)
+            .collect();
+        expect.sort_unstable();
+        assert_eq!(tags, expect);
+        assert!(sky.contains_tag(1));
+        assert!(!sky.contains_tag(0));
+    }
+
+    #[test]
+    fn would_survive_is_consistent_with_insert() {
+        let mask = DimMask::full(2);
+        let mut sky = IncrementalSkyline::new(mask);
+        let mut c = SimClock::default();
+        let mut s = Stats::new();
+        sky.insert(0, &[2.0, 2.0], &mut c, &mut s);
+        assert!(!sky.would_survive(&[3.0, 3.0], &mut c, &mut s));
+        assert!(sky.would_survive(&[1.0, 5.0], &mut c, &mut s));
+        assert_eq!(sky.len(), 1);
+    }
+
+    #[test]
+    fn equal_points_are_both_kept() {
+        // Definition 1: dominance needs strict improvement somewhere, so
+        // tied points are all part of the skyline.
+        let mask = DimMask::full(2);
+        let mut sky = IncrementalSkyline::new(mask);
+        let mut c = SimClock::default();
+        let mut s = Stats::new();
+        assert!(matches!(
+            sky.insert(0, &[1.0, 1.0], &mut c, &mut s),
+            InsertOutcome::Added { .. }
+        ));
+        assert!(matches!(
+            sky.insert(1, &[1.0, 1.0], &mut c, &mut s),
+            InsertOutcome::Added { .. }
+        ));
+        assert_eq!(sky.len(), 2);
+        // A dominator evicts every tied copy at once.
+        let out = sky.insert(2, &[0.5, 0.5], &mut c, &mut s);
+        match out {
+            InsertOutcome::Added { mut removed } => {
+                removed.sort_unstable();
+                assert_eq!(removed, vec![0, 1]);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn monotone_score_respects_mask() {
+        let p = [1.0, 10.0, 100.0];
+        assert_eq!(monotone_score(&p, DimMask::from_dims([0, 2])), 101.0);
+        assert_eq!(monotone_score(&p, DimMask::full(3)), 111.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (r, b, s) = run_all(&[], DimMask::full(2));
+        assert!(r.is_empty() && b.is_empty() && s.is_empty());
+    }
+
+    #[test]
+    fn single_point_survives() {
+        let points = pts(&[&[5.0, 5.0]]);
+        let (r, b, s) = run_all(&points, DimMask::full(2));
+        assert_eq!(r, vec![0]);
+        assert_eq!(b, vec![0]);
+        assert_eq!(s, vec![0]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Quad-tree leaf cells (Table 1 of the paper: `L_i^T(l_i, u_i)`).
+
+use crate::signature::Signature;
+use caqe_data::Table;
+use caqe_types::{CellId, Rect};
+
+/// A leaf cell of one table's quad-tree partitioning.
+#[derive(Debug, Clone)]
+pub struct LeafCell {
+    /// Cell identifier within its partitioning.
+    pub id: CellId,
+    /// Value-space bounds of the member tuples (tight bounding box).
+    pub bounds: Rect,
+    /// Indices of member rows in the source table.
+    pub rows: Vec<usize>,
+    /// One signature per join column of the source table.
+    pub signatures: Vec<Signature>,
+}
+
+impl LeafCell {
+    /// Builds a leaf cell over the given rows of `table`, computing tight
+    /// bounds and the per-join-column signatures.
+    ///
+    /// # Panics
+    /// Panics if `rows` is empty — empty cells are dropped during
+    /// partitioning, never materialized.
+    pub fn build(id: CellId, table: &Table, rows: Vec<usize>) -> Self {
+        assert!(!rows.is_empty(), "leaf cells must be non-empty");
+        let bounds = Rect::bounding(rows.iter().map(|&i| table.record(i).vals.as_slice()))
+            .expect("non-empty rows");
+        let signatures = (0..table.join_cols())
+            .map(|c| Signature::from_keys(rows.iter().map(|&i| table.record(i).key(c))))
+            .collect();
+        LeafCell {
+            id,
+            bounds,
+            rows,
+            signatures,
+        }
+    }
+
+    /// Number of member tuples (the `n_a^R` of Equation 9).
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the cell is empty (never true for a built cell).
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The signature for join column `c`.
+    pub fn signature(&self, c: usize) -> &Signature {
+        &self.signatures[c]
+    }
+
+    /// Coarse join feasibility against another cell on join column `c`
+    /// (Example 15): true iff the signatures share at least one key.
+    pub fn join_feasible(&self, other: &LeafCell, c: usize) -> bool {
+        self.signatures[c].intersects(&other.signatures[c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqe_data::Record;
+
+    fn table() -> Table {
+        Table::new(
+            "R",
+            2,
+            1,
+            vec![
+                Record::new(0, vec![1.0, 8.0], vec![5]),
+                Record::new(1, vec![3.0, 2.0], vec![6]),
+                Record::new(2, vec![2.0, 4.0], vec![5]),
+            ],
+        )
+    }
+
+    #[test]
+    fn build_computes_tight_bounds_and_signature() {
+        let t = table();
+        let c = LeafCell::build(CellId(0), &t, vec![0, 2]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.bounds.lo(), &[1.0, 4.0]);
+        assert_eq!(c.bounds.hi(), &[2.0, 8.0]);
+        assert_eq!(c.signature(0).keys(), &[5]);
+    }
+
+    #[test]
+    fn join_feasibility() {
+        let t = table();
+        let a = LeafCell::build(CellId(0), &t, vec![0, 2]); // keys {5}
+        let b = LeafCell::build(CellId(1), &t, vec![1]); // keys {6}
+        let c = LeafCell::build(CellId(2), &t, vec![0, 1]); // keys {5, 6}
+        assert!(!a.join_feasible(&b, 0));
+        assert!(a.join_feasible(&c, 0));
+        assert!(b.join_feasible(&c, 0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_cell_rejected() {
+        let t = table();
+        let _ = LeafCell::build(CellId(0), &t, vec![]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Coarse-granularity input abstraction (§5.1 of the paper).
+//!
+//! CAQE "assumes the input data sets are partitioned into a d-dimensional
+//! quad tree". Each **leaf cell** `L_i(l_i, u_i)` carries
+//!
+//! * its value-space bounds (used to derive output-region bounds through the
+//!   monotone mapping functions), and
+//! * one **signature** per join predicate, capturing the join-key domain
+//!   values of its member tuples (Example 14).
+//!
+//! The coarse-level join (Example 15) then decides from signatures alone
+//! whether a pair of cells can produce even a single join result for a given
+//! predicate — without touching tuples.
+
+pub mod cell;
+pub mod quadtree;
+pub mod signature;
+
+pub use cell::LeafCell;
+pub use quadtree::{Partitioning, QuadTreeConfig};
+pub use signature::Signature;

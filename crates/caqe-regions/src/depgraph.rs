@@ -1,0 +1,288 @@
+//! The dependency graph between output regions (Definition 9, Figure 7).
+//!
+//! A directed edge `R_i → R_j` annotated with query set `W_{i,j}` records
+//! that tuples materializing in `R_i` can dominate output cells of `R_j`
+//! for the queries in `W_{i,j}`. The graph serves three masters:
+//!
+//! * **scheduling** — regions with no (non-mutual) incoming edges are the
+//!   *roots* that Algorithm 1 ranks by CSM;
+//! * **the benefit model** — the progressive cell count of `R_j` only needs
+//!   to examine `R_j`'s in-neighbors ("threats");
+//! * **safe emission** — a tuple of `R_j` can be progressively output once
+//!   no alive in-neighbor can still dominate it (§6, Example 19).
+//!
+//! Mutual partial domination (`R_i` ⇄ `R_j`) is possible with overlapping
+//! boxes; such pairs carry threat edges in both directions but neither
+//! blocks the other's root status, so scheduling cannot deadlock.
+
+use crate::region::RegionSet;
+use caqe_types::ids::QuerySet;
+use caqe_types::{RegionId, SimClock, Stats};
+
+/// One directed threat edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// The other endpoint.
+    pub peer: RegionId,
+    /// Queries for which the source can dominate cells of the target.
+    pub queries: QuerySet,
+}
+
+/// The dependency graph over a region set.
+#[derive(Debug, Clone)]
+pub struct DependencyGraph {
+    /// `threats_in[j]` — edges `i → j`: regions that can dominate cells of
+    /// `j`.
+    threats_in: Vec<Vec<Edge>>,
+    /// `threats_out[i]` — edges `i → j`: regions whose cells `i` can
+    /// dominate.
+    threats_out: Vec<Vec<Edge>>,
+    /// `blockers[j]` — count of alive in-neighbors whose edge is *not*
+    /// mutual; a region is a scheduling root when this reaches zero.
+    blockers: Vec<usize>,
+}
+
+impl DependencyGraph {
+    /// An edgeless graph over `n` regions — used by strategies that skip
+    /// the look-ahead entirely (blind pipelining); every region is a root.
+    pub fn empty(n: usize) -> Self {
+        DependencyGraph {
+            threats_in: vec![Vec::new(); n],
+            threats_out: vec![Vec::new(); n],
+            blockers: vec![0; n],
+        }
+    }
+
+    /// Builds the graph by relating every alive region pair in every query
+    /// subspace both serve.
+    ///
+    /// The `d` per-dimension corner comparisons of a pair are performed
+    /// *once* and every query's subspace relation is then derived by
+    /// bit-masking — so one region-level comparison is charged per ordered
+    /// pair, not per (pair × query).
+    #[allow(clippy::needless_range_loop)] // symmetric (i, j) iteration
+    pub fn build(set: &RegionSet, clock: &mut SimClock, stats: &mut Stats) -> Self {
+        let n = set.len();
+        let mut threats_in: Vec<Vec<Edge>> = vec![Vec::new(); n];
+        let mut threats_out: Vec<Vec<Edge>> = vec![Vec::new(); n];
+
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let (ri, rj) = (&set.regions()[i], &set.regions()[j]);
+                let shared = ri.serving.intersect(rj.serving);
+                if shared.is_empty() {
+                    continue;
+                }
+                clock.charge_dom_cmps(1);
+                stats.region_comparisons += 1;
+                // Per-dimension bits for "i's best corner vs j's worst
+                // corner": `weak` where lo_i ≤ hi_j, `strict` where <.
+                let d = ri.bounds.dims();
+                let (mut weak, mut strict) = (0u32, 0u32);
+                for k in 0..d {
+                    let (a, b) = (ri.bounds.lo()[k], rj.bounds.hi()[k]);
+                    if a <= b {
+                        weak |= 1 << k;
+                    }
+                    if a < b {
+                        strict |= 1 << k;
+                    }
+                }
+                let mut w = QuerySet::EMPTY;
+                for q in shared.iter() {
+                    let m = set.pref(q).0;
+                    // may_dominate in subspace m: weak on all of m, strict
+                    // somewhere in m.
+                    if weak & m == m && strict & m != 0 {
+                        w.insert(q);
+                    }
+                }
+                if !w.is_empty() {
+                    threats_out[i].push(Edge {
+                        peer: RegionId(j as u32),
+                        queries: w,
+                    });
+                    threats_in[j].push(Edge {
+                        peer: RegionId(i as u32),
+                        queries: w,
+                    });
+                }
+            }
+        }
+
+        let mut blockers = vec![0usize; n];
+        for (j, edges) in threats_in.iter().enumerate() {
+            for e in edges {
+                let mutual = threats_in[e.peer.index()]
+                    .iter()
+                    .any(|back| back.peer.index() == j);
+                if !mutual {
+                    blockers[j] += 1;
+                }
+            }
+        }
+
+        DependencyGraph {
+            threats_in,
+            threats_out,
+            blockers,
+        }
+    }
+
+    /// In-edges of a region: the regions that can dominate its cells.
+    pub fn threats_in(&self, r: RegionId) -> &[Edge] {
+        &self.threats_in[r.index()]
+    }
+
+    /// Out-edges of a region: the regions whose cells it can dominate.
+    pub fn threats_out(&self, r: RegionId) -> &[Edge] {
+        &self.threats_out[r.index()]
+    }
+
+    /// Whether a region currently has no non-mutual alive blockers — a
+    /// scheduling root in Algorithm 1's sense.
+    pub fn is_root(&self, r: RegionId) -> bool {
+        self.blockers[r.index()] == 0
+    }
+
+    /// Removes a region from the graph (processed or discarded), returning
+    /// the regions that *became* roots as a result (the `DG_root'` of
+    /// Algorithm 1).
+    pub fn remove(&mut self, r: RegionId) -> Vec<RegionId> {
+        let out = std::mem::take(&mut self.threats_out[r.index()]);
+        let mut new_roots = Vec::new();
+        for e in &out {
+            let j = e.peer.index();
+            // Was this edge counted as a blocker of j (non-mutual)?
+            let mutual = self.threats_out[j].iter().any(|back| back.peer == r);
+            self.threats_in[j].retain(|back| back.peer != r);
+            if !mutual && self.blockers[j] > 0 {
+                self.blockers[j] -= 1;
+                if self.blockers[j] == 0 {
+                    new_roots.push(e.peer);
+                }
+            }
+        }
+        // Drop the reverse sides of r's in-edges.
+        let inn = std::mem::take(&mut self.threats_in[r.index()]);
+        for e in &inn {
+            self.threats_out[e.peer.index()].retain(|f| f.peer != r);
+        }
+        self.blockers[r.index()] = 0;
+        new_roots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::OutputRegion;
+    use caqe_types::{CellId, DimMask, QueryId, Rect};
+
+    /// Builds a 2-query, 2-dim region set from explicit boxes.
+    fn set_from_boxes(boxes: &[([f64; 2], [f64; 2])]) -> RegionSet {
+        let queries = vec![
+            (QueryId(0), DimMask::full(2)),
+            (QueryId(1), DimMask::singleton(0)),
+        ];
+        let all: QuerySet = queries.iter().map(|(q, _)| *q).collect();
+        let regions = boxes
+            .iter()
+            .enumerate()
+            .map(|(i, (lo, hi))| {
+                OutputRegion::new(
+                    RegionId(i as u32),
+                    CellId(0),
+                    CellId(0),
+                    Rect::new(lo.to_vec(), hi.to_vec()),
+                    4,
+                    4,
+                    4.0,
+                    all,
+                )
+            })
+            .collect();
+        RegionSet::new(regions, queries)
+    }
+
+    #[test]
+    fn strict_dominator_blocks_target() {
+        // R0 strictly better than R1: edge R0 → R1, no back edge.
+        let set = set_from_boxes(&[([0.0, 0.0], [1.0, 1.0]), ([5.0, 5.0], [6.0, 6.0])]);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let dg = DependencyGraph::build(&set, &mut clock, &mut stats);
+        assert!(dg.is_root(RegionId(0)));
+        assert!(!dg.is_root(RegionId(1)));
+        assert_eq!(dg.threats_in(RegionId(1)).len(), 1);
+        assert_eq!(dg.threats_out(RegionId(0)).len(), 1);
+        // The edge covers both queries.
+        assert_eq!(dg.threats_in(RegionId(1))[0].queries.len(), 2);
+    }
+
+    #[test]
+    fn removal_promotes_new_roots() {
+        let set = set_from_boxes(&[([0.0, 0.0], [1.0, 1.0]), ([5.0, 5.0], [6.0, 6.0])]);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let mut dg = DependencyGraph::build(&set, &mut clock, &mut stats);
+        let roots = dg.remove(RegionId(0));
+        assert_eq!(roots, vec![RegionId(1)]);
+        assert!(dg.is_root(RegionId(1)));
+        assert!(dg.threats_in(RegionId(1)).is_empty());
+    }
+
+    #[test]
+    fn mutual_partial_domination_does_not_deadlock() {
+        // Overlapping boxes: each can partially dominate the other.
+        let set = set_from_boxes(&[([0.0, 0.0], [5.0, 5.0]), ([2.0, 2.0], [7.0, 7.0])]);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let dg = DependencyGraph::build(&set, &mut clock, &mut stats);
+        // Threat edges exist in both directions…
+        assert!(!dg.threats_in(RegionId(0)).is_empty());
+        assert!(!dg.threats_in(RegionId(1)).is_empty());
+        // …but neither blocks the other's scheduling.
+        assert!(dg.is_root(RegionId(0)));
+        assert!(dg.is_root(RegionId(1)));
+    }
+
+    #[test]
+    fn incomparable_regions_are_unlinked() {
+        // R0 better on d1, R1 better on d2 — on the full space incomparable,
+        // but on {d1} (query 1) R0 can dominate R1.
+        let set = set_from_boxes(&[([0.0, 8.0], [1.0, 9.0]), ([5.0, 0.0], [6.0, 1.0])]);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let dg = DependencyGraph::build(&set, &mut clock, &mut stats);
+        let e = dg.threats_in(RegionId(1));
+        assert_eq!(e.len(), 1);
+        assert!(e[0].queries.contains(QueryId(1)));
+        assert!(!e[0].queries.contains(QueryId(0)));
+    }
+
+    #[test]
+    fn chain_removal_cascades() {
+        // R0 ≺ R1 ≺ R2 strictly.
+        let set = set_from_boxes(&[
+            ([0.0, 0.0], [1.0, 1.0]),
+            ([2.0, 2.0], [3.0, 3.0]),
+            ([4.0, 4.0], [5.0, 5.0]),
+        ]);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let mut dg = DependencyGraph::build(&set, &mut clock, &mut stats);
+        assert!(dg.is_root(RegionId(0)));
+        assert!(!dg.is_root(RegionId(1)));
+        assert!(!dg.is_root(RegionId(2)));
+        let r1 = dg.remove(RegionId(0));
+        assert_eq!(r1, vec![RegionId(1)]);
+        // R2 is still blocked by R1.
+        assert!(!dg.is_root(RegionId(2)));
+        let r2 = dg.remove(RegionId(1));
+        assert_eq!(r2, vec![RegionId(2)]);
+    }
+}

@@ -1,0 +1,278 @@
+//! The progressiveness-based benefit model (§5.3 of the paper).
+//!
+//! * [`buchta_estimate`] — Equation 9: the expected skyline size of `m`
+//!   uniformly distributed `d`-dimensional points, `ln(m)^{d−1} / (d−1)!`
+//!   (Buchta [4]);
+//! * [`prog_count`] — Definition 11: how many of a region's output cells
+//!   cannot be dominated by any *alive* threatening region;
+//! * [`prog_est`] — Equation 10: the fraction of the region's estimated
+//!   skyline output that is guaranteed progressive;
+//! * [`estimate_ticks`] — the cost model: projected virtual ticks to
+//!   process the region at tuple level;
+//! * [`region_csm`] — Equation 8: the Cumulative Satisfaction Metric that
+//!   ranks candidate regions.
+
+use crate::depgraph::DependencyGraph;
+use crate::region::{OutputRegion, RegionSet};
+use caqe_contract::QueryScore;
+use caqe_types::{CostModel, QueryId, SimClock};
+
+/// Equation 9: Buchta's estimate of the number of skyline points among `m`
+/// independently distributed points in `d` dimensions. Clamped to `[1, m]`
+/// for `m ≥ 1`.
+pub fn buchta_estimate(m: f64, d: usize) -> f64 {
+    if m <= 1.0 {
+        return m.max(0.0);
+    }
+    let d = d.max(1);
+    let mut fact = 1.0f64;
+    for k in 2..d {
+        fact *= k as f64;
+    }
+    (m.ln().powi(d as i32 - 1) / fact).clamp(1.0, m)
+}
+
+/// Definition 11: the number of output cells of `region` that are still
+/// alive for `q` and cannot be dominated by any alive threatening region.
+pub fn prog_count(
+    set: &RegionSet,
+    dg: &DependencyGraph,
+    region: &OutputRegion,
+    q: QueryId,
+) -> usize {
+    let mask = set.pref(q);
+    let threats: Vec<&OutputRegion> = dg
+        .threats_in(region.id)
+        .iter()
+        .filter(|e| e.queries.contains(q))
+        .map(|e| set.region(e.peer))
+        .filter(|r| r.is_alive() && r.serving.contains(q))
+        .collect();
+    region
+        .grid()
+        .iter()
+        .enumerate()
+        .filter(|(c, cell)| {
+            region.cell_lineage(*c).contains(q)
+                && !threats
+                    .iter()
+                    .any(|t| t.bounds.may_dominate_region(cell, mask))
+        })
+        .count()
+}
+
+/// Equation 10: the progressiveness estimate of a region for one query —
+/// the guaranteed-progressive fraction of its estimated skyline output.
+pub fn prog_est(
+    set: &RegionSet,
+    dg: &DependencyGraph,
+    region: &OutputRegion,
+    q: QueryId,
+) -> f64 {
+    if !region.serving.contains(q) {
+        return 0.0;
+    }
+    let cells = region.cell_count();
+    if cells == 0 {
+        return 0.0;
+    }
+    let frac = prog_count(set, dg, region, q) as f64 / cells as f64;
+    let d = set.pref(q).len();
+    frac * buchta_estimate(region.est_join, d)
+}
+
+/// The optimizer's cost model: projected virtual ticks to process `region`
+/// at tuple level — a hash join over the cell pair plus projection and
+/// skyline insertion for the expected matches. `avg_sky` approximates the
+/// dominance comparisons per insertion with the square root of the expected
+/// match count (sub-linear window growth).
+pub fn estimate_ticks(region: &OutputRegion, model: &CostModel, output_dims: usize) -> u64 {
+    let probes = (region.n_r + region.n_t) as f64 + region.est_join;
+    let avg_sky = region.est_join.sqrt().max(1.0);
+    let ticks = model.region_overhead as f64
+        + probes * model.join_probe as f64
+        + region.est_join
+            * (output_dims as f64 * model.map_eval as f64 + avg_sky * model.dom_cmp as f64);
+    ticks.ceil() as u64
+}
+
+/// Equation 8: the Cumulative Satisfaction Metric of a candidate region at
+/// the current virtual time.
+///
+/// For each query the region still serves, the expected progressive output
+/// `N^i_est = ProgEst(R_c, Q_i)` is scored with the query's utility function
+/// at the *projected completion time* `t_curr + t_c`, weighted by the
+/// query's run-time weight `w_i`.
+pub fn region_csm(
+    set: &RegionSet,
+    dg: &DependencyGraph,
+    region: &OutputRegion,
+    scores: &[QueryScore],
+    weights: &[f64],
+    clock: &SimClock,
+    output_dims: usize,
+) -> f64 {
+    let t_c = estimate_ticks(region, clock.model(), output_dims);
+    let t_done = clock.projected(t_c);
+    let mut csm = 0.0;
+    for (q, _) in set.queries() {
+        if !region.serving.contains(*q) {
+            continue;
+        }
+        let est = prog_est(set, dg, region, *q);
+        if est <= 0.0 {
+            continue;
+        }
+        // Utility of the batch, approximated at its median sequence number.
+        let ahead = (est / 2.0).ceil() as u64;
+        let u = scores[q.index()].hypothetical_utility(t_done, ahead.max(1));
+        csm += weights[q.index()] * est * u;
+    }
+    csm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::OutputRegion;
+    use caqe_contract::Contract;
+    use caqe_types::ids::QuerySet;
+    use caqe_types::{CellId, DimMask, Rect, RegionId, Stats};
+
+    #[test]
+    fn buchta_known_values() {
+        // d = 1: skyline of distinct values has exactly 1 point.
+        assert_eq!(buchta_estimate(1000.0, 1), 1.0);
+        // d = 2: ln(m).
+        assert!((buchta_estimate(1000.0, 2) - 1000.0f64.ln()).abs() < 1e-9);
+        // d = 3: ln(m)^2 / 2.
+        assert!(
+            (buchta_estimate(1000.0, 3) - 1000.0f64.ln().powi(2) / 2.0).abs() < 1e-9
+        );
+        // Monotone in d for large m.
+        assert!(buchta_estimate(1e5, 4) > buchta_estimate(1e5, 3));
+        // Degenerate inputs.
+        assert_eq!(buchta_estimate(0.0, 3), 0.0);
+        assert_eq!(buchta_estimate(1.0, 3), 1.0);
+        // Never exceeds m.
+        assert!(buchta_estimate(2.0, 5) <= 2.0);
+    }
+
+    fn two_region_set() -> (RegionSet, DependencyGraph) {
+        let queries = vec![(QueryId(0), DimMask::full(2))];
+        let all: QuerySet = queries.iter().map(|(q, _)| *q).collect();
+        let r0 = OutputRegion::new(
+            RegionId(0),
+            CellId(0),
+            CellId(0),
+            Rect::new(vec![0.0, 0.0], vec![4.0, 4.0]),
+            8,
+            8,
+            16.0,
+            all,
+        );
+        // r1 sits up-and-right of r0's lower half: partially dominated.
+        let r1 = OutputRegion::new(
+            RegionId(1),
+            CellId(1),
+            CellId(1),
+            Rect::new(vec![2.0, 2.0], vec![6.0, 6.0]),
+            8,
+            8,
+            16.0,
+            all,
+        );
+        let set = RegionSet::new(vec![r0, r1], queries);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let dg = DependencyGraph::build(&set, &mut clock, &mut stats);
+        (set, dg)
+    }
+
+    #[test]
+    fn prog_count_sees_threats() {
+        let (set, dg) = two_region_set();
+        let q = QueryId(0);
+        // r0's cells can be dominated by r1's best corner (2,2)? Only cells
+        // whose worst corner is strictly worse than (2,2): the top-right
+        // cell [2,4]x[2,4] is at risk; the bottom-left [0,2]x[0,2] is safe.
+        let c0 = prog_count(&set, &dg, set.region(RegionId(0)), q);
+        assert!(c0 >= 1 && c0 < 4, "prog_count(r0) = {c0}");
+        // r1 is heavily threatened by r0 (lower corner (0,0) dominates all).
+        let c1 = prog_count(&set, &dg, set.region(RegionId(1)), q);
+        assert_eq!(c1, 0);
+    }
+
+    #[test]
+    fn prog_est_scales_with_prog_count() {
+        let (set, dg) = two_region_set();
+        let q = QueryId(0);
+        let e0 = prog_est(&set, &dg, set.region(RegionId(0)), q);
+        let e1 = prog_est(&set, &dg, set.region(RegionId(1)), q);
+        assert!(e0 > e1);
+        assert_eq!(e1, 0.0);
+        // Non-serving query returns 0.
+        assert_eq!(prog_est(&set, &dg, set.region(RegionId(0)), QueryId(3)), 0.0);
+    }
+
+    #[test]
+    fn estimate_ticks_grows_with_work() {
+        let model = CostModel::default();
+        let queries = vec![(QueryId(0), DimMask::full(2))];
+        let all: QuerySet = queries.iter().map(|(q, _)| *q).collect();
+        let small = OutputRegion::new(
+            RegionId(0),
+            CellId(0),
+            CellId(0),
+            Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]),
+            4,
+            4,
+            2.0,
+            all,
+        );
+        let big = OutputRegion::new(
+            RegionId(1),
+            CellId(0),
+            CellId(0),
+            Rect::new(vec![0.0, 0.0], vec![1.0, 1.0]),
+            400,
+            400,
+            2000.0,
+            all,
+        );
+        assert!(estimate_ticks(&big, &model, 2) > estimate_ticks(&small, &model, 2));
+        assert!(estimate_ticks(&small, &model, 2) >= model.region_overhead);
+    }
+
+    #[test]
+    fn csm_prefers_unthreatened_region() {
+        let (set, dg) = two_region_set();
+        let scores = vec![QueryScore::new(Contract::Deadline { t_hard: 100.0 }, 50.0)];
+        let weights = vec![1.0];
+        let clock = SimClock::default();
+        let c0 = region_csm(&set, &dg, set.region(RegionId(0)), &scores, &weights, &clock, 2);
+        let c1 = region_csm(&set, &dg, set.region(RegionId(1)), &scores, &weights, &clock, 2);
+        assert!(c0 > c1, "CSM should favour the progressive region: {c0} vs {c1}");
+    }
+
+    #[test]
+    fn csm_scales_with_weight() {
+        let (set, dg) = two_region_set();
+        let scores = vec![QueryScore::new(Contract::Deadline { t_hard: 100.0 }, 50.0)];
+        let clock = SimClock::default();
+        let w1 = region_csm(&set, &dg, set.region(RegionId(0)), &scores, &[1.0], &clock, 2);
+        let w2 = region_csm(&set, &dg, set.region(RegionId(0)), &scores, &[2.0], &clock, 2);
+        assert!((w2 - 2.0 * w1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csm_zero_after_deadline() {
+        let (set, dg) = two_region_set();
+        let scores = vec![QueryScore::new(Contract::Deadline { t_hard: 0.0001 }, 50.0)];
+        let weights = vec![1.0];
+        let clock = SimClock::default();
+        // Any region completes after the (absurd) deadline: CSM = 0.
+        let c = region_csm(&set, &dg, set.region(RegionId(0)), &scores, &weights, &clock, 2);
+        assert_eq!(c, 0.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Multi-Query output Look-Ahead (MQLA, §5 of the paper) and the
+//! contract-driven benefit model (§5.3).
+//!
+//! This crate performs query evaluation *at the granularity of cells and
+//! regions* before any tuple is touched:
+//!
+//! * [`build::build_regions`] — the coarse-level join (§5.1): pairs of
+//!   quad-tree leaf cells whose signatures intersect become candidate
+//!   **output regions**, whose bounds are the exact image of the cell pair
+//!   under the monotone mapping functions;
+//! * [`build`] also runs the coarse-level skyline (§5.2): bottom-up over
+//!   the min-max cuboid, regions that are fully dominated for every query
+//!   they could serve are pruned before any join work is spent on them;
+//! * [`depgraph::DependencyGraph`] — Definition 9: which regions can
+//!   (partially) dominate which, per query; drives both scheduling order
+//!   and safe progressive emission;
+//! * [`estimate`] — the progressiveness-based benefit model: Buchta's
+//!   skyline cardinality estimate (Equation 9), the progressive cell count
+//!   (Definition 11), `ProgEst` (Equation 10) and the Cumulative
+//!   Satisfaction Metric (Equation 8).
+
+pub mod build;
+pub mod depgraph;
+pub mod estimate;
+pub mod region;
+
+pub use build::{build_regions, RegionBuildInput};
+pub use depgraph::DependencyGraph;
+pub use estimate::{buchta_estimate, estimate_ticks, prog_count, prog_est, region_csm};
+pub use region::{OutputRegion, RegionSet};

@@ -1,0 +1,317 @@
+//! Output regions (`R_i` of Table 1) and their lifecycle.
+
+use caqe_types::ids::QuerySet;
+use caqe_types::{CellId, DimMask, QueryId, Rect, RegionId, Value};
+
+/// Number of grid subdivisions per dimension used for output cells inside a
+/// region (the paper's 2-d illustrations use small regular grids; 2 per
+/// dimension keeps the cell count at `2^d ≤ 32` for `d ≤ 5`).
+pub const GRID_PARTS: usize = 2;
+
+/// A region of the multi-query output space: the image of one pair of input
+/// cells under the shared mapping functions.
+#[derive(Debug, Clone)]
+pub struct OutputRegion {
+    /// Region identifier within its [`RegionSet`].
+    pub id: RegionId,
+    /// Source cell in the R-table partitioning.
+    pub r_cell: CellId,
+    /// Source cell in the T-table partitioning.
+    pub t_cell: CellId,
+    /// Output-space bounds (exact under monotone mappings).
+    pub bounds: Rect,
+    /// Member count of the R-side cell (`n_a^R` in Equation 9).
+    pub n_r: usize,
+    /// Member count of the T-side cell (`n_b^T` in Equation 9).
+    pub n_t: usize,
+    /// Estimated number of join results the cell pair will produce.
+    pub est_join: f64,
+    /// Queries this region can still contribute to (the mutable
+    /// *region query lineage*, `RQL`).
+    pub serving: QuerySet,
+    /// The region's output cells (regular grid over `bounds`).
+    grid: Vec<Rect>,
+    /// Per output cell: queries for which the cell is still alive (the
+    /// *cell query lineage*, `CQL`).
+    cell_alive: Vec<QuerySet>,
+    /// Whether tuple-level processing has completed for this region.
+    pub processed: bool,
+}
+
+impl OutputRegion {
+    /// Creates a region; the output-cell grid is derived from `bounds`.
+    #[allow(clippy::too_many_arguments)] // mirrors Table 1's region attributes
+    pub fn new(
+        id: RegionId,
+        r_cell: CellId,
+        t_cell: CellId,
+        bounds: Rect,
+        n_r: usize,
+        n_t: usize,
+        est_join: f64,
+        serving: QuerySet,
+    ) -> Self {
+        let grid = bounds.grid(GRID_PARTS);
+        let cell_alive = vec![serving; grid.len()];
+        OutputRegion {
+            id,
+            r_cell,
+            t_cell,
+            bounds,
+            n_r,
+            n_t,
+            est_join,
+            serving,
+            grid,
+            cell_alive,
+            processed: false,
+        }
+    }
+
+    /// Whether the region still serves at least one query and has not been
+    /// processed.
+    #[inline]
+    pub fn is_alive(&self) -> bool {
+        !self.processed && !self.serving.is_empty()
+    }
+
+    /// The output cells (grid boxes) of the region.
+    pub fn grid(&self) -> &[Rect] {
+        &self.grid
+    }
+
+    /// The queries for which output cell `c` is still alive.
+    pub fn cell_lineage(&self, c: usize) -> QuerySet {
+        self.cell_alive[c]
+    }
+
+    /// Total number of output cells (the `CellCount` of Equation 10).
+    pub fn cell_count(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// Number of output cells still alive for query `q`.
+    pub fn alive_cell_count(&self, q: QueryId) -> usize {
+        self.cell_alive.iter().filter(|s| s.contains(q)).count()
+    }
+
+    /// Index of the output cell a generated tuple falls into, or `None` if
+    /// the point lies outside the region (never happens for exact bounds).
+    #[allow(clippy::needless_range_loop)] // strided per-dimension arithmetic
+    pub fn locate(&self, point: &[Value]) -> Option<usize> {
+        // The grid is regular; compute the index directly per dimension.
+        let d = self.bounds.dims();
+        debug_assert_eq!(point.len(), d);
+        let mut idx = 0usize;
+        let mut stride = 1usize;
+        for k in 0..d {
+            let lo = self.bounds.lo()[k];
+            let w = self.bounds.extent(k) / GRID_PARTS as Value;
+            let cell_k = if w <= 0.0 {
+                0
+            } else {
+                let c = ((point[k] - lo) / w).floor() as isize;
+                if c < 0 || point[k] > self.bounds.hi()[k] {
+                    return None;
+                }
+                (c as usize).min(GRID_PARTS - 1)
+            };
+            idx += cell_k * stride;
+            stride *= GRID_PARTS;
+        }
+        Some(idx)
+    }
+
+    /// Kills output cell `c` for the given queries. Returns the queries for
+    /// which the *whole region* consequently died (no alive cell left).
+    pub fn kill_cell(&mut self, c: usize, queries: QuerySet) -> QuerySet {
+        let before = self.cell_alive[c];
+        self.cell_alive[c] = before.intersect(QuerySet(!queries.0));
+        let mut region_dead = QuerySet::EMPTY;
+        for q in before.intersect(queries).iter() {
+            if !self.serving.contains(q) {
+                continue;
+            }
+            if self.cell_alive.iter().all(|s| !s.contains(q)) {
+                self.serving.remove(q);
+                region_dead.insert(q);
+            }
+        }
+        region_dead
+    }
+
+    /// Kills the region for a query outright (used when a coarse or actual
+    /// dominator covers all of it).
+    pub fn kill_query(&mut self, q: QueryId) {
+        self.serving.remove(q);
+        for s in &mut self.cell_alive {
+            s.remove(q);
+        }
+    }
+}
+
+/// A collection of output regions for one join group, with shared workload
+/// metadata.
+#[derive(Debug, Clone)]
+pub struct RegionSet {
+    regions: Vec<OutputRegion>,
+    /// `(global query id, preference subspace)` of every query served by
+    /// this region set's join group.
+    queries: Vec<(QueryId, DimMask)>,
+}
+
+impl RegionSet {
+    /// Creates a region set.
+    pub fn new(regions: Vec<OutputRegion>, queries: Vec<(QueryId, DimMask)>) -> Self {
+        RegionSet { regions, queries }
+    }
+
+    /// All regions (including dead/processed ones; check
+    /// [`OutputRegion::is_alive`]).
+    pub fn regions(&self) -> &[OutputRegion] {
+        &self.regions
+    }
+
+    /// Mutable access to a region.
+    pub fn region_mut(&mut self, id: RegionId) -> &mut OutputRegion {
+        &mut self.regions[id.index()]
+    }
+
+    /// Shared access to a region.
+    pub fn region(&self, id: RegionId) -> &OutputRegion {
+        &self.regions[id.index()]
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Whether there are no regions.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// The join group's queries as `(global id, preference)` pairs.
+    pub fn queries(&self) -> &[(QueryId, DimMask)] {
+        &self.queries
+    }
+
+    /// The preference subspace of a (global) query id.
+    ///
+    /// # Panics
+    /// Panics if the query is not part of this region set's group.
+    pub fn pref(&self, q: QueryId) -> DimMask {
+        self.queries
+            .iter()
+            .find(|(id, _)| *id == q)
+            .map(|(_, m)| *m)
+            .expect("query not in this join group")
+    }
+
+    /// Ids of regions still alive.
+    pub fn alive_ids(&self) -> Vec<RegionId> {
+        self.regions
+            .iter()
+            .filter(|r| r.is_alive())
+            .map(|r| r.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region2d(serving: QuerySet) -> OutputRegion {
+        OutputRegion::new(
+            RegionId(0),
+            CellId(0),
+            CellId(0),
+            Rect::new(vec![0.0, 0.0], vec![4.0, 4.0]),
+            10,
+            10,
+            5.0,
+            serving,
+        )
+    }
+
+    #[test]
+    fn grid_has_2_pow_d_cells() {
+        let r = region2d(QuerySet::all(2));
+        assert_eq!(r.cell_count(), 4);
+        assert_eq!(r.alive_cell_count(QueryId(0)), 4);
+    }
+
+    #[test]
+    fn locate_maps_points_to_cells() {
+        let r = region2d(QuerySet::all(1));
+        // Cells: [0,2]x[0,2] -> 0, [2,4]x[0,2] -> 1, [0,2]x[2,4] -> 2, ...
+        assert_eq!(r.locate(&[1.0, 1.0]), Some(0));
+        assert_eq!(r.locate(&[3.0, 1.0]), Some(1));
+        assert_eq!(r.locate(&[1.0, 3.0]), Some(2));
+        assert_eq!(r.locate(&[3.0, 3.0]), Some(3));
+        // Boundary points land in the last cell, not outside.
+        assert_eq!(r.locate(&[4.0, 4.0]), Some(3));
+        assert_eq!(r.locate(&[5.0, 1.0]), None);
+    }
+
+    #[test]
+    fn locate_in_grid_box_agrees_with_grid_rects() {
+        let r = region2d(QuerySet::all(1));
+        for (i, cell) in r.grid().iter().enumerate() {
+            let c = cell.center();
+            assert_eq!(r.locate(&c), Some(i));
+        }
+    }
+
+    #[test]
+    fn kill_cell_cascades_to_region() {
+        let mut r = region2d(QuerySet::all(2));
+        let q0 = QueryId(0);
+        let one = QuerySet::singleton(q0);
+        for c in 0..3 {
+            assert!(r.kill_cell(c, one).is_empty());
+            assert!(r.serving.contains(q0));
+        }
+        let dead = r.kill_cell(3, one);
+        assert!(dead.contains(q0));
+        assert!(!r.serving.contains(q0));
+        // Query 1 untouched.
+        assert!(r.serving.contains(QueryId(1)));
+        assert!(r.is_alive());
+    }
+
+    #[test]
+    fn kill_query_kills_everything_for_it() {
+        let mut r = region2d(QuerySet::all(1));
+        r.kill_query(QueryId(0));
+        assert!(!r.is_alive());
+        assert_eq!(r.alive_cell_count(QueryId(0)), 0);
+    }
+
+    #[test]
+    fn degenerate_region_locates_to_cell_zero() {
+        let r = OutputRegion::new(
+            RegionId(0),
+            CellId(0),
+            CellId(0),
+            Rect::new(vec![2.0, 2.0], vec![2.0, 2.0]),
+            1,
+            1,
+            1.0,
+            QuerySet::all(1),
+        );
+        assert_eq!(r.locate(&[2.0, 2.0]), Some(0));
+    }
+
+    #[test]
+    fn region_set_accessors() {
+        let qs = vec![(QueryId(0), DimMask::full(2))];
+        let set = RegionSet::new(vec![region2d(QuerySet::all(1))], qs);
+        assert_eq!(set.len(), 1);
+        assert!(!set.is_empty());
+        assert_eq!(set.pref(QueryId(0)), DimMask::full(2));
+        assert_eq!(set.alive_ids(), vec![RegionId(0)]);
+    }
+}

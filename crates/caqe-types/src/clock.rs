@@ -1,0 +1,199 @@
+//! Deterministic virtual time.
+//!
+//! The paper measures contract satisfaction against wall-clock time on a
+//! specific 2.6 GHz workstation. For a reproducible, hardware-independent
+//! reproduction we substitute a **virtual clock**: every elementary
+//! operation charges a fixed number of *ticks* through a shared
+//! [`CostModel`], and ticks convert to *virtual seconds* at a configurable
+//! rate. All compared systems (CAQE and every baseline) charge identical
+//! costs for identical work, so relative orderings and crossovers — the
+//! quantities the paper's figures report — are preserved (DESIGN.md §3).
+
+/// Virtual time expressed in seconds.
+pub type VirtualSeconds = f64;
+
+/// Tick prices for the elementary operations of skyline-over-join
+/// processing. The defaults approximate the relative CPU cost of each
+/// operation; what matters for the reproduction is that the *same* model is
+/// applied to every compared technique.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Evaluating one join-candidate pair (predicate check + tuple build).
+    pub join_probe: u64,
+    /// Applying one scalar mapping function to one join result.
+    pub map_eval: u64,
+    /// One pairwise dominance comparison.
+    pub dom_cmp: u64,
+    /// Emitting one result tuple to a consumer.
+    pub emit: u64,
+    /// Fixed overhead for scheduling one region / unit of work.
+    pub region_overhead: u64,
+    /// Ticks per *sort* comparison (a single scalar compare — cheaper than
+    /// a multi-dimensional dominance test). May be fractional.
+    pub sort_cmp: f64,
+    /// Conversion rate from ticks to virtual seconds.
+    pub ticks_per_second: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            join_probe: 2,
+            map_eval: 1,
+            dom_cmp: 1,
+            emit: 1,
+            region_overhead: 16,
+            sort_cmp: 0.25,
+            ticks_per_second: 100_000.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Converts a tick count to virtual seconds under this model.
+    #[inline]
+    pub fn to_seconds(&self, ticks: u64) -> VirtualSeconds {
+        ticks as f64 / self.ticks_per_second
+    }
+}
+
+/// A monotonically advancing virtual clock.
+///
+/// Executors call the `charge_*` methods as they perform work; contract
+/// evaluation reads [`SimClock::now`] to timestamp emitted result tuples.
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    ticks: u64,
+    model: CostModel,
+}
+
+impl SimClock {
+    /// A clock at time zero with the given cost model.
+    pub fn new(model: CostModel) -> Self {
+        SimClock { ticks: 0, model }
+    }
+
+    /// The cost model driving this clock.
+    #[inline]
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Total ticks elapsed.
+    #[inline]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn now(&self) -> VirtualSeconds {
+        self.model.to_seconds(self.ticks)
+    }
+
+    /// Advances the clock by an arbitrary number of ticks.
+    #[inline]
+    pub fn advance(&mut self, ticks: u64) {
+        self.ticks += ticks;
+    }
+
+    /// Charges `n` join-probe operations.
+    #[inline]
+    pub fn charge_join_probes(&mut self, n: u64) {
+        self.ticks += n * self.model.join_probe;
+    }
+
+    /// Charges `n` mapping-function evaluations.
+    #[inline]
+    pub fn charge_map_evals(&mut self, n: u64) {
+        self.ticks += n * self.model.map_eval;
+    }
+
+    /// Charges `n` dominance comparisons.
+    #[inline]
+    pub fn charge_dom_cmps(&mut self, n: u64) {
+        self.ticks += n * self.model.dom_cmp;
+    }
+
+    /// Charges `n` result emissions.
+    #[inline]
+    pub fn charge_emits(&mut self, n: u64) {
+        self.ticks += n * self.model.emit;
+    }
+
+    /// Charges the fixed overhead of scheduling one unit of work.
+    #[inline]
+    pub fn charge_region_overhead(&mut self) {
+        self.ticks += self.model.region_overhead;
+    }
+
+    /// Charges `n` sort comparisons at the (fractional) sort rate.
+    #[inline]
+    pub fn charge_sort_cmps(&mut self, n: u64) {
+        self.ticks += (n as f64 * self.model.sort_cmp).ceil() as u64;
+    }
+
+    /// Estimates, without advancing the clock, the virtual time at which the
+    /// clock would sit after `extra_ticks` more work. Used by the optimizer's
+    /// cost model when scoring candidate regions (Equation 8's `t_curr + t_c`).
+    #[inline]
+    pub fn projected(&self, extra_ticks: u64) -> VirtualSeconds {
+        self.model.to_seconds(self.ticks + extra_ticks)
+    }
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::new(CostModel::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero() {
+        let c = SimClock::default();
+        assert_eq!(c.ticks(), 0);
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    fn charges_accumulate_per_model() {
+        let model = CostModel {
+            join_probe: 2,
+            map_eval: 1,
+            dom_cmp: 3,
+            emit: 5,
+            region_overhead: 7,
+            sort_cmp: 0.5,
+            ticks_per_second: 10.0,
+        };
+        let mut c = SimClock::new(model);
+        c.charge_join_probes(4); // 8
+        c.charge_map_evals(2); // 2
+        c.charge_dom_cmps(1); // 3
+        c.charge_emits(1); // 5
+        c.charge_region_overhead(); // 7
+        assert_eq!(c.ticks(), 25);
+        assert!((c.now() - 2.5).abs() < 1e-12);
+        c.charge_sort_cmps(5); // ceil(2.5) = 3
+        assert_eq!(c.ticks(), 28);
+    }
+
+    #[test]
+    fn projection_does_not_advance() {
+        let mut c = SimClock::default();
+        c.advance(50_000);
+        let t = c.projected(50_000);
+        assert!((t - 1.0).abs() < 1e-12);
+        assert_eq!(c.ticks(), 50_000);
+    }
+
+    #[test]
+    fn default_model_rate() {
+        let m = CostModel::default();
+        assert!((m.to_seconds(100_000) - 1.0).abs() < 1e-12);
+    }
+}

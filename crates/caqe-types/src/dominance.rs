@@ -1,0 +1,206 @@
+//! Full-space and subspace dominance (Definitions 1 and 2 of the paper).
+//!
+//! A tuple `τ_i` *dominates* `τ_j` in subspace `V` iff `τ_i` is no worse in
+//! every dimension of `V` and strictly better in at least one. Smaller values
+//! are preferred throughout (§2.1).
+//!
+//! Dominance tests are the unit of CPU cost in the paper's evaluation
+//! (Figure 10.b counts pairwise skyline comparisons), so every caller is
+//! expected to funnel tests through an instrumented counter — either the
+//! [`crate::stats::Stats`] sink or a plain `&mut u64`.
+
+use crate::subspace::DimMask;
+use crate::Value;
+
+/// The outcome of relating two points under the preference order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomRelation {
+    /// The left point dominates the right one (`a ≺ b`).
+    Dominates,
+    /// The left point is dominated by the right one (`b ≺ a`).
+    DominatedBy,
+    /// Equal on every considered dimension.
+    Equal,
+    /// Neither dominates the other (each is strictly better somewhere).
+    Incomparable,
+}
+
+impl DomRelation {
+    /// Whether the relation means the left point dominates the right.
+    #[inline]
+    pub fn left_dominates(self) -> bool {
+        matches!(self, DomRelation::Dominates)
+    }
+
+    /// Flips the relation to the right point's perspective.
+    #[inline]
+    pub fn flip(self) -> DomRelation {
+        match self {
+            DomRelation::Dominates => DomRelation::DominatedBy,
+            DomRelation::DominatedBy => DomRelation::Dominates,
+            other => other,
+        }
+    }
+}
+
+/// Relates `a` and `b` over *all* dimensions of the slices (Definition 1).
+///
+/// # Panics
+/// Panics in debug builds if the slices have different lengths.
+#[inline]
+pub fn relate(a: &[Value], b: &[Value]) -> DomRelation {
+    debug_assert_eq!(a.len(), b.len());
+    let mut a_better = false;
+    let mut b_better = false;
+    for (x, y) in a.iter().zip(b.iter()) {
+        if x < y {
+            a_better = true;
+        } else if y < x {
+            b_better = true;
+        }
+        if a_better && b_better {
+            return DomRelation::Incomparable;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => DomRelation::Dominates,
+        (false, true) => DomRelation::DominatedBy,
+        (false, false) => DomRelation::Equal,
+        (true, true) => unreachable!("early return above"),
+    }
+}
+
+/// Relates `a` and `b` over the dimensions of subspace `mask` (Definition 2).
+#[inline]
+pub fn relate_in(a: &[Value], b: &[Value], mask: DimMask) -> DomRelation {
+    let mut a_better = false;
+    let mut b_better = false;
+    for k in mask.iter() {
+        let (x, y) = (a[k], b[k]);
+        if x < y {
+            a_better = true;
+        } else if y < x {
+            b_better = true;
+        }
+        if a_better && b_better {
+            return DomRelation::Incomparable;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => DomRelation::Dominates,
+        (false, true) => DomRelation::DominatedBy,
+        (false, false) => DomRelation::Equal,
+        (true, true) => unreachable!("early return above"),
+    }
+}
+
+/// Full-space dominance test: `a ≺ b` (Definition 1).
+#[inline]
+pub fn dominates(a: &[Value], b: &[Value]) -> bool {
+    relate(a, b) == DomRelation::Dominates
+}
+
+/// Subspace dominance test: `a ≺_V b` (Definition 2).
+#[inline]
+pub fn dominates_in(a: &[Value], b: &[Value], mask: DimMask) -> bool {
+    relate_in(a, b, mask) == DomRelation::Dominates
+}
+
+/// Weak subspace dominance: `a ⪯_V b`, i.e. `a` no worse than `b` on every
+/// dimension of `V`. Used by the region-dominance predicates of Definition 8.
+#[inline]
+pub fn weakly_dominates_in(a: &[Value], b: &[Value], mask: DimMask) -> bool {
+    mask.iter().all(|k| a[k] <= b[k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Hotels from Example 3 of the paper: (price, rating, distance, wifi).
+    // Smaller-is-better on every dimension; ratings are therefore stored
+    // inverted in the example below (5 → 0, 2 → 3) to match the convention.
+    const H1: [Value; 4] = [200.0, 0.0, 0.5, 20.0];
+    const H2: [Value; 4] = [350.0, 0.0, 0.5, 20.0];
+    const H3: [Value; 4] = [89.0, 3.0, 3.0, 0.0];
+
+    #[test]
+    fn example3_full_space_dominance() {
+        // h1 dominates h2 (cheaper, otherwise equal).
+        assert!(dominates(&H1, &H2));
+        assert!(!dominates(&H2, &H1));
+        // h1 and h3 are incomparable.
+        assert_eq!(relate(&H1, &H3), DomRelation::Incomparable);
+        assert_eq!(relate(&H3, &H1), DomRelation::Incomparable);
+    }
+
+    #[test]
+    fn example4_subspace_dominance() {
+        // In subspace {price, wifi}, h3 dominates both h1 and h2.
+        let v = DimMask::from_dims([0, 3]);
+        assert!(dominates_in(&H3, &H1, v));
+        assert!(dominates_in(&H3, &H2, v));
+        assert!(!dominates_in(&H1, &H3, v));
+    }
+
+    #[test]
+    fn equal_points_do_not_dominate() {
+        let a = [1.0, 2.0];
+        assert_eq!(relate(&a, &a), DomRelation::Equal);
+        assert!(!dominates(&a, &a));
+    }
+
+    #[test]
+    fn relation_flip_is_involutive() {
+        for r in [
+            DomRelation::Dominates,
+            DomRelation::DominatedBy,
+            DomRelation::Equal,
+            DomRelation::Incomparable,
+        ] {
+            assert_eq!(r.flip().flip(), r);
+        }
+    }
+
+    #[test]
+    fn subspace_dominance_ignores_other_dims() {
+        // a is terrible on d2 but dominates on {d1}.
+        let a = [1.0, 99.0];
+        let b = [2.0, 1.0];
+        assert!(dominates_in(&a, &b, DimMask::singleton(0)));
+        assert!(!dominates_in(&a, &b, DimMask::full(2)));
+    }
+
+    #[test]
+    fn weak_dominance_allows_equality() {
+        let a = [1.0, 2.0];
+        let b = [1.0, 2.0];
+        assert!(weakly_dominates_in(&a, &b, DimMask::full(2)));
+        assert!(!dominates_in(&a, &b, DimMask::full(2)));
+    }
+
+    #[test]
+    fn dominance_is_a_strict_partial_order() {
+        // Irreflexive + asymmetric spot checks.
+        let pts: [[Value; 3]; 4] = [
+            [1.0, 2.0, 3.0],
+            [2.0, 1.0, 3.0],
+            [1.0, 1.0, 1.0],
+            [3.0, 3.0, 3.0],
+        ];
+        for p in &pts {
+            assert!(!dominates(p, p));
+        }
+        for a in &pts {
+            for b in &pts {
+                if dominates(a, b) {
+                    assert!(!dominates(b, a));
+                }
+            }
+        }
+        // Transitivity on this instance: [1,1,1] ≺ [1,2,3] ≺ [3,3,3] impl.
+        assert!(dominates(&pts[2], &pts[0]));
+        assert!(dominates(&pts[0], &pts[3]));
+        assert!(dominates(&pts[2], &pts[3]));
+    }
+}

@@ -1,0 +1,234 @@
+//! Strongly-typed identifiers.
+//!
+//! Queries, output regions and quad-tree cells are referenced pervasively by
+//! index; newtypes prevent the classic "wrong index into the wrong Vec" bug.
+
+use std::fmt;
+
+/// Identifier of a query within a workload (index into the workload's query
+/// vector).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u16);
+
+impl QueryId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0 + 1)
+    }
+}
+
+/// Identifier of an output region within a region collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegionId(pub u32);
+
+impl RegionId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// Identifier of a quad-tree leaf cell within one table's partitioning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// The identifier as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// A compact set of queries, mirroring the paper's *query lineage* bit
+/// vectors (`RQL` for regions, `CQL` for output cells, §5.2 and §6).
+///
+/// Supports workloads of up to 64 queries — well beyond the paper's
+/// `|S_Q| = 11`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct QuerySet(pub u64);
+
+impl QuerySet {
+    /// The empty set.
+    pub const EMPTY: QuerySet = QuerySet(0);
+
+    /// A set containing a single query.
+    pub fn singleton(q: QueryId) -> Self {
+        assert!(q.index() < 64, "QuerySet supports up to 64 queries");
+        QuerySet(1 << q.index())
+    }
+
+    /// A set containing all of the first `n` queries.
+    pub fn all(n: usize) -> Self {
+        assert!(n <= 64);
+        if n == 64 {
+            QuerySet(u64::MAX)
+        } else {
+            QuerySet((1u64 << n) - 1)
+        }
+    }
+
+    /// Inserts a query.
+    #[inline]
+    pub fn insert(&mut self, q: QueryId) {
+        assert!(q.index() < 64);
+        self.0 |= 1 << q.index();
+    }
+
+    /// Removes a query.
+    #[inline]
+    pub fn remove(&mut self, q: QueryId) {
+        self.0 &= !(1 << q.index());
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(self, q: QueryId) -> bool {
+        q.index() < 64 && (self.0 >> q.index()) & 1 == 1
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(self, other: QuerySet) -> QuerySet {
+        QuerySet(self.0 & other.0)
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(self, other: QuerySet) -> QuerySet {
+        QuerySet(self.0 | other.0)
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(self, other: QuerySet) -> bool {
+        self.0 & other.0 == self.0
+    }
+
+    /// Number of queries in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Iterates the member query ids in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = QueryId> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let k = bits.trailing_zeros() as u16;
+                bits &= bits - 1;
+                Some(QueryId(k))
+            }
+        })
+    }
+}
+
+impl FromIterator<QueryId> for QuerySet {
+    fn from_iter<I: IntoIterator<Item = QueryId>>(iter: I) -> Self {
+        let mut s = QuerySet::EMPTY;
+        for q in iter {
+            s.insert(q);
+        }
+        s
+    }
+}
+
+impl fmt::Display for QuerySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, q) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{q}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for QuerySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_set_basics() {
+        let mut s = QuerySet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(QueryId(0));
+        s.insert(QueryId(3));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(QueryId(0)));
+        assert!(s.contains(QueryId(3)));
+        assert!(!s.contains(QueryId(1)));
+        s.remove(QueryId(0));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn query_set_algebra() {
+        let a: QuerySet = [QueryId(0), QueryId(1)].into_iter().collect();
+        let b: QuerySet = [QueryId(1), QueryId(2)].into_iter().collect();
+        assert_eq!(a.intersect(b), QuerySet::singleton(QueryId(1)));
+        assert_eq!(a.union(b).len(), 3);
+        assert!(QuerySet::singleton(QueryId(1)).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+    }
+
+    #[test]
+    fn query_set_all() {
+        assert_eq!(QuerySet::all(11).len(), 11);
+        assert_eq!(QuerySet::all(64).len(), 64);
+        assert_eq!(QuerySet::all(0).len(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(QueryId(0).to_string(), "Q1");
+        assert_eq!(RegionId(7).to_string(), "R7");
+        assert_eq!(CellId(3).to_string(), "L3");
+        let s: QuerySet = [QueryId(0), QueryId(2)].into_iter().collect();
+        assert_eq!(s.to_string(), "{Q1,Q3}");
+    }
+
+    #[test]
+    fn iter_ascending() {
+        let s: QuerySet = [QueryId(5), QueryId(1), QueryId(9)].into_iter().collect();
+        let ids: Vec<_> = s.iter().map(|q| q.0).collect();
+        assert_eq!(ids, vec![1, 5, 9]);
+    }
+}

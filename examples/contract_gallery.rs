@@ -1,0 +1,79 @@
+//! A gallery of progressiveness contracts (Figures 2–3 and Table 2 of the
+//! paper), rendered as ASCII curves of utility over emission time.
+//!
+//! ```text
+//! cargo run --example contract_gallery
+//! ```
+
+use caqe::contract::{Contract, EmissionCtx};
+
+/// Renders a utility curve over the given time grid as a bar per sample.
+fn plot(name: &str, contract: &Contract, t_max: f64) {
+    println!("{name}");
+    let steps = 24;
+    for i in 0..steps {
+        let ts = t_max * (i as f64 + 0.5) / steps as f64;
+        // A steady reporter: one result per (t_max/steps) tick of the grid.
+        let u = contract.utility(&EmissionCtx::new(ts, i as u64 + 1, steps as f64));
+        let width = (u.max(0.0) * 40.0).round() as usize;
+        println!("  t={ts:>6.1}s |{:<40}| {u:.2}", "█".repeat(width));
+    }
+    println!();
+}
+
+fn main() {
+    // Figure 2.a — hard 30-minute deadline (Example 7).
+    plot(
+        "C1 — hard deadline at t=30 (Figure 2.a / Equation 1)",
+        &Contract::Deadline { t_hard: 30.0 },
+        60.0,
+    );
+
+    // Figure 2.b — piecewise decay (Example 8).
+    plot(
+        "piecewise — 1 until t=5, 0.8 until t=30, then worthless (Figure 2.b)",
+        &Contract::Piecewise {
+            steps: vec![(5.0, 1.0), (30.0, 0.8)],
+            tail: 0.0,
+        },
+        60.0,
+    );
+
+    // Table 2 C2 — logarithmic decay.
+    plot("C2 — logarithmic decay 1/log10(ts)", &Contract::LogDecay, 1000.0);
+
+    // Table 2 C3 — soft deadline with hyperbolic decay.
+    plot(
+        "C3 — soft deadline at t=10, then 1/(ts − 10)",
+        &Contract::SoftDeadline { t_soft: 10.0 },
+        40.0,
+    );
+
+    // Figure 3.a — cardinality quota (Example 9): 10% of results per
+    // interval. The steady reporter above meets it exactly, so to show the
+    // penalty we simulate a *late* reporter.
+    println!("C4 — 10% of results due per 10s interval, late reporter (Figure 3.a)");
+    let c4 = Contract::Quota {
+        frac: 0.1,
+        interval: 10.0,
+    };
+    for (seq, ts) in [(1u64, 5.0), (2, 25.0), (3, 50.0), (4, 100.0), (5, 400.0)] {
+        let u = c4.utility(&EmissionCtx::new(ts, seq, 10.0));
+        println!("  result #{seq} at t={ts:>5.0}s → utility {u:.2}");
+    }
+    println!();
+
+    // Example 11 — hybrid contract as a product of two specifications.
+    println!("hybrid — quota × deadline (Example 11 / Equation 5)");
+    let hybrid = Contract::Product(
+        Box::new(Contract::Quota {
+            frac: 0.1,
+            interval: 60.0,
+        }),
+        Box::new(Contract::Deadline { t_hard: 1800.0 }),
+    );
+    for ts in [30.0, 600.0, 1799.0, 1801.0] {
+        let u = hybrid.utility(&EmissionCtx::new(ts, 1, 100.0));
+        println!("  result #1 at t={ts:>6.0}s → utility {u:.2}");
+    }
+}

@@ -1,0 +1,80 @@
+//! A tour of the shared min-max-cuboid plan (Figures 5–6 of the paper),
+//! built for the running workload of Figure 1.
+//!
+//! ```text
+//! cargo run --example cuboid_tour
+//! ```
+
+use caqe::cuboid::{q_serve, skycube_subspaces, MinMaxCuboid, SharedSkylinePlan};
+use caqe::types::{DimMask, QueryId, SimClock, Stats};
+
+fn main() {
+    // Figure 1: four queries over skyline dimensions d1..d4.
+    let prefs = vec![
+        DimMask::from_dims([0, 1]),    // Q1: {d1, d2}
+        DimMask::from_dims([0, 1, 2]), // Q2: {d1, d2, d3}
+        DimMask::from_dims([1, 2]),    // Q3: {d2, d3}
+        DimMask::from_dims([1, 2, 3]), // Q4: {d2, d3, d4}
+    ];
+
+    println!("Workload (Figure 1):");
+    for (i, p) in prefs.iter().enumerate() {
+        println!("  Q{}: skyline over {p}", i + 1);
+    }
+
+    // Figure 5: the full skycube would maintain 2^4 − 1 = 15 subspaces.
+    let skycube = skycube_subspaces(&prefs);
+    println!("\nFull skycube (Figure 5): {} subspaces", skycube.len());
+
+    // Figure 6: the min-max cuboid keeps only the useful ones.
+    let cuboid = MinMaxCuboid::build(&prefs);
+    println!(
+        "Min-max cuboid (Figure 6): {} subspaces ({} pruned)\n",
+        cuboid.len(),
+        skycube.len() - cuboid.len()
+    );
+    for (level, subs) in cuboid.levels().iter().enumerate() {
+        let rendered: Vec<String> = subs
+            .iter()
+            .map(|&u| {
+                let serves = q_serve(u, &prefs);
+                format!("{u}→{serves}")
+            })
+            .collect();
+        println!("  level {level}: {}", rendered.join("   "));
+    }
+
+    // Insert the hotel-style tuples of the paper's Example 16 region corners
+    // and watch which query skylines they land in.
+    println!("\nShared skyline plan in action:");
+    let mut plan = SharedSkylinePlan::new(cuboid, true);
+    let mut clock = SimClock::default();
+    let mut stats = Stats::new();
+    let tuples: [(&str, [f64; 4]); 3] = [
+        ("a", [6.0, 8.5, 8.0, 4.0]),
+        ("b", [8.0, 6.0, 6.5, 5.0]),
+        ("c", [7.0, 5.0, 4.0, 1.0]),
+    ];
+    for (tag, (name, vals)) in tuples.iter().enumerate() {
+        let ins = plan.insert(tag as u64, vals, &mut clock, &mut stats);
+        let in_queries: Vec<String> = ins
+            .in_query_sky
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b)
+            .map(|(q, _)| format!("Q{}", q + 1))
+            .collect();
+        println!("  insert {name} {vals:?} → in skylines of {}", in_queries.join(","));
+        for (q, evicted) in &ins.query_evictions {
+            println!("      evicted tags {evicted:?} from {q}");
+        }
+    }
+    println!(
+        "\nComparisons spent: {} (shared across all four queries)",
+        stats.dom_comparisons
+    );
+    for q in 0..4 {
+        let qid = QueryId(q as u16);
+        println!("  final skyline of Q{}: tags {:?}", q + 1, plan.query_skyline_tags(qid));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the contract machinery and the benefit model's
+//! numeric invariants.
+
+use caqe::contract::{update_weights, Contract, EmissionCtx, QueryScore};
+use caqe::regions::buchta_estimate;
+use proptest::prelude::*;
+
+fn any_table2_contract() -> impl Strategy<Value = Contract> {
+    (1usize..=5, 0.5f64..100.0, 0.1f64..20.0)
+        .prop_map(|(id, t, interval)| Contract::table2(id, t, interval))
+}
+
+proptest! {
+    #[test]
+    fn table2_utilities_stay_in_unit_interval(
+        c in any_table2_contract(),
+        ts in 0.0f64..1e6,
+        seq in 1u64..10_000,
+        total in 1.0f64..1e6,
+    ) {
+        let u = c.utility(&EmissionCtx::new(ts, seq, total));
+        prop_assert!((0.0..=1.0).contains(&u), "utility {u} out of range");
+        prop_assert!(u.is_finite());
+    }
+
+    #[test]
+    fn time_contracts_are_monotone_nonincreasing(
+        t_param in 0.5f64..100.0,
+        ts1 in 0.0f64..1e4,
+        dt in 0.0f64..1e4,
+    ) {
+        // C1–C3 must never reward lateness.
+        for c in [
+            Contract::Deadline { t_hard: t_param },
+            Contract::LogDecay,
+            Contract::SoftDeadline { t_soft: t_param },
+        ] {
+            let early = c.utility(&EmissionCtx::new(ts1, 1, 100.0));
+            let late = c.utility(&EmissionCtx::new(ts1 + dt, 1, 100.0));
+            prop_assert!(late <= early + 1e-12, "{c:?} rewarded lateness");
+        }
+    }
+
+    #[test]
+    fn quota_rewards_earlier_sequence_positions(
+        interval in 0.1f64..10.0,
+        total in 10.0f64..1e4,
+        ts in 0.1f64..1e4,
+        seq in 1u64..1000,
+    ) {
+        // At a fixed emission time, being a later result (higher seq) never
+        // hurts: its deadline is later or equal.
+        let c = Contract::Quota { frac: 0.1, interval };
+        let a = c.utility(&EmissionCtx::new(ts, seq, total));
+        let b = c.utility(&EmissionCtx::new(ts, seq + 1, total));
+        prop_assert!(b >= a - 1e-12);
+    }
+
+    #[test]
+    fn product_contract_bounded_by_factors(
+        a in any_table2_contract(),
+        b in any_table2_contract(),
+        ts in 0.0f64..1e4,
+        seq in 1u64..1000,
+    ) {
+        let ctx = EmissionCtx::new(ts, seq, 500.0);
+        let (ua, ub) = (a.utility(&ctx), b.utility(&ctx));
+        let up = Contract::Product(Box::new(a), Box::new(b)).utility(&ctx);
+        prop_assert!(up <= ua.min(ub) + 1e-12, "product exceeded a factor");
+        prop_assert!(up >= 0.0);
+    }
+
+    #[test]
+    fn p_score_equals_sum_of_recorded_utilities(
+        c in any_table2_contract(),
+        times in proptest::collection::vec(0.0f64..1e4, 0..50),
+    ) {
+        let mut sorted = times.clone();
+        sorted.sort_by(f64::total_cmp);
+        let mut tracker = QueryScore::new(c, 100.0);
+        let mut sum = 0.0;
+        for ts in &sorted {
+            sum += tracker.record(*ts);
+        }
+        prop_assert!((tracker.p_score() - sum).abs() < 1e-9);
+        prop_assert_eq!(tracker.count(), sorted.len() as u64);
+        if sorted.is_empty() {
+            prop_assert_eq!(tracker.final_satisfaction(), 1.0);
+        } else {
+            let mean = sum / sorted.len() as f64;
+            prop_assert!((tracker.final_satisfaction() - mean.clamp(0.0, 1.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn weight_update_preserves_total_plus_one(
+        sats in proptest::collection::vec(0.0f64..1.0, 2..12),
+    ) {
+        // Equation 11 distributes exactly one unit of boost (unless all
+        // satisfactions are equal, in which case nothing changes).
+        let mut w = vec![1.0; sats.len()];
+        let before: f64 = w.iter().sum();
+        update_weights(&mut w, &sats);
+        let after: f64 = w.iter().sum();
+        let vmax = sats.iter().copied().fold(f64::MIN, f64::max);
+        let spread: f64 = sats.iter().map(|v| vmax - v).sum();
+        if spread <= f64::EPSILON {
+            prop_assert!((after - before).abs() < 1e-9);
+        } else {
+            prop_assert!((after - before - 1.0).abs() < 1e-9);
+        }
+        // Weights never decrease.
+        prop_assert!(w.iter().all(|&x| x >= 1.0 - 1e-12));
+    }
+
+    #[test]
+    fn buchta_is_monotone_in_m_and_bounded(
+        m1 in 1.0f64..1e7,
+        factor in 1.0f64..100.0,
+        d in 1usize..6,
+    ) {
+        let a = buchta_estimate(m1, d);
+        let b = buchta_estimate(m1 * factor, d);
+        prop_assert!(b >= a - 1e-9, "Buchta not monotone in m");
+        prop_assert!(a >= 0.0 && a <= m1.max(1.0));
+        prop_assert!(a.is_finite());
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests of the core skyline machinery: every algorithm and
+//! shared structure must agree with the definitional oracle on arbitrary
+//! inputs.
+
+use caqe::cuboid::{MinMaxCuboid, SharedSkylinePlan};
+use caqe::operators::{
+    skyline_bnl, skyline_reference, skyline_sfs, IncrementalSkyline, InsertOutcome,
+};
+use caqe::types::{dominates_in, DimMask, QueryId, SimClock, Stats};
+use proptest::prelude::*;
+
+/// Up to 60 points in up to 4 dimensions, values on a small lattice so that
+/// ties and duplicates are exercised.
+fn points_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (1usize..=4).prop_flat_map(|d| {
+        proptest::collection::vec(
+            proptest::collection::vec((0u8..12).prop_map(|v| v as f64), d..=d),
+            0..60,
+        )
+    })
+}
+
+/// A random non-empty subspace of `d` dimensions.
+fn mask_for(d: usize, bits: u32) -> DimMask {
+    let m = bits % ((1 << d) as u32);
+    if m == 0 {
+        DimMask::full(d)
+    } else {
+        DimMask(m)
+    }
+}
+
+proptest! {
+    #[test]
+    fn bnl_and_sfs_match_reference(points in points_strategy(), bits in 0u32..16) {
+        let d = points.first().map_or(1, |p| p.len());
+        let mask = mask_for(d, bits);
+        let reference = skyline_reference(&points, mask);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let bnl = skyline_bnl(&points, mask, &mut clock, &mut stats);
+        let sfs = skyline_sfs(&points, mask, &mut clock, &mut stats);
+        prop_assert_eq!(&bnl, &reference);
+        prop_assert_eq!(&sfs, &reference);
+    }
+
+    #[test]
+    fn skyline_is_minimal_and_complete(points in points_strategy(), bits in 0u32..16) {
+        let d = points.first().map_or(1, |p| p.len());
+        let mask = mask_for(d, bits);
+        let sky = skyline_reference(&points, mask);
+        // No member is dominated by any point.
+        for &i in &sky {
+            for q in &points {
+                prop_assert!(!dominates_in(q, &points[i], mask));
+            }
+        }
+        // Every non-member is dominated by some member.
+        let member: std::collections::BTreeSet<usize> = sky.iter().copied().collect();
+        for (i, p) in points.iter().enumerate() {
+            if !member.contains(&i) {
+                prop_assert!(
+                    sky.iter().any(|&s| dominates_in(&points[s], p, mask)),
+                    "non-member {i} not dominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_skyline_matches_reference(points in points_strategy(), bits in 0u32..16) {
+        let d = points.first().map_or(1, |p| p.len());
+        let mask = mask_for(d, bits);
+        let mut sky = IncrementalSkyline::new(mask);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        for (i, p) in points.iter().enumerate() {
+            let _ = sky.insert(i as u64, p, &mut clock, &mut stats);
+        }
+        let mut got: Vec<u64> = sky.tags().collect();
+        got.sort_unstable();
+        // The incremental structure keeps one representative per duplicate
+        // *value*; the reference keeps all. Compare value sets instead.
+        let reference = skyline_reference(&points, mask);
+        let mut want: Vec<u64> = reference.iter().map(|&i| i as u64).collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn incremental_evictions_are_sound(points in points_strategy()) {
+        // Whatever got evicted must be dominated by the point that evicted
+        // it; whatever is Dominated on insert must have a dominator inside.
+        let d = points.first().map_or(1, |p| p.len());
+        let mask = DimMask::full(d);
+        let mut sky = IncrementalSkyline::new(mask);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        for (i, p) in points.iter().enumerate() {
+            match sky.insert(i as u64, p, &mut clock, &mut stats) {
+                InsertOutcome::Added { removed } => {
+                    for tag in removed {
+                        prop_assert!(dominates_in(p, &points[tag as usize], mask));
+                    }
+                }
+                InsertOutcome::Dominated => {
+                    prop_assert!(sky
+                        .entries()
+                        .iter()
+                        .any(|(_, q)| dominates_in(q, p, mask)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_plan_matches_reference_per_query(
+        points in points_strategy(),
+        pref_bits in proptest::collection::vec(1u32..16, 1..5),
+    ) {
+        let d = points.first().map_or(2, |p| p.len()).max(2);
+        // Regenerate points at fixed arity d for the workload.
+        let points: Vec<Vec<f64>> = points
+            .into_iter()
+            .map(|mut p| {
+                p.resize(d, 1.0);
+                p
+            })
+            .collect();
+        let prefs: Vec<DimMask> = pref_bits
+            .iter()
+            .map(|&b| mask_for(d, b))
+            .collect();
+        // Ties are possible on the lattice: DVA shortcuts must stay off.
+        let cuboid = MinMaxCuboid::build(&prefs);
+        let mut plan = SharedSkylinePlan::new(cuboid, false);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        for (i, p) in points.iter().enumerate() {
+            plan.insert(i as u64, p, &mut clock, &mut stats);
+        }
+        for (qi, &pref) in prefs.iter().enumerate() {
+            let mut got = plan.query_skyline_tags(QueryId(qi as u16));
+            got.sort_unstable();
+            let mut want: Vec<u64> = skyline_reference(&points, pref)
+                .into_iter()
+                .map(|i| i as u64)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "query {} over {}", qi, pref);
+        }
+    }
+
+    #[test]
+    fn theorem1_subspace_monotonicity(points in points_strategy(), bits in 1u32..15) {
+        // Under distinct values, SKY_U ⊆ SKY_V for U ⊂ V. Our lattice
+        // points have ties, so restrict to deduplicated dimension values.
+        let d = points.first().map_or(2, |p| p.len()).max(2);
+        // Perturb to break ties deterministically.
+        let points: Vec<Vec<f64>> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                (0..d)
+                    .map(|k| p.get(k).copied().unwrap_or(0.0) + (i as f64) * 1e-7)
+                    .collect()
+            })
+            .collect();
+        let v = DimMask::full(d);
+        let u = mask_for(d, bits);
+        prop_assume!(u.is_strict_subset_of(v));
+        let sky_u: std::collections::BTreeSet<usize> =
+            skyline_reference(&points, u).into_iter().collect();
+        let sky_v: std::collections::BTreeSet<usize> =
+            skyline_reference(&points, v).into_iter().collect();
+        prop_assert!(sky_u.is_subset(&sky_v), "Theorem 1 violated");
+    }
+}
