@@ -44,22 +44,17 @@ fn bench_shared_insert(c: &mut Criterion) {
         .collect();
     let mut group = c.benchmark_group("shared_plan_insert_2000");
     for dva in [true, false] {
-        group.bench_with_input(
-            BenchmarkId::new("theorem1", dva),
-            &dva,
-            |b, &dva| {
-                b.iter(|| {
-                    let mut plan =
-                        SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), dva);
-                    let mut clock = SimClock::default();
-                    let mut stats = Stats::new();
-                    for (i, p) in points.iter().enumerate() {
-                        black_box(plan.insert(i as u64, p, &mut clock, &mut stats));
-                    }
-                    stats.dom_comparisons
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("theorem1", dva), &dva, |b, &dva| {
+            b.iter(|| {
+                let mut plan = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), dva);
+                let mut clock = SimClock::default();
+                let mut stats = Stats::new();
+                for (i, p) in points.iter().enumerate() {
+                    black_box(plan.insert(i as u64, p, &mut clock, &mut stats));
+                }
+                stats.dom_comparisons
+            })
+        });
     }
     group.finish();
 }
@@ -103,5 +98,10 @@ fn bench_region_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cuboid_build, bench_shared_insert, bench_region_build);
+criterion_group!(
+    benches,
+    bench_cuboid_build,
+    bench_shared_insert,
+    bench_region_build
+);
 criterion_main!(benches);

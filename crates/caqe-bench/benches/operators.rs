@@ -24,28 +24,20 @@ fn bench_skylines(c: &mut Criterion) {
     for dist in Distribution::ALL {
         let pts = points(2000, 4, dist);
         let mask = DimMask::full(4);
-        group.bench_with_input(
-            BenchmarkId::new("bnl", dist.label()),
-            &pts,
-            |b, pts| {
-                b.iter(|| {
-                    let mut clock = SimClock::default();
-                    let mut stats = Stats::new();
-                    black_box(skyline_bnl(pts, mask, &mut clock, &mut stats))
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("sfs", dist.label()),
-            &pts,
-            |b, pts| {
-                b.iter(|| {
-                    let mut clock = SimClock::default();
-                    let mut stats = Stats::new();
-                    black_box(skyline_sfs(pts, mask, &mut clock, &mut stats))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("bnl", dist.label()), &pts, |b, pts| {
+            b.iter(|| {
+                let mut clock = SimClock::default();
+                let mut stats = Stats::new();
+                black_box(skyline_bnl(pts, mask, &mut clock, &mut stats))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sfs", dist.label()), &pts, |b, pts| {
+            b.iter(|| {
+                let mut clock = SimClock::default();
+                let mut stats = Stats::new();
+                black_box(skyline_sfs(pts, mask, &mut clock, &mut stats))
+            })
+        });
     }
     group.finish();
 }

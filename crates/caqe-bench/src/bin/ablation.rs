@@ -15,7 +15,7 @@
 //!     [--contract 3] [--n <rows>] [--json]
 //! ```
 
-use caqe_bench::report::{cli_arg, cli_flag, render_jsonl, render_table};
+use caqe_bench::report::{cli_arg, cli_flag, cli_threads, render_jsonl, render_table};
 use caqe_bench::{ComparisonRow, ExperimentConfig};
 use caqe_core::{run_engine, EngineConfig, SchedulingPolicy};
 use caqe_data::Distribution;
@@ -80,6 +80,7 @@ fn main() {
         .map(|c| c.parse().expect("--contract takes 1..=5"))
         .unwrap_or(3);
     let mut cfg = ExperimentConfig::new(dist, contract);
+    cfg.parallelism = cli_threads(&args);
     if let Some(n) = cli_arg(&args, "--n") {
         cfg.n = n.parse().expect("--n takes a number");
     } else if dist == Distribution::Anticorrelated {

@@ -6,7 +6,7 @@
 //! cargo run --release -p caqe-bench --bin fig10 -- [--n <rows>] [--json]
 //! ```
 
-use caqe_bench::report::{cli_arg, cli_flag, render_jsonl, render_table};
+use caqe_bench::report::{cli_arg, cli_flag, cli_threads, render_jsonl, render_table};
 use caqe_bench::{run_comparison, ComparisonRow, ExperimentConfig};
 use caqe_data::Distribution;
 
@@ -17,6 +17,7 @@ fn main() {
     let mut rows: Vec<ComparisonRow> = Vec::new();
     for dist in Distribution::ALL {
         let mut cfg = ExperimentConfig::new(dist, 2);
+        cfg.parallelism = cli_threads(&args);
         if let Some(n) = cli_arg(&args, "--n") {
             cfg.n = n.parse().expect("--n takes a number");
         } else if dist == Distribution::Anticorrelated {

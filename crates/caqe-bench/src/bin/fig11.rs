@@ -6,7 +6,7 @@
 //! cargo run --release -p caqe-bench --bin fig11 -- [--n <rows>] [--json]
 //! ```
 
-use caqe_bench::report::{cli_arg, cli_flag, render_jsonl, render_table};
+use caqe_bench::report::{cli_arg, cli_flag, cli_threads, render_jsonl, render_table};
 use caqe_bench::{run_comparison, ComparisonRow, ExperimentConfig};
 use caqe_data::Distribution;
 
@@ -23,6 +23,7 @@ fn main() {
         let mut reference: Option<f64> = None;
         for &size in &sizes {
             let mut cfg = ExperimentConfig::new(Distribution::Independent, contract);
+            cfg.parallelism = cli_threads(&args);
             cfg.workload_size = size;
             if let Some(n) = cli_arg(&args, "--n") {
                 cfg.n = n.parse().expect("--n takes a number");

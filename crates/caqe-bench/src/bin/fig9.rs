@@ -9,7 +9,7 @@
 //! Without `--dist`, all three panels (9.a correlated, 9.b independent,
 //! 9.c anti-correlated) are produced.
 
-use caqe_bench::report::{cli_arg, cli_flag, render_jsonl, render_table};
+use caqe_bench::report::{cli_arg, cli_flag, cli_threads, render_jsonl, render_table};
 use caqe_bench::{run_comparison, ComparisonRow, ExperimentConfig};
 use caqe_data::Distribution;
 
@@ -31,6 +31,7 @@ fn main() {
         let mut reference: Option<f64> = None;
         for contract in 1..=5 {
             let mut cfg = ExperimentConfig::new(dist, contract);
+            cfg.parallelism = cli_threads(&args);
             if let Some(n) = cli_arg(&args, "--n") {
                 cfg.n = n.parse().expect("--n takes a number");
             } else if dist == Distribution::Anticorrelated {
@@ -63,10 +64,7 @@ fn summarize(rows: &[ComparisonRow]) {
             .map(|r| (r.strategy.as_str(), r.avg_satisfaction))
             .collect();
         per.sort_by(|a, b| b.1.total_cmp(&a.1));
-        let ranked: Vec<String> = per
-            .iter()
-            .map(|(s, v)| format!("{s}={v:.3}"))
-            .collect();
+        let ranked: Vec<String> = per.iter().map(|(s, v)| format!("{s}={v:.3}")).collect();
         println!("  {contract}: {}", ranked.join("  "));
     }
     println!();

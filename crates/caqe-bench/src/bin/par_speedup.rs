@@ -1,0 +1,149 @@
+//! Wall-clock speedup of the deterministic parallel layer.
+//!
+//! Runs CAQE on a multi-join-group workload serially and with a pinned
+//! worker count, verifies the outcomes are bit-identical, and records the
+//! wall-clock ratio in `BENCH_PR1.json`.
+//!
+//! ```text
+//! cargo run --release -p caqe-bench --bin par_speedup -- [--n <rows>]
+//!     [--threads <k>] [--cells <per-table>] [--reps <r>] [--out <path>]
+//! ```
+
+use caqe_bench::json::ObjectWriter;
+use caqe_bench::report::cli_arg;
+use caqe_contract::Contract;
+use caqe_core::{CaqeStrategy, ExecConfig, ExecutionStrategy, QuerySpec, RunOutcome, Workload};
+use caqe_data::{Distribution, TableGenerator};
+use caqe_operators::{MappingFn, MappingSet};
+use caqe_types::DimMask;
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+/// Four distinct mapping sets (4 output dims each): combined with two join
+/// columns they split an eight-query workload into four join groups, the
+/// unit of parallelism in `build_groups`.
+fn mapping_variant(v: usize) -> MappingSet {
+    let fns = (0..4)
+        .map(|j| {
+            let mut wr = vec![0.0; 2];
+            let mut wt = vec![0.0; 2];
+            wr[j % 2] = 1.0 + 0.05 * v as f64;
+            wt[(j + v) % 2] = 1.0 + 0.1 * j as f64;
+            MappingFn::new(wr, wt, 0.0)
+        })
+        .collect();
+    MappingSet::new(fns)
+}
+
+fn workload() -> Workload {
+    let mut queries = Vec::new();
+    for v in 0..4 {
+        let mapping = mapping_variant(v);
+        for (pref, priority) in [
+            (DimMask::from_dims([0, 1]), 0.8),
+            (DimMask::from_dims([2, 3]), 0.4),
+        ] {
+            queries.push(QuerySpec {
+                join_col: v % 2,
+                mapping: mapping.clone(),
+                pref,
+                priority,
+                contract: Contract::LogDecay,
+            });
+        }
+    }
+    Workload::new(queries)
+}
+
+/// Best-of-`reps` wall seconds plus the (identical) outcome of the run.
+fn measure(
+    r: &caqe_data::Table,
+    t: &caqe_data::Table,
+    w: &Workload,
+    exec: &ExecConfig,
+    reps: usize,
+) -> (f64, RunOutcome) {
+    let mut best = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let o = CaqeStrategy.run(r, t, w, exec);
+        best = best.min(start.elapsed().as_secs_f64());
+        outcome = Some(o);
+    }
+    (best, outcome.expect("reps >= 1"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = cli_arg(&args, "--n").map_or(2500, |s| s.parse().expect("--n"));
+    let threads: usize = cli_arg(&args, "--threads").map_or(4, |s| s.parse().expect("--threads"));
+    let cells: usize = cli_arg(&args, "--cells").map_or(22, |s| s.parse().expect("--cells"));
+    let reps: usize = cli_arg(&args, "--reps").map_or(3, |s| s.parse().expect("--reps"));
+    let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR1.json".to_string());
+
+    let gen = TableGenerator::new(n, 2, Distribution::Independent)
+        .with_selectivities(&[0.02, 0.03])
+        .with_seed(0xBE11C);
+    let (r, t) = (gen.generate("R"), gen.generate("T"));
+    let w = workload();
+    let serial_exec = ExecConfig::default().with_target_cells(n, cells);
+    let par_exec = serial_exec.with_parallelism(Some(threads));
+
+    let (serial_secs, serial_out) = measure(&r, &t, &w, &serial_exec, reps);
+    let (par_secs, par_out) = measure(&r, &t, &w, &par_exec, reps);
+
+    // Parallelism must not change a single observable number.
+    assert_eq!(serial_out.stats, par_out.stats, "stats diverged");
+    assert_eq!(
+        serial_out.virtual_seconds.to_bits(),
+        par_out.virtual_seconds.to_bits(),
+        "virtual clock diverged"
+    );
+    for (a, b) in serial_out.per_query.iter().zip(&par_out.per_query) {
+        assert_eq!(a.results, b.results, "results diverged");
+        assert_eq!(a.emissions, b.emissions, "emissions diverged");
+    }
+
+    let groups = w
+        .queries()
+        .iter()
+        .map(|q| (q.join_col, format!("{:?}", q.mapping)))
+        .collect::<std::collections::BTreeSet<_>>()
+        .len();
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    let speedup = serial_secs / par_secs;
+    let mut obj = ObjectWriter::new();
+    obj.string("bench", "par_speedup")
+        .uint("n", n as u64)
+        .uint("cells_per_table", cells as u64)
+        .uint("join_groups", groups as u64)
+        .uint("queries", w.len() as u64)
+        .uint("threads", threads as u64)
+        .uint("host_cores", cores as u64)
+        .uint("reps", reps as u64)
+        .number("serial_wall_seconds", serial_secs)
+        .number("parallel_wall_seconds", par_secs)
+        .number("speedup", speedup)
+        .number("virtual_seconds", serial_out.virtual_seconds)
+        .uint("join_results", serial_out.stats.join_results)
+        .bool("bit_identical", true);
+    if cores < threads {
+        // On a host with fewer cores than workers the ratio measures pure
+        // threading overhead (~1.0 is ideal), not scaling; say so in the
+        // artifact instead of reporting a meaningless "speedup".
+        obj.string(
+            "note",
+            "host has fewer cores than worker threads; ratio measures \
+             overhead, not scaling",
+        );
+    }
+    let json = obj.finish();
+    std::fs::write(&out_path, format!("{json}\n")).expect("write bench json");
+    println!(
+        "{groups} join groups, n={n}, {cores} host cores: serial {serial_secs:.3}s, \
+         {threads} threads {par_secs:.3}s -> {speedup:.2}x ({out_path})"
+    );
+}

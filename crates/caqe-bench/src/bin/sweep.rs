@@ -8,7 +8,7 @@
 //!     [--dist independent] [--contract 2] [--json]
 //! ```
 
-use caqe_bench::report::{cli_arg, cli_flag, render_jsonl, render_table};
+use caqe_bench::report::{cli_arg, cli_flag, cli_threads, render_jsonl, render_table};
 use caqe_bench::{run_comparison, ComparisonRow, ExperimentConfig};
 use caqe_data::Distribution;
 
@@ -28,6 +28,7 @@ fn main() {
         "n" => {
             for n in [500usize, 1000, 2000, 4000] {
                 let mut cfg = ExperimentConfig::new(dist, contract);
+                cfg.parallelism = cli_threads(&args);
                 cfg.n = n;
                 cfg.reference_secs = Some(cfg.reference_seconds());
                 rows.extend(run_comparison(&cfg));
@@ -36,6 +37,7 @@ fn main() {
         "sigma" => {
             for sigma in [0.001f64, 0.01, 0.05, 0.1] {
                 let mut cfg = ExperimentConfig::new(dist, contract);
+                cfg.parallelism = cli_threads(&args);
                 cfg.n = 1500;
                 cfg.sigma = sigma;
                 cfg.reference_secs = Some(cfg.reference_seconds());

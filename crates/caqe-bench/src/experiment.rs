@@ -4,7 +4,6 @@ use crate::workloads::{paper_workload, ContractParams, PriorityPolicy};
 use caqe_baselines::all_strategies;
 use caqe_core::{ExecConfig, ExecutionStrategy, RunOutcome, Workload};
 use caqe_data::{Distribution, Table, TableGenerator};
-use serde::Serialize;
 
 /// Everything one experimental cell needs.
 #[derive(Debug, Clone)]
@@ -31,6 +30,10 @@ pub struct ExperimentConfig {
     /// non-shared blocking baseline). Computed on demand when `None`; set
     /// it once per (distribution, N) to share across contract cells.
     pub reference_secs: Option<f64>,
+    /// Host worker threads (`ExecConfig::parallelism`): `None` = serial,
+    /// `Some(0)` = all cores, `Some(n)` = exactly `n`. Never changes any
+    /// reported number except wall-clock seconds.
+    pub parallelism: Option<usize>,
 }
 
 impl ExperimentConfig {
@@ -48,6 +51,7 @@ impl ExperimentConfig {
             cells_per_table: 12,
             seed: 0xEDB7,
             reference_secs: None,
+            parallelism: None,
         }
     }
 
@@ -61,7 +65,9 @@ impl ExperimentConfig {
 
     /// The execution environment shared by all compared systems.
     pub fn exec(&self) -> ExecConfig {
-        ExecConfig::default().with_target_cells(self.n, self.cells_per_table)
+        ExecConfig::default()
+            .with_target_cells(self.n, self.cells_per_table)
+            .with_parallelism(self.parallelism)
     }
 
     /// Builds the workload, calibrating contract deadlines against the
@@ -104,7 +110,7 @@ impl ExperimentConfig {
 }
 
 /// One row of a comparison: the numbers the paper plots.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ComparisonRow {
     /// Strategy name.
     pub strategy: String,
@@ -150,6 +156,25 @@ impl ComparisonRow {
             results: outcome.total_results(),
         }
     }
+
+    /// Serializes the row as one JSON object (same field names as the
+    /// struct, in declaration order).
+    pub fn to_json(&self) -> String {
+        let mut w = crate::json::ObjectWriter::new();
+        w.string("strategy", &self.strategy)
+            .string("distribution", &self.distribution)
+            .string("contract", &self.contract)
+            .uint("workload_size", self.workload_size as u64)
+            .number("avg_satisfaction", self.avg_satisfaction)
+            .number("total_p_score", self.total_p_score)
+            .uint("join_results", self.join_results)
+            .uint("dom_comparisons", self.dom_comparisons)
+            .uint("region_comparisons", self.region_comparisons)
+            .number("virtual_seconds", self.virtual_seconds)
+            .number("wall_seconds", self.wall_seconds)
+            .uint("results", self.results as u64);
+        w.finish()
+    }
 }
 
 /// Runs all five systems on one experimental cell.
@@ -182,8 +207,7 @@ mod tests {
         }
         // All systems agree on result counts per construction of the tests
         // elsewhere; here just check they all emitted the same total.
-        let counts: std::collections::BTreeSet<usize> =
-            rows.iter().map(|r| r.results).collect();
+        let counts: std::collections::BTreeSet<usize> = rows.iter().map(|r| r.results).collect();
         assert_eq!(counts.len(), 1);
     }
 

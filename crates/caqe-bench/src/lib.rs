@@ -12,6 +12,7 @@
 //! DESIGN.md §5 for the per-experiment index.
 
 pub mod experiment;
+pub mod json;
 pub mod report;
 pub mod workloads;
 

@@ -40,7 +40,7 @@ pub fn render_table(title: &str, rows: &[ComparisonRow]) -> String {
 /// Serializes rows as JSON lines (one object per row) for machine use.
 pub fn render_jsonl(rows: &[ComparisonRow]) -> String {
     rows.iter()
-        .map(|r| serde_json::to_string(r).expect("row serialization"))
+        .map(|r| r.to_json())
         .collect::<Vec<_>>()
         .join("\n")
 }
@@ -55,6 +55,12 @@ pub fn cli_arg(args: &[String], key: &str) -> Option<String> {
 /// Whether a bare flag is present.
 pub fn cli_flag(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == key)
+}
+
+/// Parses the shared `--threads <n>` knob (`0` = all cores; absent =
+/// serial).
+pub fn cli_threads(args: &[String]) -> Option<usize> {
+    cli_arg(args, "--threads").map(|s| s.parse().expect("--threads takes a number"))
 }
 
 #[cfg(test)]
@@ -91,7 +97,7 @@ mod tests {
     fn jsonl_round_trips() {
         let s = render_jsonl(&[row(), row()]);
         assert_eq!(s.lines().count(), 2);
-        let v: serde_json::Value = serde_json::from_str(s.lines().next().unwrap()).unwrap();
+        let v = crate::json::parse(s.lines().next().unwrap()).unwrap();
         assert_eq!(v["strategy"], "CAQE");
         assert_eq!(v["join_results"], 1000);
     }

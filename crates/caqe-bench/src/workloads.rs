@@ -105,9 +105,9 @@ pub fn paper_workload(
     let out_dims = 5;
     let mapping = MappingSet::mixed(input_dims, input_dims, out_dims);
     let chosen = &PREF_MENU[..size];
-    let (min_d, max_d) = chosen
-        .iter()
-        .fold((usize::MAX, 0), |(lo, hi), p| (lo.min(p.len()), hi.max(p.len())));
+    let (min_d, max_d) = chosen.iter().fold((usize::MAX, 0), |(lo, hi), p| {
+        (lo.min(p.len()), hi.max(p.len()))
+    });
 
     let queries = chosen
         .iter()
@@ -189,7 +189,10 @@ mod tests {
     fn contracts_follow_table2() {
         for id in 1..=5 {
             let w = paper_workload(3, 2, id, params(), PriorityPolicy::for_contract(id));
-            assert_eq!(w.query(caqe_types::QueryId(0)).contract.label(), format!("C{id}"));
+            assert_eq!(
+                w.query(caqe_types::QueryId(0)).contract.label(),
+                format!("C{id}")
+            );
         }
     }
 

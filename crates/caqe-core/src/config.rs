@@ -91,6 +91,12 @@ pub struct ExecConfig {
     /// Whether the Distinct Value Attributes assumption may be exploited
     /// (Theorem 1 shortcuts). True for the standard generators.
     pub assume_dva: bool,
+    /// Host-side worker threads for the deterministic parallel layer:
+    /// `None` = serial (the default), `Some(0)` = all available cores,
+    /// `Some(n)` = exactly `n` workers. Parallelism only changes wall-clock
+    /// speed — the virtual clock, stats and results are bit-identical at
+    /// every setting.
+    pub parallelism: Option<usize>,
 }
 
 impl Default for ExecConfig {
@@ -99,6 +105,7 @@ impl Default for ExecConfig {
             cost_model: CostModel::default(),
             quadtree: QuadTreeConfig::default(),
             assume_dva: true,
+            parallelism: None,
         }
     }
 }
@@ -111,6 +118,12 @@ impl ExecConfig {
     /// largest-first budgeted splitting makes the bound size-independent.)
     pub fn with_target_cells(mut self, _n: usize, cells_per_table: usize) -> Self {
         self.quadtree = QuadTreeConfig::with_cell_budget(cells_per_table);
+        self
+    }
+
+    /// Sets the worker-thread knob (see [`ExecConfig::parallelism`]).
+    pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
+        self.parallelism = parallelism;
         self
     }
 }
@@ -140,5 +153,12 @@ mod tests {
         assert_eq!(c.quadtree.max_cells, 40);
         let tiny = ExecConfig::default().with_target_cells(10, 0);
         assert_eq!(tiny.quadtree.max_cells, 1);
+    }
+
+    #[test]
+    fn parallelism_defaults_serial() {
+        assert_eq!(ExecConfig::default().parallelism, None);
+        let c = ExecConfig::default().with_parallelism(Some(4));
+        assert_eq!(c.parallelism, Some(4));
     }
 }

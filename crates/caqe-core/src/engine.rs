@@ -20,12 +20,19 @@ use crate::outcome::{QueryOutcome, RunOutcome};
 use crate::workload::Workload;
 use caqe_contract::{update_weights, QueryScore};
 use caqe_data::Table;
+use caqe_parallel::Threads;
 use caqe_partition::Partitioning;
 use caqe_regions::{buchta_estimate, estimate_ticks, prog_est, region_csm};
 use caqe_types::ids::QuerySet;
 use caqe_types::{QueryId, RegionId, SimClock, Stats, Value};
 use std::collections::HashMap;
 use std::time::Instant;
+
+/// Minimum R-rows per chunk in the parallel probe phase: below this the
+/// per-worker thread-spawn cost outweighs the probe work, so small cells run
+/// on fewer workers (or entirely inline). Affects only the chunk split,
+/// never the result.
+const PAR_MIN_ROWS: usize = 256;
 
 /// A tuple waiting for its safety guarantee before progressive emission.
 #[derive(Debug, Clone)]
@@ -59,12 +66,19 @@ pub fn run_engine(
     start_ticks: u64,
 ) -> RunOutcome {
     let wall_start = Instant::now();
+    let threads = Threads::from_config(exec.parallelism);
     let mut clock = SimClock::new(exec.cost_model);
     clock.advance(start_ticks);
     let mut stats = Stats::new();
 
-    let part_r = Partitioning::build(r, exec.quadtree);
-    let part_t = Partitioning::build(t, exec.quadtree);
+    // The two partitionings are independent; the quad-tree build is not
+    // charged to the virtual clock, so running them concurrently is free of
+    // determinism concerns.
+    let (part_r, part_t) = caqe_parallel::join2(
+        threads,
+        || Partitioning::build(r, exec.quadtree),
+        || Partitioning::build(t, exec.quadtree),
+    );
 
     // Blind blocking pipelines never consult the dependency graph; everyone
     // else needs it for scheduling, discarding or emission safety.
@@ -78,6 +92,7 @@ pub fn run_engine(
         exec,
         engine.coarse_pruning,
         needs_dg,
+        threads,
         &mut clock,
         &mut stats,
     );
@@ -99,15 +114,24 @@ pub fn run_engine(
     }
     let mut weights = workload.initial_weights();
 
-    let mut pendings: Vec<PendingState> = (0..groups.len())
-        .map(|_| PendingState::default())
-        .collect();
+    let mut pendings: Vec<PendingState> =
+        (0..groups.len()).map(|_| PendingState::default()).collect();
     let mut emissions: Vec<Vec<(f64, f64)>> = vec![Vec::new(); nq];
     let mut results: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nq];
+    // FIFO scan cursors: first index per group that may still be alive.
+    // Liveness is monotone (processed/discarded regions never revive), so
+    // the skipped prefix never needs rescanning.
+    let mut fifo_cursors: Vec<usize> = vec![0; groups.len()];
 
-    while let Some((gi, rid)) =
-        select_region(&groups, engine.policy, &scores, &weights, &clock)
-    {
+    while let Some((gi, rid)) = select_region(
+        &groups,
+        &pendings,
+        engine.policy,
+        &scores,
+        &weights,
+        &clock,
+        &mut fifo_cursors,
+    ) {
         // --- Tuple-level processing of the chosen region (§6). ---
         clock.charge_region_overhead();
         stats.regions_processed += 1;
@@ -121,6 +145,7 @@ pub fn run_engine(
             rid,
             &mut pendings[gi],
             engine.progressive_emission,
+            threads,
             &mut clock,
             &mut stats,
         );
@@ -244,20 +269,55 @@ pub fn run_engine(
 /// one with the highest score.
 fn select_region(
     groups: &[JoinGroup],
+    pendings: &[PendingState],
     policy: SchedulingPolicy,
     scores: &[QueryScore],
     weights: &[f64],
     clock: &SimClock,
+    fifo_cursors: &mut [usize],
 ) -> Option<(usize, RegionId)> {
     if policy == SchedulingPolicy::Fifo {
+        // Amortized O(1): advance each group's cursor past the dead prefix
+        // once instead of rescanning every region on every pick.
         for (gi, g) in groups.iter().enumerate() {
-            if let Some(rid) = g.regions.regions().iter().find(|r| r.is_alive()).map(|r| r.id)
-            {
-                return Some((gi, rid));
+            let regions = g.regions.regions();
+            let mut cursor = fifo_cursors[gi];
+            while cursor < regions.len() && !regions[cursor].is_alive() {
+                cursor += 1;
+            }
+            fifo_cursors[gi] = cursor;
+            if cursor < regions.len() {
+                return Some((gi, regions[cursor].id));
             }
         }
         return None;
     }
+
+    // Per group: how many pending tuples cite each region as their emission
+    // blocker (witness), per query. Processing a heavily-cited blocker
+    // unblocks those tuples — or moves their witness one step down the
+    // blocker clique — so candidates are credited for it below.
+    let blocked: Vec<HashMap<u32, Vec<u32>>> = if policy == SchedulingPolicy::ContractDriven {
+        pendings
+            .iter()
+            .map(|pending| {
+                let mut per_region: HashMap<u32, Vec<u32>> = HashMap::new();
+                for p in pending.by_origin.values().flatten() {
+                    for (q, witness) in &p.entries {
+                        if let Some(w) = witness {
+                            let counts = per_region
+                                .entry(w.0)
+                                .or_insert_with(|| vec![0; scores.len()]);
+                            counts[q.index()] += 1;
+                        }
+                    }
+                }
+                per_region
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     let mut best: Option<(usize, RegionId, f64)> = None;
     let mut any_alive = false;
@@ -271,8 +331,12 @@ fn select_region(
                 if roots_only && !g.dg.is_root(reg.id) {
                     continue;
                 }
-                let score = candidate_score(g, reg.id, policy, scores, weights, clock);
-                if best.is_none_or(|(_, _, s)| score > s) {
+                let witnessed = blocked
+                    .get(gi)
+                    .and_then(|m| m.get(&reg.id.0))
+                    .map(Vec::as_slice);
+                let score = candidate_score(g, reg.id, policy, scores, weights, clock, witnessed);
+                if best.map_or(true, |(_, _, s)| score > s) {
                     best = Some((gi, reg.id, score));
                 }
             }
@@ -286,6 +350,9 @@ fn select_region(
 }
 
 /// Scores one candidate region under the active policy.
+///
+/// `witnessed` — for the contract-driven policy: per query, the number of
+/// pending tuples currently naming this region as their emission blocker.
 fn candidate_score(
     g: &JoinGroup,
     rid: RegionId,
@@ -293,6 +360,7 @@ fn candidate_score(
     scores: &[QueryScore],
     weights: &[f64],
     clock: &SimClock,
+    witnessed: Option<&[u32]>,
 ) -> f64 {
     let reg = g.regions.region(rid);
     // Dominance-potential tiebreaker: heavily overlapping regions can drive
@@ -313,11 +381,32 @@ fn candidate_score(
     match policy {
         SchedulingPolicy::ContractDriven => {
             // Equation 8 scores the expected utility of the region's
-            // progressive output at its projected completion time; we rank
-            // by benefit *per unit cost* so that, under utility functions
-            // that are flat early on (e.g. C2's log decay), small
-            // fast-emitting regions are preferred over monoliths.
+            // progressive output at its projected completion time. We rank
+            // by *raw* expected benefit rather than benefit per tick: under
+            // heavy subspace overlap the regions that matter most are the
+            // dense minimal-corner ones whose output dominates (and thereby
+            // discards or unblocks) the bulk of the landscape, and dividing
+            // by their — systematically underestimated — cost starves
+            // exactly those regions in favour of cheap peripheral ones.
             let ticks = estimate_ticks(reg, clock.model(), g.mapping.output_dims());
+            let t_done = clock.projected(ticks);
+            // Unblocking benefit: tuples already materialized and waiting on
+            // exactly this region earn their utility the moment it completes
+            // (or move their witness one blocker down the clique). Without
+            // this term the optimizer spreads effort across cliques and
+            // every emission arrives late.
+            let unblock: f64 = witnessed
+                .map(|counts| {
+                    counts
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &n)| n > 0)
+                        .map(|(qi, &n)| {
+                            weights[qi] * n as f64 * scores[qi].hypothetical_utility(t_done, 1)
+                        })
+                        .sum()
+                })
+                .unwrap_or(0.0);
             let csm = region_csm(
                 &g.regions,
                 &g.dg,
@@ -326,8 +415,8 @@ fn candidate_score(
                 weights,
                 clock,
                 g.mapping.output_dims(),
-            ) / ticks.max(1) as f64;
-            csm + 1e-3 * potential
+            );
+            csm + unblock + 1e-3 * potential
         }
         SchedulingPolicy::CountDriven => {
             // ProgXe+: estimated progressive output per tick, contract-blind.
@@ -343,9 +432,27 @@ fn candidate_score(
     }
 }
 
+/// One surviving join candidate from the parallel probe phase, waiting for
+/// its sequential shared-plan insertion.
+struct JoinCandidate {
+    r_row: usize,
+    t_row: usize,
+    vals: Vec<Value>,
+    lineage: QuerySet,
+}
+
 /// Joins the region's cell pair, projects, and inserts surviving tuples into
 /// the shared skyline plan. Returns, per member query (local order), the
 /// output-space points newly admitted to that query's skyline.
+///
+/// The hash-probe/projection phase is data-parallel over contiguous R-row
+/// chunks: workers only read shared state and accumulate private tick/stat
+/// deltas, which are merged in chunk order before the (inherently
+/// sequential) plan insertion runs over the candidates in original row
+/// order. The virtual clock is never *read* inside the region, so moving
+/// the probe charges ahead of the insert charges leaves every observable —
+/// final ticks, stats, plan state, emission timestamps — bit-identical to
+/// the serial interleaving.
 #[allow(clippy::too_many_arguments)]
 fn process_region_tuples(
     g: &mut JoinGroup,
@@ -356,6 +463,7 @@ fn process_region_tuples(
     rid: RegionId,
     pending: &mut PendingState,
     progressive: bool,
+    threads: Threads,
     clock: &mut SimClock,
     stats: &mut Stats,
 ) -> Vec<Vec<Vec<Value>>> {
@@ -380,38 +488,80 @@ fn process_region_tuples(
     }
 
     let out_dims = g.mapping.output_dims() as u64;
-    let r_rows: Vec<usize> = part_r.cell(r_cell).rows.clone();
-    for ri in r_rows {
-        clock.charge_join_probes(1);
-        stats.join_probes += 1;
-        let rrec = r.record(ri);
-        let Some(matches) = index.get(&rrec.key(g.join_col)) else {
-            continue;
-        };
-        for &ti in matches {
-            clock.charge_join_probes(1);
-            stats.join_probes += 1;
-            let trec = t.record(ti);
-            clock.charge_map_evals(out_dims);
-            stats.map_evals += out_dims;
-            stats.join_results += 1;
-            let vals = g.mapping.apply(&rrec.vals, &trec.vals);
+    let r_rows: &[usize] = &part_r.cell(r_cell).rows;
 
-            // Cell-level lineage: which queries can this tuple still serve?
-            let reg = g.regions.region(rid);
-            let lineage = match reg.locate(&vals) {
-                Some(c) => reg.cell_lineage(c).intersect(reg.serving),
-                None => reg.serving,
-            };
-            if lineage.is_empty() {
-                stats.tuples_discarded += 1;
-                continue;
+    // --- Phase 1: probe + project, parallel over R-row chunks. ---
+    let candidates = {
+        let reg = g.regions.region(rid);
+        let mapping = &g.mapping;
+        let join_col = g.join_col;
+        let model = *clock.model();
+        let ranges = caqe_parallel::chunk_ranges(threads, r_rows.len(), PAR_MIN_ROWS);
+        let per_chunk = caqe_parallel::map_indexed(threads, ranges.len(), |ci| {
+            let (start, end) = ranges[ci];
+            let mut wclock = SimClock::new(model);
+            let mut wstats = Stats::new();
+            let mut found: Vec<JoinCandidate> = Vec::new();
+            for &ri in &r_rows[start..end] {
+                wclock.charge_join_probes(1);
+                wstats.join_probes += 1;
+                let rrec = r.record(ri);
+                let Some(matches) = index.get(&rrec.key(join_col)) else {
+                    continue;
+                };
+                for &ti in matches {
+                    wclock.charge_join_probes(1);
+                    wstats.join_probes += 1;
+                    let trec = t.record(ti);
+                    wclock.charge_map_evals(out_dims);
+                    wstats.map_evals += out_dims;
+                    wstats.join_results += 1;
+                    let vals = mapping.apply(&rrec.vals, &trec.vals);
+
+                    // Cell-level lineage: which queries can this tuple
+                    // still serve?
+                    let lineage = match reg.locate(&vals) {
+                        Some(c) => reg.cell_lineage(c).intersect(serving),
+                        None => serving,
+                    };
+                    if lineage.is_empty() {
+                        wstats.tuples_discarded += 1;
+                        continue;
+                    }
+                    found.push(JoinCandidate {
+                        r_row: ri,
+                        t_row: ti,
+                        vals,
+                        lineage,
+                    });
+                }
             }
+            (found, wclock.ticks(), wstats)
+        });
+        // Merge chunk deltas in chunk order; concatenation restores the
+        // exact serial candidate order because chunks are contiguous.
+        let mut candidates: Vec<JoinCandidate> = Vec::new();
+        for (found, ticks, wstats) in per_chunk {
+            clock.advance(ticks);
+            *stats += wstats;
+            candidates.extend(found);
+        }
+        candidates
+    };
 
+    // --- Phase 2: sequential shared-plan insertion in candidate order. ---
+    for cand in candidates {
+        let JoinCandidate {
+            r_row,
+            t_row,
+            vals,
+            lineage,
+        } = cand;
+        {
             let tag = g.arena.len() as u64;
             g.arena.push(ArenaTuple {
-                rid: rrec.id,
-                tid: trec.id,
+                rid: r.record(r_row).id,
+                tid: t.record(t_row).id,
                 vals: vals.clone(),
                 origin: rid,
             });
@@ -469,23 +619,18 @@ fn discard_dominated(
     clock: &mut SimClock,
     stats: &mut Stats,
 ) {
-    let edges: Vec<(RegionId, QuerySet)> = g
-        .dg
-        .threats_out(rid)
-        .iter()
-        .map(|e| (e.peer, e.queries))
-        .collect();
+    let edges: Vec<(RegionId, QuerySet)> =
+        g.dg.threats_out(rid)
+            .iter()
+            .map(|e| (e.peer, e.queries))
+            .collect();
 
     for (peer, w) in edges {
         let mut shrunk = false;
         let mut died = false;
         {
-            let prefs: Vec<(usize, QueryId)> = g
-                .members
-                .iter()
-                .enumerate()
-                .map(|(l, &q)| (l, q))
-                .collect();
+            let prefs: Vec<(usize, QueryId)> =
+                g.members.iter().enumerate().map(|(l, &q)| (l, q)).collect();
             for (local, global) in prefs {
                 if !w.contains(global) {
                     continue;
@@ -538,12 +683,7 @@ fn discard_dominated(
         }
         if died {
             stats.regions_pruned += 1;
-            let out_peers: Vec<RegionId> = g
-                .dg
-                .threats_out(peer)
-                .iter()
-                .map(|e| e.peer)
-                .collect();
+            let out_peers: Vec<RegionId> = g.dg.threats_out(peer).iter().map(|e| e.peer).collect();
             g.dg.remove(peer);
             for p in out_peers {
                 g.prog_cache[p.index()] = None;

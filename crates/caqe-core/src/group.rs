@@ -11,6 +11,7 @@ use crate::config::ExecConfig;
 use crate::workload::Workload;
 use caqe_cuboid::{MinMaxCuboid, SharedSkylinePlan};
 use caqe_operators::MappingSet;
+use caqe_parallel::Threads;
 use caqe_partition::Partitioning;
 use caqe_regions::depgraph::Edge;
 use caqe_regions::{build_regions, DependencyGraph, RegionBuildInput, RegionSet};
@@ -70,6 +71,12 @@ impl JoinGroup {
 /// (CAQE / ProgXe+) or is skipped (S-JFSL). `build_dg` controls whether the
 /// dependency graph is materialized at all — blind blocking pipelines have
 /// no use for it and should not pay for it.
+///
+/// Groups share no state during construction, so with `threads` allowing it
+/// each group is built on a worker against a *private* clock and stats.
+/// Construction only ever charges ticks — it never reads the current time —
+/// so the per-worker tick deltas are merged back in fixed group order and
+/// the shared clock lands on exactly the serial value.
 #[allow(clippy::too_many_arguments)] // one engine toggle per argument
 pub fn build_groups(
     workload: &Workload,
@@ -78,6 +85,7 @@ pub fn build_groups(
     exec: &ExecConfig,
     coarse_pruning: bool,
     build_dg: bool,
+    threads: Threads,
     clock: &mut SimClock,
     stats: &mut Stats,
 ) -> Vec<JoinGroup> {
@@ -94,51 +102,91 @@ pub fn build_groups(
         }
     }
 
-    groups
-        .into_iter()
-        .map(|(join_col, mapping, members)| {
-            let queries: Vec<(QueryId, DimMask)> = members
-                .iter()
-                .map(|&q| (q, workload.query(q).pref))
-                .collect();
-            let input = RegionBuildInput {
-                part_r,
-                part_t,
-                join_col,
-                mapping: &mapping,
-                queries: &queries,
-                coarse_pruning,
-            };
-            let regions = build_regions(&input, clock, stats);
-            let dg = if build_dg {
-                DependencyGraph::build(&regions, clock, stats)
-            } else {
-                DependencyGraph::empty(regions.len())
-            };
-            let static_threats_in = (0..regions.len())
-                .map(|i| dg.threats_in(caqe_types::RegionId(i as u32)).to_vec())
-                .collect();
-            let static_threats_out = (0..regions.len())
-                .map(|i| dg.threats_out(caqe_types::RegionId(i as u32)).to_vec())
-                .collect();
-            let prefs: Vec<DimMask> = queries.iter().map(|(_, m)| *m).collect();
-            let plan =
-                SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), exec.assume_dva);
-            let prog_cache = vec![None; regions.len()];
-            JoinGroup {
-                join_col,
-                mapping,
-                members,
-                regions,
-                dg,
-                static_threats_in,
-                static_threats_out,
-                plan,
-                arena: Vec::new(),
-                prog_cache,
-            }
-        })
-        .collect()
+    let model = *clock.model();
+    let built = caqe_parallel::map_ordered(threads, groups, |_, (join_col, mapping, members)| {
+        let mut wclock = SimClock::new(model);
+        let mut wstats = Stats::new();
+        let group = build_one_group(
+            workload,
+            part_r,
+            part_t,
+            exec,
+            coarse_pruning,
+            build_dg,
+            join_col,
+            mapping,
+            members,
+            &mut wclock,
+            &mut wstats,
+        );
+        (group, wclock.ticks(), wstats)
+    });
+
+    // Merge worker deltas in fixed group order: tick charges are additive,
+    // so the final clock and stats are independent of worker scheduling.
+    let mut out = Vec::with_capacity(built.len());
+    for (group, ticks, wstats) in built {
+        clock.advance(ticks);
+        *stats += wstats;
+        out.push(group);
+    }
+    out
+}
+
+/// Builds one join group's shared state (regions, dependency graph, plan).
+#[allow(clippy::too_many_arguments)]
+fn build_one_group(
+    workload: &Workload,
+    part_r: &Partitioning,
+    part_t: &Partitioning,
+    exec: &ExecConfig,
+    coarse_pruning: bool,
+    build_dg: bool,
+    join_col: usize,
+    mapping: MappingSet,
+    members: Vec<QueryId>,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> JoinGroup {
+    let queries: Vec<(QueryId, DimMask)> = members
+        .iter()
+        .map(|&q| (q, workload.query(q).pref))
+        .collect();
+    let input = RegionBuildInput {
+        part_r,
+        part_t,
+        join_col,
+        mapping: &mapping,
+        queries: &queries,
+        coarse_pruning,
+    };
+    let regions = build_regions(&input, clock, stats);
+    let dg = if build_dg {
+        DependencyGraph::build(&regions, clock, stats)
+    } else {
+        DependencyGraph::empty(regions.len())
+    };
+    let static_threats_in = (0..regions.len())
+        .map(|i| dg.threats_in(caqe_types::RegionId(i as u32)).to_vec())
+        .collect();
+    let static_threats_out = (0..regions.len())
+        .map(|i| dg.threats_out(caqe_types::RegionId(i as u32)).to_vec())
+        .collect();
+    let prefs: Vec<DimMask> = queries.iter().map(|(_, m)| *m).collect();
+    let plan = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), exec.assume_dva);
+    let prog_cache = vec![None; regions.len()];
+    JoinGroup {
+        join_col,
+        mapping,
+        members,
+        regions,
+        dg,
+        static_threats_in,
+        static_threats_out,
+        plan,
+        arena: Vec::new(),
+        prog_cache,
+    }
 }
 
 #[cfg(test)]
@@ -166,8 +214,8 @@ mod tests {
             .query(spec(1, DimMask::from_dims([1, 2])))
             .query(spec(0, DimMask::from_dims([2, 3])))
             .build();
-        let gen = TableGenerator::new(200, 2, Distribution::Independent)
-            .with_selectivities(&[0.1, 0.1]);
+        let gen =
+            TableGenerator::new(200, 2, Distribution::Independent).with_selectivities(&[0.1, 0.1]);
         let r = gen.generate("R");
         let t = gen.generate("T");
         let cfg = QuadTreeConfig {
@@ -180,7 +228,17 @@ mod tests {
         let exec = ExecConfig::default();
         let mut clock = SimClock::default();
         let mut stats = Stats::new();
-        let groups = build_groups(&w, &pr, &pt, &exec, true, true, &mut clock, &mut stats);
+        let groups = build_groups(
+            &w,
+            &pr,
+            &pt,
+            &exec,
+            true,
+            true,
+            Threads::default(),
+            &mut clock,
+            &mut stats,
+        );
         assert_eq!(groups.len(), 2);
         let g0 = groups.iter().find(|g| g.join_col == 0).unwrap();
         assert_eq!(g0.members, vec![QueryId(0), QueryId(2)]);

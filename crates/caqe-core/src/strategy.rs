@@ -26,14 +26,6 @@ impl ExecutionStrategy for CaqeStrategy {
     }
 
     fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome {
-        run_engine(
-            self.name(),
-            r,
-            t,
-            workload,
-            exec,
-            &EngineConfig::caqe(),
-            0,
-        )
+        run_engine(self.name(), r, t, workload, exec, &EngineConfig::caqe(), 0)
     }
 }

@@ -85,9 +85,7 @@ impl Workload {
     /// Query ids sorted by descending priority — the processing order the
     /// paper's non-shared baselines use (§7.1).
     pub fn by_priority(&self) -> Vec<QueryId> {
-        let mut ids: Vec<QueryId> = (0..self.queries.len())
-            .map(|i| QueryId(i as u16))
-            .collect();
+        let mut ids: Vec<QueryId> = (0..self.queries.len()).map(|i| QueryId(i as u16)).collect();
         ids.sort_by(|a, b| {
             self.queries[b.index()]
                 .priority

@@ -11,7 +11,12 @@ use caqe_operators::{hash_join_project, skyline_reference, JoinSpec, MappingSet}
 use caqe_types::{DimMask, SimClock, Stats};
 use std::collections::BTreeSet;
 
-fn tables(n: usize, dist: Distribution, sigma: f64, seed: u64) -> (caqe_data::Table, caqe_data::Table) {
+fn tables(
+    n: usize,
+    dist: Distribution,
+    sigma: f64,
+    seed: u64,
+) -> (caqe_data::Table, caqe_data::Table) {
     let gen = TableGenerator::new(n, 2, dist)
         .with_selectivities(&[sigma])
         .with_seed(seed);
@@ -230,7 +235,6 @@ fn clock_offset_shifts_timestamps() {
     let b = shifted.per_query[0].emissions.first().unwrap().0;
     assert!((b - a - dt).abs() < 1e-6);
 }
-
 
 #[test]
 fn concat_mapping_with_ties_needs_dva_off() {

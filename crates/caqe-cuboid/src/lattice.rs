@@ -49,10 +49,10 @@ mod tests {
     /// The running workload of Figure 1: four queries over dims d1..d4.
     pub fn figure1_prefs() -> Vec<DimMask> {
         vec![
-            DimMask::from_dims([0, 1]),       // Q1: {d1, d2}
-            DimMask::from_dims([0, 1, 2]),    // Q2: {d1, d2, d3}
-            DimMask::from_dims([1, 2]),       // Q3: {d2, d3}
-            DimMask::from_dims([1, 2, 3]),    // Q4: {d2, d3, d4}
+            DimMask::from_dims([0, 1]),    // Q1: {d1, d2}
+            DimMask::from_dims([0, 1, 2]), // Q2: {d1, d2, d3}
+            DimMask::from_dims([1, 2]),    // Q3: {d2, d3}
+            DimMask::from_dims([1, 2, 3]), // Q4: {d2, d3, d4}
         ]
     }
 

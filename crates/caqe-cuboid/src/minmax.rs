@@ -53,7 +53,10 @@ impl MinMaxCuboid {
     /// Panics if `prefs` is empty, any preference is empty, or the union of
     /// dimensions exceeds 16.
     pub fn build(prefs: &[DimMask]) -> Self {
-        assert!(!prefs.is_empty(), "workload must contain at least one query");
+        assert!(
+            !prefs.is_empty(),
+            "workload must contain at least one query"
+        );
         assert!(
             prefs.iter().all(|p| !p.is_empty()),
             "every query needs at least one skyline dimension"
@@ -154,7 +157,9 @@ impl MinMaxCuboid {
 
     /// Whether a subspace was kept.
     pub fn contains(&self, u: DimMask) -> bool {
-        self.subspaces.binary_search_by_key(&(u.len(), u.0), |m| (m.len(), m.0)).is_ok()
+        self.subspaces
+            .binary_search_by_key(&(u.len(), u.0), |m| (m.len(), m.0))
+            .is_ok()
     }
 
     /// Index of a kept subspace, if present.

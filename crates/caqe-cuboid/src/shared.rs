@@ -52,8 +52,7 @@ struct SubspaceSky {
 
 impl SubspaceSky {
     fn position(&self, score: Value) -> usize {
-        self.entries
-            .partition_point(|e| e.score < score)
+        self.entries.partition_point(|e| e.score < score)
     }
 }
 
@@ -145,9 +144,7 @@ impl SharedSkylinePlan {
             // cannot have a larger monotone score.
             let mut rejected = false;
             if !known_survivor {
-                let boundary = sky
-                    .entries
-                    .partition_point(|e| e.score <= score);
+                let boundary = sky.entries.partition_point(|e| e.score <= score);
                 for e in &sky.entries[..boundary] {
                     clock.charge_dom_cmps(1);
                     stats.dom_comparisons += 1;

@@ -402,7 +402,10 @@ mod tests {
         for d in Distribution::ALL {
             assert_eq!(Distribution::parse(d.label()), Some(d));
         }
-        assert_eq!(Distribution::parse("anti"), Some(Distribution::Anticorrelated));
+        assert_eq!(
+            Distribution::parse("anti"),
+            Some(Distribution::Anticorrelated)
+        );
         assert_eq!(Distribution::parse("bogus"), None);
     }
 }

@@ -200,8 +200,7 @@ mod tests {
         let m = MappingSet::concat(1, 1);
         let mut clock = SimClock::default();
         let mut stats = Stats::new();
-        let out =
-            hash_join_project(&l, &r, JoinSpec::on_column(0), &m, &mut clock, &mut stats);
+        let out = hash_join_project(&l, &r, JoinSpec::on_column(0), &m, &mut clock, &mut stats);
         assert!(out.is_empty());
         assert_eq!(stats.join_results, 0);
     }

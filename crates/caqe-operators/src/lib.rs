@@ -18,6 +18,5 @@ pub mod skyline;
 pub use join::{hash_join_project, nested_loop_join_project, JoinSpec, OutTuple};
 pub use mapping::{MappingFn, MappingSet};
 pub use skyline::{
-    monotone_score,
-    skyline_bnl, skyline_reference, skyline_sfs, IncrementalSkyline, InsertOutcome,
+    monotone_score, skyline_bnl, skyline_reference, skyline_sfs, IncrementalSkyline, InsertOutcome,
 };

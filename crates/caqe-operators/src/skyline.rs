@@ -32,9 +32,10 @@ use caqe_types::{relate_in, DimMask, DomRelation, SimClock, Stats, Value};
 pub fn skyline_reference(points: &[Vec<Value>], mask: DimMask) -> Vec<usize> {
     (0..points.len())
         .filter(|&i| {
-            !points.iter().enumerate().any(|(j, q)| {
-                j != i && relate_in(q, &points[i], mask) == DomRelation::Dominates
-            })
+            !points
+                .iter()
+                .enumerate()
+                .any(|(j, q)| j != i && relate_in(q, &points[i], mask) == DomRelation::Dominates)
         })
         .collect()
 }
@@ -203,12 +204,7 @@ impl IncrementalSkyline {
 
     /// Like [`insert`](Self::insert) but without mutating: returns whether
     /// the point *would* survive. Still counts the comparisons performed.
-    pub fn would_survive(
-        &self,
-        point: &[Value],
-        clock: &mut SimClock,
-        stats: &mut Stats,
-    ) -> bool {
+    pub fn would_survive(&self, point: &[Value], clock: &mut SimClock, stats: &mut Stats) -> bool {
         for (_, q) in &self.entries {
             clock.charge_dom_cmps(1);
             stats.dom_comparisons += 1;
@@ -263,15 +259,9 @@ mod tests {
         // Full space: both survive.
         assert_eq!(skyline_reference(&points, DimMask::full(2)).len(), 2);
         // On {d1} only the first survives.
-        assert_eq!(
-            skyline_reference(&points, DimMask::singleton(0)),
-            vec![0]
-        );
+        assert_eq!(skyline_reference(&points, DimMask::singleton(0)), vec![0]);
         // On {d2} only the second survives.
-        assert_eq!(
-            skyline_reference(&points, DimMask::singleton(1)),
-            vec![1]
-        );
+        assert_eq!(skyline_reference(&points, DimMask::singleton(1)), vec![1]);
     }
 
     #[test]
@@ -308,12 +298,7 @@ mod tests {
             outcomes.push(sky.insert(i as u64, p, &mut c, &mut s));
         }
         assert_eq!(outcomes[4], InsertOutcome::Dominated);
-        assert_eq!(
-            outcomes[3],
-            InsertOutcome::Added {
-                removed: vec![0]
-            }
-        );
+        assert_eq!(outcomes[3], InsertOutcome::Added { removed: vec![0] });
         let mut tags: Vec<u64> = sky.tags().collect();
         tags.sort_unstable();
         let mut expect: Vec<u64> = skyline_reference(&points, mask)

@@ -69,8 +69,7 @@ pub fn build_regions(
             // Expected matches assuming keys spread uniformly inside cells.
             let da = rc.signature(*join_col).len().max(1) as f64;
             let db = tc.signature(*join_col).len().max(1) as f64;
-            let est_join =
-                (common as f64) * (rc.len() as f64 / da) * (tc.len() as f64 / db);
+            let est_join = (common as f64) * (rc.len() as f64 / da) * (tc.len() as f64 / db);
             regions.push(OutputRegion::new(
                 RegionId(regions.len() as u32),
                 rc.id,
@@ -127,8 +126,7 @@ fn coarse_skyline(
         let children = cuboid.children(s);
         let mut surv = vec![true; n];
         let mut order: Vec<usize> = (0..n).collect();
-        let score =
-            |i: usize| -> f64 { mask.iter().map(|k| regions[i].bounds.lo()[k]).sum() };
+        let score = |i: usize| -> f64 { mask.iter().map(|k| regions[i].bounds.lo()[k]).sum() };
         order.sort_by(|&a, &b| score(a).total_cmp(&score(b)));
         let mut window: Vec<usize> = Vec::new();
         for &i in &order {
@@ -304,9 +302,10 @@ mod tests {
         for (q, p) in &qs {
             let sky = skyline_reference(&points, *p);
             for &i in &sky {
-                let covered = set.regions().iter().any(|reg| {
-                    reg.serving.contains(*q) && reg.bounds.contains_point(&points[i])
-                });
+                let covered = set
+                    .regions()
+                    .iter()
+                    .any(|reg| reg.serving.contains(*q) && reg.bounds.contains_point(&points[i]));
                 assert!(
                     covered,
                     "skyline point of {q} at {:?} not covered by any surviving region",

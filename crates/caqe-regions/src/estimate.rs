@@ -63,7 +63,63 @@ pub fn prog_count(
 
 /// Equation 10: the progressiveness estimate of a region for one query —
 /// the guaranteed-progressive fraction of its estimated skyline output.
-pub fn prog_est(
+pub fn prog_est(set: &RegionSet, dg: &DependencyGraph, region: &OutputRegion, q: QueryId) -> f64 {
+    if !region.serving.contains(q) {
+        return 0.0;
+    }
+    let cells = region.cell_count();
+    if cells == 0 {
+        return 0.0;
+    }
+    let frac = prog_count(set, dg, region, q) as f64 / cells as f64;
+    let d = set.pref(q).len();
+    frac * buchta_estimate(region.est_join, d)
+}
+
+/// Expected-value relaxation of Definition 11: each alive cell contributes
+/// `1 / (1 + #alive threats that may dominate it)` instead of the
+/// all-or-nothing guarantee of [`prog_count`].
+///
+/// Under heavy mutual overlap — e.g. subspace queries projecting many cell
+/// pairs onto identical boxes — *every* cell of *every* region has at least
+/// one potential dominator, so the guaranteed count collapses to zero for
+/// all candidates at once and Equation 8 loses its contract signal entirely.
+/// The soft count degrades smoothly: a cell with no threats still counts
+/// 1.0 (agreeing with [`prog_count`]), a contested cell counts its survival
+/// odds under the uniform-threat approximation.
+pub fn soft_prog_count(
+    set: &RegionSet,
+    dg: &DependencyGraph,
+    region: &OutputRegion,
+    q: QueryId,
+) -> f64 {
+    let mask = set.pref(q);
+    let threats: Vec<&OutputRegion> = dg
+        .threats_in(region.id)
+        .iter()
+        .filter(|e| e.queries.contains(q))
+        .map(|e| set.region(e.peer))
+        .filter(|r| r.is_alive() && r.serving.contains(q))
+        .collect();
+    region
+        .grid()
+        .iter()
+        .enumerate()
+        .filter(|(c, _)| region.cell_lineage(*c).contains(q))
+        .map(|(_, cell)| {
+            let n_threats = threats
+                .iter()
+                .filter(|t| t.bounds.may_dominate_region(cell, mask))
+                .count();
+            1.0 / (1.0 + n_threats as f64)
+        })
+        .sum()
+}
+
+/// Expected-value counterpart of [`prog_est`], used by the CSM benefit
+/// model (Equation 8) so that candidate ranking keeps a contract-weighted
+/// signal even when no region's output is *guaranteed* progressive.
+pub fn soft_prog_est(
     set: &RegionSet,
     dg: &DependencyGraph,
     region: &OutputRegion,
@@ -76,7 +132,7 @@ pub fn prog_est(
     if cells == 0 {
         return 0.0;
     }
-    let frac = prog_count(set, dg, region, q) as f64 / cells as f64;
+    let frac = soft_prog_count(set, dg, region, q) / cells as f64;
     let d = set.pref(q).len();
     frac * buchta_estimate(region.est_join, d)
 }
@@ -119,7 +175,7 @@ pub fn region_csm(
         if !region.serving.contains(*q) {
             continue;
         }
-        let est = prog_est(set, dg, region, *q);
+        let est = soft_prog_est(set, dg, region, *q);
         if est <= 0.0 {
             continue;
         }
@@ -146,9 +202,7 @@ mod tests {
         // d = 2: ln(m).
         assert!((buchta_estimate(1000.0, 2) - 1000.0f64.ln()).abs() < 1e-9);
         // d = 3: ln(m)^2 / 2.
-        assert!(
-            (buchta_estimate(1000.0, 3) - 1000.0f64.ln().powi(2) / 2.0).abs() < 1e-9
-        );
+        assert!((buchta_estimate(1000.0, 3) - 1000.0f64.ln().powi(2) / 2.0).abs() < 1e-9);
         // Monotone in d for large m.
         assert!(buchta_estimate(1e5, 4) > buchta_estimate(1e5, 3));
         // Degenerate inputs.
@@ -212,7 +266,10 @@ mod tests {
         assert!(e0 > e1);
         assert_eq!(e1, 0.0);
         // Non-serving query returns 0.
-        assert_eq!(prog_est(&set, &dg, set.region(RegionId(0)), QueryId(3)), 0.0);
+        assert_eq!(
+            prog_est(&set, &dg, set.region(RegionId(0)), QueryId(3)),
+            0.0
+        );
     }
 
     #[test]
@@ -250,9 +307,28 @@ mod tests {
         let scores = vec![QueryScore::new(Contract::Deadline { t_hard: 100.0 }, 50.0)];
         let weights = vec![1.0];
         let clock = SimClock::default();
-        let c0 = region_csm(&set, &dg, set.region(RegionId(0)), &scores, &weights, &clock, 2);
-        let c1 = region_csm(&set, &dg, set.region(RegionId(1)), &scores, &weights, &clock, 2);
-        assert!(c0 > c1, "CSM should favour the progressive region: {c0} vs {c1}");
+        let c0 = region_csm(
+            &set,
+            &dg,
+            set.region(RegionId(0)),
+            &scores,
+            &weights,
+            &clock,
+            2,
+        );
+        let c1 = region_csm(
+            &set,
+            &dg,
+            set.region(RegionId(1)),
+            &scores,
+            &weights,
+            &clock,
+            2,
+        );
+        assert!(
+            c0 > c1,
+            "CSM should favour the progressive region: {c0} vs {c1}"
+        );
     }
 
     #[test]
@@ -260,8 +336,24 @@ mod tests {
         let (set, dg) = two_region_set();
         let scores = vec![QueryScore::new(Contract::Deadline { t_hard: 100.0 }, 50.0)];
         let clock = SimClock::default();
-        let w1 = region_csm(&set, &dg, set.region(RegionId(0)), &scores, &[1.0], &clock, 2);
-        let w2 = region_csm(&set, &dg, set.region(RegionId(0)), &scores, &[2.0], &clock, 2);
+        let w1 = region_csm(
+            &set,
+            &dg,
+            set.region(RegionId(0)),
+            &scores,
+            &[1.0],
+            &clock,
+            2,
+        );
+        let w2 = region_csm(
+            &set,
+            &dg,
+            set.region(RegionId(0)),
+            &scores,
+            &[2.0],
+            &clock,
+            2,
+        );
         assert!((w2 - 2.0 * w1).abs() < 1e-9);
     }
 
@@ -272,7 +364,15 @@ mod tests {
         let weights = vec![1.0];
         let clock = SimClock::default();
         // Any region completes after the (absurd) deadline: CSM = 0.
-        let c = region_csm(&set, &dg, set.region(RegionId(0)), &scores, &weights, &clock, 2);
+        let c = region_csm(
+            &set,
+            &dg,
+            set.region(RegionId(0)),
+            &scores,
+            &weights,
+            &clock,
+            2,
+        );
         assert_eq!(c, 0.0);
     }
 }

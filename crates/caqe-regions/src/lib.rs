@@ -26,5 +26,8 @@ pub mod region;
 
 pub use build::{build_regions, RegionBuildInput};
 pub use depgraph::DependencyGraph;
-pub use estimate::{buchta_estimate, estimate_ticks, prog_count, prog_est, region_csm};
+pub use estimate::{
+    buchta_estimate, estimate_ticks, prog_count, prog_est, region_csm, soft_prog_count,
+    soft_prog_est,
+};
 pub use region::{OutputRegion, RegionSet};

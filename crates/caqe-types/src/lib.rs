@@ -22,9 +22,9 @@ pub mod stats;
 pub mod subspace;
 
 pub use bounds::Rect;
+pub use bounds::RegionRelation;
 pub use clock::{CostModel, SimClock, VirtualSeconds};
 pub use dominance::{dominates, dominates_in, relate, relate_in, DomRelation};
-pub use bounds::RegionRelation;
 pub use ids::{CellId, QueryId, QuerySet, RegionId};
 pub use stats::Stats;
 pub use subspace::DimMask;

@@ -40,7 +40,11 @@ fn main() {
     );
 
     // Table 2 C2 — logarithmic decay.
-    plot("C2 — logarithmic decay 1/log10(ts)", &Contract::LogDecay, 1000.0);
+    plot(
+        "C2 — logarithmic decay 1/log10(ts)",
+        &Contract::LogDecay,
+        1000.0,
+    );
 
     // Table 2 C3 — soft deadline with hyperbolic decay.
     plot(

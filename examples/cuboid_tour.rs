@@ -64,7 +64,10 @@ fn main() {
             .filter(|(_, &b)| b)
             .map(|(q, _)| format!("Q{}", q + 1))
             .collect();
-        println!("  insert {name} {vals:?} → in skylines of {}", in_queries.join(","));
+        println!(
+            "  insert {name} {vals:?} → in skylines of {}",
+            in_queries.join(",")
+        );
         for (q, evicted) in &ins.query_evictions {
             println!("      evicted tags {evicted:?} from {q}");
         }
@@ -75,6 +78,10 @@ fn main() {
     );
     for q in 0..4 {
         let qid = QueryId(q as u16);
-        println!("  final skyline of Q{}: tags {:?}", q + 1, plan.query_skyline_tags(qid));
+        println!(
+            "  final skyline of Q{}: tags {:?}",
+            q + 1,
+            plan.query_skyline_tags(qid)
+        );
     }
 }

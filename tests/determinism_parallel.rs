@@ -1,0 +1,129 @@
+//! Serial-vs-parallel determinism: the worker-thread knob must never change
+//! what the engine computes — per-query result provenance, emission
+//! `(timestamp, utility)` pairs, satisfaction, stats counters and the final
+//! virtual clock must be bit-identical at every `parallelism` setting.
+
+use caqe::baselines::SJfslStrategy;
+use caqe::contract::Contract;
+use caqe::core::{CaqeStrategy, ExecConfig, ExecutionStrategy, QuerySpec, RunOutcome, Workload};
+use caqe::data::{Distribution, TableGenerator};
+use caqe::operators::MappingSet;
+use caqe::types::DimMask;
+
+fn tables(n: usize, dist: Distribution, seed: u64) -> (caqe::data::Table, caqe::data::Table) {
+    let gen = TableGenerator::new(n, 2, dist)
+        .with_selectivities(&[0.05, 0.1])
+        .with_seed(seed);
+    (gen.generate("R"), gen.generate("T"))
+}
+
+fn workload() -> Workload {
+    let spec = |col: usize, pref: DimMask, priority: f64, contract: Contract| QuerySpec {
+        join_col: col,
+        mapping: MappingSet::mixed(2, 2, 4),
+        pref,
+        priority,
+        contract,
+    };
+    Workload::new(vec![
+        spec(
+            0,
+            DimMask::from_dims([0, 1]),
+            0.9,
+            Contract::Deadline { t_hard: 0.5 },
+        ),
+        spec(0, DimMask::from_dims([1, 2]), 0.6, Contract::LogDecay),
+        spec(
+            1,
+            DimMask::from_dims([2, 3]),
+            0.4,
+            Contract::SoftDeadline { t_soft: 0.3 },
+        ),
+    ])
+}
+
+/// Asserts every observable of two outcomes matches exactly (f64 included:
+/// the virtual clock is integer ticks underneath, so equality is exact).
+fn assert_identical(a: &RunOutcome, b: &RunOutcome, label: &str) {
+    assert_eq!(a.stats, b.stats, "{label}: stats diverged");
+    assert_eq!(
+        a.virtual_seconds.to_bits(),
+        b.virtual_seconds.to_bits(),
+        "{label}: virtual clock diverged"
+    );
+    assert_eq!(a.per_query.len(), b.per_query.len());
+    for (qa, qb) in a.per_query.iter().zip(&b.per_query) {
+        assert_eq!(
+            qa.results, qb.results,
+            "{label}: result provenance diverged"
+        );
+        assert_eq!(
+            qa.emissions.len(),
+            qb.emissions.len(),
+            "{label}: emission count diverged"
+        );
+        for (ea, eb) in qa.emissions.iter().zip(&qb.emissions) {
+            assert_eq!(
+                (ea.0.to_bits(), ea.1.to_bits()),
+                (eb.0.to_bits(), eb.1.to_bits()),
+                "{label}: emission (ts, utility) diverged"
+            );
+        }
+        assert_eq!(
+            qa.satisfaction.to_bits(),
+            qb.satisfaction.to_bits(),
+            "{label}: satisfaction diverged"
+        );
+    }
+}
+
+#[test]
+fn parallelism_never_changes_the_outcome() {
+    let w = workload();
+    for dist in [Distribution::Independent, Distribution::Anticorrelated] {
+        for seed in [41u64, 4242] {
+            let (r, t) = tables(500, dist, seed);
+            let serial = ExecConfig::default().with_target_cells(500, 8);
+            let base = CaqeStrategy.run(&r, &t, &w, &serial);
+            assert!(base.total_results() > 0, "degenerate workload");
+            for threads in [1usize, 4] {
+                let par = serial.with_parallelism(Some(threads));
+                let out = CaqeStrategy.run(&r, &t, &w, &par);
+                assert_identical(
+                    &base,
+                    &out,
+                    &format!("caqe {dist:?} seed={seed} threads={threads}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chunked_probe_path_is_bit_identical() {
+    // Coarse cells give each region hundreds of R-rows, so the probe phase
+    // actually splits into multiple worker chunks (the small-leaf cases
+    // above run inline under the min-chunk rule).
+    let w = workload();
+    let (r, t) = tables(1600, Distribution::Independent, 99);
+    let serial = ExecConfig::default().with_target_cells(1600, 2);
+    let base = CaqeStrategy.run(&r, &t, &w, &serial);
+    assert!(base.total_results() > 0, "degenerate workload");
+    for threads in [2usize, 4, 8] {
+        let out = CaqeStrategy.run(&r, &t, &w, &serial.with_parallelism(Some(threads)));
+        assert_identical(&base, &out, &format!("chunked threads={threads}"));
+    }
+}
+
+#[test]
+fn fifo_baseline_is_thread_invariant_too() {
+    // S-JFSL exercises the FIFO cursor path and the blocking pipeline.
+    let w = workload();
+    let (r, t) = tables(400, Distribution::Correlated, 7);
+    let serial = ExecConfig::default().with_target_cells(400, 8);
+    let base = SJfslStrategy.run(&r, &t, &w, &serial);
+    for threads in [1usize, 4] {
+        let out = SJfslStrategy.run(&r, &t, &w, &serial.with_parallelism(Some(threads)));
+        assert_identical(&base, &out, &format!("sjfsl threads={threads}"));
+    }
+}

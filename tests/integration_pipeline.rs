@@ -240,8 +240,7 @@ fn stats_are_internally_consistent() {
         assert!(o.wall_seconds >= 0.0);
         // Every emitted tuple cost at least its emission tick.
         assert!(
-            o.virtual_seconds * exec.cost_model.ticks_per_second
-                >= o.stats.tuples_emitted as f64
+            o.virtual_seconds * exec.cost_model.ticks_per_second >= o.stats.tuples_emitted as f64
         );
     }
 }
