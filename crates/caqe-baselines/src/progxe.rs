@@ -2,10 +2,12 @@
 //! output space, count-driven rather than contract-driven.
 
 use caqe_core::{
-    run_engine, EngineConfig, ExecConfig, ExecutionStrategy, QueryOutcome, RunOutcome, Workload,
+    run_engine_traced, EngineConfig, ExecConfig, ExecutionStrategy, QueryOutcome, RunOutcome,
+    Workload,
 };
 use caqe_data::Table;
-use caqe_types::Stats;
+use caqe_trace::{NoopSink, RecordingSink, TraceEvent, TraceSink};
+use caqe_types::{PerQueryStats, Stats};
 use std::time::Instant;
 
 /// ProgXe+ processes one query at a time (priority order) with the
@@ -17,27 +19,73 @@ use std::time::Instant;
 #[derive(Debug, Clone, Default)]
 pub struct ProgXeStrategy;
 
-impl ExecutionStrategy for ProgXeStrategy {
-    fn name(&self) -> &'static str {
-        "ProgXe+"
-    }
-
-    fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome {
+impl ProgXeStrategy {
+    fn run_impl<S: TraceSink>(
+        &self,
+        r: &Table,
+        t: &Table,
+        workload: &Workload,
+        exec: &ExecConfig,
+        sink: &mut S,
+    ) -> RunOutcome {
         let wall = Instant::now();
         let engine = EngineConfig::progxe_core();
         let mut per_query: Vec<Option<QueryOutcome>> = vec![None; workload.len()];
         let mut stats = Stats::new();
+        stats.ensure_queries(workload.len());
         let mut ticks: u64 = 0;
         let mut virtual_seconds = 0.0;
+        if S::ENABLED {
+            sink.record(TraceEvent::Meta {
+                strategy: self.name().to_string(),
+                queries: workload.len(),
+                ticks_per_second: exec.cost_model.ticks_per_second,
+                start_tick: 0,
+            });
+        }
 
         for qid in workload.by_priority() {
             let spec = workload.query(qid).clone();
             let single = Workload::new(vec![spec]);
             // Continue the shared timeline: query k starts when k−1 ends.
-            let sub = run_engine(self.name(), r, t, &single, exec, &engine, ticks);
+            // The sub-run records into its own sink; its events are rebased
+            // from the sub-workload's local query 0 to the real query id
+            // before joining the outer stream.
+            let mut sub = if S::ENABLED {
+                let mut sub_sink = RecordingSink::new();
+                let out = run_engine_traced(
+                    self.name(),
+                    r,
+                    t,
+                    &single,
+                    exec,
+                    &engine,
+                    ticks,
+                    &mut sub_sink,
+                );
+                for mut ev in sub_sink.into_events() {
+                    match &mut ev {
+                        // The outer Meta already describes the whole run.
+                        TraceEvent::Meta { .. } => continue,
+                        TraceEvent::Emission { query, .. } => *query = qid.0,
+                        _ => {}
+                    }
+                    sink.record(ev);
+                }
+                out
+            } else {
+                caqe_core::run_engine(self.name(), r, t, &single, exec, &engine, ticks)
+            };
             ticks = (sub.virtual_seconds * exec.cost_model.ticks_per_second).round() as u64;
             virtual_seconds = sub.virtual_seconds;
+            // The sub-run credits its emissions to local query 0; move them
+            // to the real slot before the flat counters merge.
+            let mut sub_pq = PerQueryStats::default();
+            for pq in sub.stats.per_query.drain(..) {
+                sub_pq += pq;
+            }
             stats += sub.stats;
+            stats.per_query[qid.index()] += sub_pq;
             let mut outcome = sub.per_query.into_iter().next().expect("one query");
             outcome.query = qid;
             per_query[qid.index()] = Some(outcome);
@@ -50,5 +98,26 @@ impl ExecutionStrategy for ProgXeStrategy {
             virtual_seconds,
             wall_seconds: wall.elapsed().as_secs_f64(),
         }
+    }
+}
+
+impl ExecutionStrategy for ProgXeStrategy {
+    fn name(&self) -> &'static str {
+        "ProgXe+"
+    }
+
+    fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome {
+        self.run_impl(r, t, workload, exec, &mut NoopSink)
+    }
+
+    fn run_traced(
+        &self,
+        r: &Table,
+        t: &Table,
+        workload: &Workload,
+        exec: &ExecConfig,
+        sink: &mut RecordingSink,
+    ) -> RunOutcome {
+        self.run_impl(r, t, workload, exec, sink)
     }
 }

@@ -1,8 +1,12 @@
 //! S-JFSL: the sharing-based strawman the paper introduces for comparison —
 //! the min-max-cuboid shared plan with blind pipelining (§7.1).
 
-use caqe_core::{run_engine, EngineConfig, ExecConfig, ExecutionStrategy, RunOutcome, Workload};
+use caqe_core::{
+    run_engine, run_engine_traced, EngineConfig, ExecConfig, ExecutionStrategy, RunOutcome,
+    Workload,
+};
 use caqe_data::Table;
+use caqe_trace::RecordingSink;
 
 /// S-JFSL pipelines every join tuple through the shared min-max-cuboid plan
 /// in FIFO cell-pair order. It enjoys the shared plan's reduction in join
@@ -26,6 +30,26 @@ impl ExecutionStrategy for SJfslStrategy {
             exec,
             &EngineConfig::s_jfsl(),
             0,
+        )
+    }
+
+    fn run_traced(
+        &self,
+        r: &Table,
+        t: &Table,
+        workload: &Workload,
+        exec: &ExecConfig,
+        sink: &mut RecordingSink,
+    ) -> RunOutcome {
+        run_engine_traced(
+            self.name(),
+            r,
+            t,
+            workload,
+            exec,
+            &EngineConfig::s_jfsl(),
+            0,
+            sink,
         )
     }
 }

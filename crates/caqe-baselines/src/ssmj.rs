@@ -5,6 +5,7 @@ use caqe_core::{ExecConfig, ExecutionStrategy, QueryOutcome, RunOutcome, Workloa
 use caqe_data::Table;
 use caqe_operators::{hash_join_project, monotone_score, JoinSpec};
 use caqe_regions::buchta_estimate;
+use caqe_trace::{NoopSink, RecordingSink, TraceEvent, TraceSink};
 use caqe_types::{relate_in, DomRelation, SimClock, Stats};
 use std::time::Instant;
 
@@ -16,16 +17,28 @@ use std::time::Instant;
 #[derive(Debug, Clone, Default)]
 pub struct SsmjStrategy;
 
-impl ExecutionStrategy for SsmjStrategy {
-    fn name(&self) -> &'static str {
-        "SSMJ"
-    }
-
-    fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome {
+impl SsmjStrategy {
+    fn run_impl<S: TraceSink>(
+        &self,
+        r: &Table,
+        t: &Table,
+        workload: &Workload,
+        exec: &ExecConfig,
+        sink: &mut S,
+    ) -> RunOutcome {
         let wall = Instant::now();
         let mut clock = SimClock::new(exec.cost_model);
         let mut stats = Stats::new();
+        stats.ensure_queries(workload.len());
         let mut per_query: Vec<Option<QueryOutcome>> = vec![None; workload.len()];
+        if S::ENABLED {
+            sink.record(TraceEvent::Meta {
+                strategy: self.name().to_string(),
+                queries: workload.len(),
+                ticks_per_second: exec.cost_model.ticks_per_second,
+                start_tick: 0,
+            });
+        }
 
         for qid in workload.by_priority() {
             let spec = workload.query(qid);
@@ -73,11 +86,22 @@ impl ExecutionStrategy for SsmjStrategy {
                 }
                 sky.push(i);
                 clock.charge_emits(1);
-                stats.tuples_emitted += 1;
                 let ts = clock.now();
                 let u = score.record(ts);
+                stats.record_emission(qid.index(), u);
                 emissions.push((ts, u));
                 results.push((join[i].rid, join[i].tid));
+                if S::ENABLED {
+                    sink.record(TraceEvent::Emission {
+                        tick: clock.ticks(),
+                        query: qid.0,
+                        seq: results.len() as u64,
+                        rid: u32::MAX,
+                        tid: i as u64,
+                        utility: u,
+                        satisfaction: score.runtime_satisfaction(),
+                    });
+                }
             }
             per_query[qid.index()] = Some(QueryOutcome {
                 query: qid,
@@ -95,5 +119,26 @@ impl ExecutionStrategy for SsmjStrategy {
             virtual_seconds: clock.now(),
             wall_seconds: wall.elapsed().as_secs_f64(),
         }
+    }
+}
+
+impl ExecutionStrategy for SsmjStrategy {
+    fn name(&self) -> &'static str {
+        "SSMJ"
+    }
+
+    fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome {
+        self.run_impl(r, t, workload, exec, &mut NoopSink)
+    }
+
+    fn run_traced(
+        &self,
+        r: &Table,
+        t: &Table,
+        workload: &Workload,
+        exec: &ExecConfig,
+        sink: &mut RecordingSink,
+    ) -> RunOutcome {
+        self.run_impl(r, t, workload, exec, sink)
     }
 }

@@ -12,13 +12,14 @@
 //!
 //! ```text
 //! cargo run --release -p caqe-bench --bin ablation -- [--dist independent]
-//!     [--contract 3] [--n <rows>] [--json]
+//!     [--contract 3] [--n <rows>] [--json] [--trace <dir>]
 //! ```
 
-use caqe_bench::report::{cli_arg, cli_flag, cli_threads, render_jsonl, render_table};
+use caqe_bench::report::{cli_arg, cli_flag, cli_threads, cli_trace, render_jsonl, render_table};
 use caqe_bench::{ComparisonRow, ExperimentConfig};
-use caqe_core::{run_engine, EngineConfig, SchedulingPolicy};
+use caqe_core::{run_engine, run_engine_traced, EngineConfig, SchedulingPolicy};
 use caqe_data::Distribution;
+use caqe_trace::RecordingSink;
 
 fn variants() -> Vec<(&'static str, EngineConfig)> {
     let full = EngineConfig::caqe();
@@ -91,11 +92,22 @@ fn main() {
     let (r, t) = cfg.tables();
     let workload = cfg.workload();
     let exec = cfg.exec();
+    let trace_dir = cli_trace(&args);
 
     let rows: Vec<ComparisonRow> = variants()
         .into_iter()
         .map(|(name, engine)| {
-            let outcome = run_engine(name, &r, &t, &workload, &exec, &engine, 0);
+            let outcome = match &trace_dir {
+                Some(dir) => {
+                    let mut sink = RecordingSink::new();
+                    let outcome =
+                        run_engine_traced(name, &r, &t, &workload, &exec, &engine, 0, &mut sink);
+                    caqe_trace::write_trace(dir, &name.replace('-', "_"), sink.events())
+                        .expect("trace export failed");
+                    outcome
+                }
+                None => run_engine(name, &r, &t, &workload, &exec, &engine, 0),
+            };
             ComparisonRow::from_outcome(&outcome, &cfg)
         })
         .collect();

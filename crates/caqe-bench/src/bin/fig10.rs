@@ -3,16 +3,17 @@
 //! comparisons (CPU), (c) total execution time.
 //!
 //! ```text
-//! cargo run --release -p caqe-bench --bin fig10 -- [--n <rows>] [--json]
+//! cargo run --release -p caqe-bench --bin fig10 -- [--n <rows>] [--json] [--trace <dir>]
 //! ```
 
-use caqe_bench::report::{cli_arg, cli_flag, cli_threads, render_jsonl, render_table};
-use caqe_bench::{run_comparison, ComparisonRow, ExperimentConfig};
+use caqe_bench::report::{cli_arg, cli_flag, cli_threads, cli_trace, render_jsonl, render_table};
+use caqe_bench::{run_comparison_traced, ComparisonRow, ExperimentConfig};
 use caqe_data::Distribution;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = cli_flag(&args, "--json");
+    let trace_dir = cli_trace(&args);
 
     let mut rows: Vec<ComparisonRow> = Vec::new();
     for dist in Distribution::ALL {
@@ -23,7 +24,7 @@ fn main() {
         } else if dist == Distribution::Anticorrelated {
             cfg.n = 1200;
         }
-        rows.extend(run_comparison(&cfg));
+        rows.extend(run_comparison_traced(&cfg, trace_dir.as_deref()));
     }
 
     if json {

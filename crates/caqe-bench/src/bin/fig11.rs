@@ -3,16 +3,17 @@
 //! and C3 (11.b).
 //!
 //! ```text
-//! cargo run --release -p caqe-bench --bin fig11 -- [--n <rows>] [--json]
+//! cargo run --release -p caqe-bench --bin fig11 -- [--n <rows>] [--json] [--trace <dir>]
 //! ```
 
-use caqe_bench::report::{cli_arg, cli_flag, cli_threads, render_jsonl, render_table};
-use caqe_bench::{run_comparison, ComparisonRow, ExperimentConfig};
+use caqe_bench::report::{cli_arg, cli_flag, cli_threads, cli_trace, render_jsonl, render_table};
+use caqe_bench::{run_comparison_traced, ComparisonRow, ExperimentConfig};
 use caqe_data::Distribution;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = cli_flag(&args, "--json");
+    let trace_dir = cli_trace(&args);
     let sizes = [1usize, 3, 5, 7, 9, 11];
 
     for contract in [2usize, 3] {
@@ -34,7 +35,7 @@ fn main() {
                 probe.reference_seconds()
             });
             cfg.reference_secs = Some(r);
-            rows.extend(run_comparison(&cfg));
+            rows.extend(run_comparison_traced(&cfg, trace_dir.as_deref()));
         }
         if json {
             println!("{}", render_jsonl(&rows));

@@ -4,13 +4,15 @@
 //! ```text
 //! cargo run --release -p caqe-bench --bin fig9 -- [--dist correlated|independent|anticorrelated]
 //!                                                 [--n <rows>] [--queries <k>] [--json]
+//!                                                 [--trace <dir>]
 //! ```
 //!
 //! Without `--dist`, all three panels (9.a correlated, 9.b independent,
-//! 9.c anti-correlated) are produced.
+//! 9.c anti-correlated) are produced. With `--trace`, every run exports
+//! its deterministic trace into the directory (see `trace_report`).
 
-use caqe_bench::report::{cli_arg, cli_flag, cli_threads, render_jsonl, render_table};
-use caqe_bench::{run_comparison, ComparisonRow, ExperimentConfig};
+use caqe_bench::report::{cli_arg, cli_flag, cli_threads, cli_trace, render_jsonl, render_table};
+use caqe_bench::{run_comparison_traced, ComparisonRow, ExperimentConfig};
 use caqe_data::Distribution;
 
 fn main() {
@@ -20,6 +22,7 @@ fn main() {
         None => Distribution::ALL.to_vec(),
     };
     let json = cli_flag(&args, "--json");
+    let trace_dir = cli_trace(&args);
 
     for dist in dists {
         let panel = match dist {
@@ -44,7 +47,7 @@ fn main() {
             // One calibration probe per panel, shared across contracts.
             let r = *reference.get_or_insert_with(|| cfg.reference_seconds());
             cfg.reference_secs = Some(r);
-            rows.extend(run_comparison(&cfg));
+            rows.extend(run_comparison_traced(&cfg, trace_dir.as_deref()));
         }
         if json {
             println!("{}", render_jsonl(&rows));

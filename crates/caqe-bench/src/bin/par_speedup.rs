@@ -1,20 +1,27 @@
-//! Wall-clock speedup of the deterministic parallel layer.
+//! Wall-clock speedup of the deterministic parallel layer, plus the cost of
+//! turning tracing on.
 //!
 //! Runs CAQE on a multi-join-group workload serially and with a pinned
-//! worker count, verifies the outcomes are bit-identical, and records the
-//! wall-clock ratio in `BENCH_PR1.json`.
+//! worker count, verifies the outcomes are bit-identical, measures the same
+//! parallel run once more with a recording trace sink (the no-op sink is the
+//! compiled-out default), and records everything in `BENCH_PR2.json`.
 //!
 //! ```text
 //! cargo run --release -p caqe-bench --bin par_speedup -- [--n <rows>]
 //!     [--threads <k>] [--cells <per-table>] [--reps <r>] [--out <path>]
+//!     [--trace <dir>]
 //! ```
+//!
+//! With `--trace`, the traced parallel run exports under the label
+//! `parallel` — CI byte-diffs that JSONL across thread counts.
 
 use caqe_bench::json::ObjectWriter;
-use caqe_bench::report::cli_arg;
+use caqe_bench::report::{cli_arg, cli_trace};
 use caqe_contract::Contract;
 use caqe_core::{CaqeStrategy, ExecConfig, ExecutionStrategy, QuerySpec, RunOutcome, Workload};
 use caqe_data::{Distribution, TableGenerator};
 use caqe_operators::{MappingFn, MappingSet};
+use caqe_trace::RecordingSink;
 use caqe_types::DimMask;
 use std::num::NonZeroUsize;
 use std::time::Instant;
@@ -74,13 +81,41 @@ fn measure(
     (best, outcome.expect("reps >= 1"))
 }
 
+/// Same as [`measure`] but with a live recording sink: the overhead of
+/// tracing relative to the compiled-out no-op path.
+fn measure_traced(
+    r: &caqe_data::Table,
+    t: &caqe_data::Table,
+    w: &Workload,
+    exec: &ExecConfig,
+    reps: usize,
+) -> (f64, RunOutcome, RecordingSink) {
+    let mut best = f64::INFINITY;
+    let mut outcome = None;
+    let mut events = None;
+    for _ in 0..reps {
+        let mut sink = RecordingSink::new();
+        let start = Instant::now();
+        let o = CaqeStrategy.run_traced(r, t, w, exec, &mut sink);
+        best = best.min(start.elapsed().as_secs_f64());
+        outcome = Some(o);
+        events = Some(sink);
+    }
+    (
+        best,
+        outcome.expect("reps >= 1"),
+        events.expect("reps >= 1"),
+    )
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let n: usize = cli_arg(&args, "--n").map_or(2500, |s| s.parse().expect("--n"));
     let threads: usize = cli_arg(&args, "--threads").map_or(4, |s| s.parse().expect("--threads"));
     let cells: usize = cli_arg(&args, "--cells").map_or(22, |s| s.parse().expect("--cells"));
     let reps: usize = cli_arg(&args, "--reps").map_or(3, |s| s.parse().expect("--reps"));
-    let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR1.json".to_string());
+    let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR2.json".to_string());
+    let trace_dir = cli_trace(&args);
 
     let gen = TableGenerator::new(n, 2, Distribution::Independent)
         .with_selectivities(&[0.02, 0.03])
@@ -92,6 +127,7 @@ fn main() {
 
     let (serial_secs, serial_out) = measure(&r, &t, &w, &serial_exec, reps);
     let (par_secs, par_out) = measure(&r, &t, &w, &par_exec, reps);
+    let (traced_secs, traced_out, sink) = measure_traced(&r, &t, &w, &par_exec, reps);
 
     // Parallelism must not change a single observable number.
     assert_eq!(serial_out.stats, par_out.stats, "stats diverged");
@@ -104,6 +140,17 @@ fn main() {
         assert_eq!(a.results, b.results, "results diverged");
         assert_eq!(a.emissions, b.emissions, "emissions diverged");
     }
+    // Nor must the trace sink: recording is observation, not interference.
+    assert_eq!(par_out.stats, traced_out.stats, "tracing changed stats");
+    assert_eq!(
+        par_out.virtual_seconds.to_bits(),
+        traced_out.virtual_seconds.to_bits(),
+        "tracing moved the virtual clock"
+    );
+
+    if let Some(dir) = &trace_dir {
+        caqe_trace::write_trace(dir, "parallel", sink.events()).expect("trace export failed");
+    }
 
     let groups = w
         .queries()
@@ -115,6 +162,15 @@ fn main() {
         .map(NonZeroUsize::get)
         .unwrap_or(1);
     let speedup = serial_secs / par_secs;
+    let trace_overhead = traced_secs / par_secs;
+    // On a host with fewer cores than workers the ratio measures pure
+    // threading overhead (~1.0 is ideal), not scaling; the artifact says
+    // which one it reports instead of leaving a meaningless "speedup".
+    let measures = if cores < threads {
+        "overhead"
+    } else {
+        "scaling"
+    };
     let mut obj = ObjectWriter::new();
     obj.string("bench", "par_speedup")
         .uint("n", n as u64)
@@ -124,26 +180,22 @@ fn main() {
         .uint("threads", threads as u64)
         .uint("host_cores", cores as u64)
         .uint("reps", reps as u64)
+        .string("measures", measures)
         .number("serial_wall_seconds", serial_secs)
         .number("parallel_wall_seconds", par_secs)
         .number("speedup", speedup)
+        .number("traced_wall_seconds", traced_secs)
+        .number("trace_overhead", trace_overhead)
+        .uint("trace_events", sink.events().len() as u64)
         .number("virtual_seconds", serial_out.virtual_seconds)
         .uint("join_results", serial_out.stats.join_results)
         .bool("bit_identical", true);
-    if cores < threads {
-        // On a host with fewer cores than workers the ratio measures pure
-        // threading overhead (~1.0 is ideal), not scaling; say so in the
-        // artifact instead of reporting a meaningless "speedup".
-        obj.string(
-            "note",
-            "host has fewer cores than worker threads; ratio measures \
-             overhead, not scaling",
-        );
-    }
     let json = obj.finish();
     std::fs::write(&out_path, format!("{json}\n")).expect("write bench json");
     println!(
-        "{groups} join groups, n={n}, {cores} host cores: serial {serial_secs:.3}s, \
-         {threads} threads {par_secs:.3}s -> {speedup:.2}x ({out_path})"
+        "{groups} join groups, n={n}, {cores} host cores ({measures}): serial {serial_secs:.3}s, \
+         {threads} threads {par_secs:.3}s -> {speedup:.2}x; tracing {traced_secs:.3}s \
+         (x{trace_overhead:.2}, {} events) ({out_path})",
+        sink.events().len()
     );
 }

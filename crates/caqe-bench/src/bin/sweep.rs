@@ -5,11 +5,11 @@
 //!
 //! ```text
 //! cargo run --release -p caqe-bench --bin sweep -- [--axis n|sigma]
-//!     [--dist independent] [--contract 2] [--json]
+//!     [--dist independent] [--contract 2] [--json] [--trace <dir>]
 //! ```
 
-use caqe_bench::report::{cli_arg, cli_flag, cli_threads, render_jsonl, render_table};
-use caqe_bench::{run_comparison, ComparisonRow, ExperimentConfig};
+use caqe_bench::report::{cli_arg, cli_flag, cli_threads, cli_trace, render_jsonl, render_table};
+use caqe_bench::{run_comparison_traced, ComparisonRow, ExperimentConfig};
 use caqe_data::Distribution;
 
 fn main() {
@@ -22,6 +22,10 @@ fn main() {
         .map(|c| c.parse().expect("--contract takes 1..=5"))
         .unwrap_or(2);
     let json = cli_flag(&args, "--json");
+    let trace_dir = cli_trace(&args);
+    // Sweep points share every label ingredient except the swept value, so
+    // each point traces into its own subdirectory.
+    let point_dir = |tag: String| trace_dir.as_ref().map(|d| d.join(tag));
 
     let mut rows: Vec<ComparisonRow> = Vec::new();
     match axis.as_str() {
@@ -31,7 +35,10 @@ fn main() {
                 cfg.parallelism = cli_threads(&args);
                 cfg.n = n;
                 cfg.reference_secs = Some(cfg.reference_seconds());
-                rows.extend(run_comparison(&cfg));
+                rows.extend(run_comparison_traced(
+                    &cfg,
+                    point_dir(format!("n{n}")).as_deref(),
+                ));
             }
         }
         "sigma" => {
@@ -41,7 +48,10 @@ fn main() {
                 cfg.n = 1500;
                 cfg.sigma = sigma;
                 cfg.reference_secs = Some(cfg.reference_seconds());
-                rows.extend(run_comparison(&cfg));
+                rows.extend(run_comparison_traced(
+                    &cfg,
+                    point_dir(format!("sigma{}", sigma.to_string().replace('.', "p"))).as_deref(),
+                ));
             }
         }
         other => panic!("--axis must be n or sigma, got {other}"),

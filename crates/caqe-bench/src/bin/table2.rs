@@ -8,6 +8,10 @@
 use caqe_contract::{Contract, EmissionCtx};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if caqe_bench::report::cli_trace(&args).is_some() {
+        eprintln!("note: table2 evaluates contract shapes analytically; no engine runs, so --trace writes nothing");
+    }
     let t_param = 10.0;
     let interval = 1.0;
     let est_total = 100.0;

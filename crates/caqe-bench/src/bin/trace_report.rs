@@ -1,0 +1,219 @@
+//! Offline summarizer and validator for trace directories produced with
+//! `--trace <dir>` (see DESIGN.md §11).
+//!
+//! ```text
+//! cargo run --release -p caqe-bench --bin trace_report -- --trace <dir> [--check]
+//! ```
+//!
+//! Per `*.jsonl` stream found (recursively): event counts, per-query
+//! emission totals and final satisfaction, estimator-accuracy aggregates
+//! and the longest phase spans. With `--check`, the tool instead acts as a
+//! validator — every line must parse, emission ticks must be monotone
+//! non-decreasing (the virtual clock never runs backwards), per-query
+//! emission sequence numbers must be gapless from 1, and the sibling
+//! `.satisfaction.csv` must exist with a monotone `virtual_seconds` column.
+//! Any violation exits non-zero, so CI can gate on it.
+
+use caqe_bench::json::parse;
+use caqe_bench::report::{cli_flag, cli_trace};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn collect_jsonl(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            collect_jsonl(&p, out);
+        } else if p.extension().is_some_and(|e| e == "jsonl") {
+            out.push(p);
+        }
+    }
+}
+
+/// One stream's digest; `problems` is non-empty only when validation fails.
+#[derive(Default)]
+struct Digest {
+    counts: BTreeMap<String, u64>,
+    strategy: String,
+    /// query id -> (emissions, final satisfaction).
+    queries: BTreeMap<u64, (u64, f64)>,
+    /// (duration ticks, kind, group) of the longest spans.
+    spans: Vec<(u64, String, Option<u64>)>,
+    estimator: (u64, f64, f64), // audits, Σ ticks_err, max ticks_err
+    problems: Vec<String>,
+}
+
+fn digest(path: &Path) -> Digest {
+    let mut d = Digest::default();
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            d.problems.push(format!("unreadable: {e}"));
+            return d;
+        }
+    };
+    let mut last_emit_tick = 0u64;
+    for (lineno, line) in text.lines().enumerate() {
+        let v = match parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                d.problems.push(format!("line {}: {e}", lineno + 1));
+                continue;
+            }
+        };
+        let ev = v["ev"].as_str().unwrap_or("?").to_string();
+        *d.counts.entry(ev.clone()).or_insert(0) += 1;
+        match ev.as_str() {
+            "meta" => {
+                if let Some(s) = v["strategy"].as_str() {
+                    if d.strategy.is_empty() {
+                        d.strategy = s.to_string();
+                    }
+                }
+            }
+            "emit" => {
+                let tick = v["tick"].as_f64().unwrap_or(-1.0) as u64;
+                if tick < last_emit_tick {
+                    d.problems.push(format!(
+                        "line {}: emission tick {tick} precedes {last_emit_tick}",
+                        lineno + 1
+                    ));
+                }
+                last_emit_tick = tick;
+                let q = v["query"].as_f64().unwrap_or(-1.0) as u64;
+                let seq = v["seq"].as_f64().unwrap_or(0.0) as u64;
+                let sat = v["satisfaction"].as_f64().unwrap_or(f64::NAN);
+                let entry = d.queries.entry(q).or_insert((0, 0.0));
+                entry.0 += 1;
+                entry.1 = sat;
+                if seq != entry.0 {
+                    d.problems.push(format!(
+                        "line {}: query {q} emission seq {seq}, expected {}",
+                        lineno + 1,
+                        entry.0
+                    ));
+                }
+            }
+            "span" => {
+                let start = v["start_tick"].as_f64().unwrap_or(0.0) as u64;
+                let end = v["end_tick"].as_f64().unwrap_or(0.0) as u64;
+                d.spans.push((
+                    end.saturating_sub(start),
+                    v["kind"].as_str().unwrap_or("?").to_string(),
+                    v["group"].as_f64().map(|g| g as u64),
+                ));
+            }
+            "estimate" => {
+                let err = v["ticks_err"].as_f64().unwrap_or(f64::NAN);
+                d.estimator.0 += 1;
+                d.estimator.1 += err;
+                d.estimator.2 = d.estimator.2.max(err);
+            }
+            "decision" => {}
+            other => {
+                d.problems
+                    .push(format!("line {}: unknown event kind `{other}`", lineno + 1));
+            }
+        }
+    }
+    d.spans.sort_by_key(|s| std::cmp::Reverse(s.0));
+    d.spans.truncate(3);
+    check_csv(path, &mut d);
+    d
+}
+
+/// The sibling `.satisfaction.csv` must exist and be monotone in virtual
+/// time (emissions happen in clock order).
+fn check_csv(jsonl: &Path, d: &mut Digest) {
+    let csv = jsonl.with_extension("").with_extension("satisfaction.csv");
+    let text = match std::fs::read_to_string(&csv) {
+        Ok(t) => t,
+        Err(_) => {
+            d.problems
+                .push(format!("missing sibling {}", csv.display()));
+            return;
+        }
+    };
+    let mut last = f64::NEG_INFINITY;
+    for (lineno, line) in text.lines().enumerate().skip(1) {
+        let Some(first) = line.split(',').next() else {
+            continue;
+        };
+        let Ok(secs) = first.parse::<f64>() else {
+            d.problems.push(format!(
+                "csv line {}: bad virtual_seconds `{first}`",
+                lineno + 1
+            ));
+            continue;
+        };
+        if secs < last {
+            d.problems.push(format!(
+                "csv line {}: virtual_seconds {secs} precedes {last}",
+                lineno + 1
+            ));
+        }
+        last = secs;
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(dir) = cli_trace(&args) else {
+        eprintln!("usage: trace_report --trace <dir> [--check]");
+        return ExitCode::FAILURE;
+    };
+    let check = cli_flag(&args, "--check");
+
+    let mut files = Vec::new();
+    collect_jsonl(&dir, &mut files);
+    if files.is_empty() {
+        eprintln!("no .jsonl traces under {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    for path in &files {
+        let d = digest(path);
+        let rel = path.strip_prefix(&dir).unwrap_or(path);
+        let counts: Vec<String> = d.counts.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        println!("== {} ({}) ==", rel.display(), d.strategy);
+        println!("  events: {}", counts.join("  "));
+        for (q, (n, sat)) in &d.queries {
+            println!("  query {q}: {n} emissions, final satisfaction {sat:.3}");
+        }
+        if d.estimator.0 > 0 {
+            println!(
+                "  estimator: {} audits, ticks rel-error mean {:.3} max {:.3}",
+                d.estimator.0,
+                d.estimator.1 / d.estimator.0 as f64,
+                d.estimator.2
+            );
+        }
+        for (dur, kind, group) in &d.spans {
+            match group {
+                Some(g) => println!("  span {kind} (group {g}): {dur} ticks"),
+                None => println!("  span {kind}: {dur} ticks"),
+            }
+        }
+        if check {
+            if d.problems.is_empty() {
+                println!("  check: ok");
+            } else {
+                failed = true;
+                for p in &d.problems {
+                    println!("  check: FAIL {p}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

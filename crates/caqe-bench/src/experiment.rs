@@ -4,6 +4,8 @@ use crate::workloads::{paper_workload, ContractParams, PriorityPolicy};
 use caqe_baselines::all_strategies;
 use caqe_core::{ExecConfig, ExecutionStrategy, RunOutcome, Workload};
 use caqe_data::{Distribution, Table, TableGenerator};
+use caqe_trace::{write_trace, RecordingSink};
+use std::path::Path;
 
 /// Everything one experimental cell needs.
 #[derive(Debug, Clone)]
@@ -177,14 +179,56 @@ impl ComparisonRow {
     }
 }
 
+/// File-system-safe trace label for one (strategy, cell) pair.
+fn trace_label(strategy: &str, cfg: &ExperimentConfig) -> String {
+    format!(
+        "{}_{}_c{}_q{}",
+        strategy.to_lowercase(),
+        cfg.distribution.label(),
+        cfg.contract_id,
+        cfg.workload_size
+    )
+    .chars()
+    .map(|c| {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            c
+        } else {
+            '-'
+        }
+    })
+    .collect()
+}
+
 /// Runs all five systems on one experimental cell.
 pub fn run_comparison(cfg: &ExperimentConfig) -> Vec<ComparisonRow> {
+    run_comparison_traced(cfg, None)
+}
+
+/// Like [`run_comparison`], but when `trace_dir` is set each strategy runs
+/// with a recording sink and its deterministic trace is exported under a
+/// `<strategy>_<distribution>_c<contract>_q<size>` label.
+pub fn run_comparison_traced(
+    cfg: &ExperimentConfig,
+    trace_dir: Option<&Path>,
+) -> Vec<ComparisonRow> {
     let (r, t) = cfg.tables();
     let workload = cfg.workload();
     let exec = cfg.exec();
     all_strategies()
         .iter()
-        .map(|s| ComparisonRow::from_outcome(&s.run(&r, &t, &workload, &exec), cfg))
+        .map(|s| {
+            let outcome = match trace_dir {
+                Some(dir) => {
+                    let mut sink = RecordingSink::new();
+                    let outcome = s.run_traced(&r, &t, &workload, &exec, &mut sink);
+                    write_trace(dir, &trace_label(s.name(), cfg), sink.events())
+                        .expect("trace export failed");
+                    outcome
+                }
+                None => s.run(&r, &t, &workload, &exec),
+            };
+            ComparisonRow::from_outcome(&outcome, cfg)
+        })
         .collect()
 }
 
@@ -209,6 +253,32 @@ mod tests {
         // elsewhere; here just check they all emitted the same total.
         let counts: std::collections::BTreeSet<usize> = rows.iter().map(|r| r.results).collect();
         assert_eq!(counts.len(), 1);
+    }
+
+    #[test]
+    fn traced_comparison_exports_per_strategy_traces() {
+        let mut cfg = ExperimentConfig::new(Distribution::Correlated, 2);
+        cfg.n = 300;
+        cfg.workload_size = 3;
+        cfg.cells_per_table = 6;
+        let dir = std::env::temp_dir().join("caqe_bench_trace_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let rows = run_comparison_traced(&cfg, Some(&dir));
+        assert_eq!(rows.len(), 5);
+        let jsonl: Vec<_> = std::fs::read_dir(&dir)
+            .expect("trace dir exists")
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .collect();
+        assert_eq!(jsonl.len(), 5, "one event stream per strategy");
+        for p in &jsonl {
+            let text = std::fs::read_to_string(p).unwrap();
+            for line in text.lines() {
+                crate::json::parse(line).expect("every trace line is valid JSON");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -8,13 +8,15 @@
 //! * [`report`] — plain-text table rendering and JSON row emission so
 //!   EXPERIMENTS.md can be regenerated verbatim.
 //!
-//! Binaries: `fig9`, `fig10`, `fig11`, `table2`, `ablation` — see
-//! DESIGN.md §5 for the per-experiment index.
+//! Binaries: `fig9`, `fig10`, `fig11`, `table2`, `ablation`, `sweep`,
+//! `par_speedup`, `trace_report` — see DESIGN.md §5 for the per-experiment
+//! index. All execution drivers accept `--trace <dir>` to export the
+//! deterministic trace of every run (DESIGN.md §11).
 
 pub mod experiment;
 pub mod json;
 pub mod report;
 pub mod workloads;
 
-pub use experiment::{run_comparison, ComparisonRow, ExperimentConfig};
+pub use experiment::{run_comparison, run_comparison_traced, ComparisonRow, ExperimentConfig};
 pub use workloads::{paper_workload, ContractParams, PriorityPolicy};

@@ -63,6 +63,13 @@ pub fn cli_threads(args: &[String]) -> Option<usize> {
     cli_arg(args, "--threads").map(|s| s.parse().expect("--threads takes a number"))
 }
 
+/// Parses the shared `--trace <dir>` knob: when present, every run also
+/// writes its deterministic trace exports (JSONL, satisfaction CSV,
+/// Chrome-trace spans, estimator audit) into the directory.
+pub fn cli_trace(args: &[String]) -> Option<std::path::PathBuf> {
+    cli_arg(args, "--trace").map(std::path::PathBuf::from)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,5 +16,5 @@ pub mod tracker;
 pub mod weights;
 
 pub use model::{Contract, EmissionCtx};
-pub use tracker::QueryScore;
+pub use tracker::{QueryScore, SatisfactionSnapshot};
 pub use weights::update_weights;

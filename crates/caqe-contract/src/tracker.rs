@@ -4,6 +4,20 @@
 use crate::model::{Contract, EmissionCtx};
 use caqe_types::VirtualSeconds;
 
+/// A point-in-time view of one query's satisfaction state, taken after an
+/// emission (or at any scheduling decision). Consumed by the trace layer to
+/// build the Figure 9/11 satisfaction *timelines* without re-deriving the
+/// running metric from emission logs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SatisfactionSnapshot {
+    /// Results emitted so far (the sequence number of the latest emission).
+    pub count: u64,
+    /// Sum of the utilities awarded so far (`pScore`, Equation 7).
+    pub sum_utility: f64,
+    /// The run-time satisfaction metric `v(Q_i, t)` at this point.
+    pub satisfaction: f64,
+}
+
 /// Tracks the emissions of one query under its contract.
 #[derive(Debug, Clone)]
 pub struct QueryScore {
@@ -103,6 +117,16 @@ impl QueryScore {
     pub fn emissions(&self) -> &[(VirtualSeconds, f64)] {
         &self.emissions
     }
+
+    /// The current satisfaction state as one copyable record (see
+    /// [`SatisfactionSnapshot`]).
+    pub fn snapshot(&self) -> SatisfactionSnapshot {
+        SatisfactionSnapshot {
+            count: self.count(),
+            sum_utility: self.sum_utility,
+            satisfaction: self.runtime_satisfaction(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -173,5 +197,36 @@ mod tests {
     fn estimates_are_floored_at_one() {
         let s = QueryScore::new(Contract::LogDecay, 0.0);
         assert_eq!(s.est_total(), 1.0);
+    }
+
+    #[test]
+    fn zero_emissions_is_unsatisfied_regardless_of_clock() {
+        // The run-time metric is emission-driven: a query that has produced
+        // nothing reads v = 0 whether the virtual clock sits at 0 or far
+        // past every deadline — the clock only enters through the utilities
+        // of actual emissions.
+        let s = QueryScore::new(Contract::Deadline { t_hard: 1.0 }, 10.0);
+        assert_eq!(s.runtime_satisfaction(), 0.0);
+        // Probing utilities deep past the deadline must not perturb it.
+        assert_eq!(s.hypothetical_utility(1e9, 1), 0.0);
+        assert_eq!(s.runtime_satisfaction(), 0.0);
+        assert_eq!(s.count(), 0);
+        // The snapshot agrees with the direct reads.
+        let snap = s.snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.sum_utility, 0.0);
+        assert_eq!(snap.satisfaction, 0.0);
+    }
+
+    #[test]
+    fn snapshot_tracks_emissions() {
+        let mut s = QueryScore::new(Contract::Deadline { t_hard: 10.0 }, 100.0);
+        s.record(5.0);
+        s.record(11.0);
+        let snap = s.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.sum_utility, 1.0);
+        assert!((snap.satisfaction - 0.5).abs() < 1e-12);
+        assert_eq!(snap.satisfaction, s.runtime_satisfaction());
     }
 }

@@ -83,4 +83,42 @@ mod tests {
         let mut w = vec![1.0];
         update_weights(&mut w, &[0.1, 0.2]);
     }
+
+    #[test]
+    fn all_equal_at_extremes_is_noop() {
+        // Degenerate all-equal inputs at both ends of the range: everyone
+        // maximally satisfied and everyone maximally unsatisfied both zero
+        // the denominator, so the weights must pass through untouched.
+        for v in [0.0, 1.0] {
+            let mut w = vec![0.3, 1.7, 2.0];
+            update_weights(&mut w, &[v; 3]);
+            assert_eq!(w, vec![0.3, 1.7, 2.0], "v = {v}");
+        }
+    }
+
+    #[test]
+    fn single_lagging_query_absorbs_the_whole_boost() {
+        // One query lags, the rest are tied at v_max: the lagger receives
+        // the entire unit boost and the satisfied queries receive exactly
+        // nothing.
+        let mut w = vec![1.0; 4];
+        update_weights(&mut w, &[0.9, 0.9, 0.2, 0.9]);
+        assert!((w[2] - 2.0).abs() < 1e-12, "lagging weight: {}", w[2]);
+        for (i, &wi) in w.iter().enumerate() {
+            if i != 2 {
+                assert_eq!(wi, 1.0, "satisfied query {i} was boosted");
+            }
+        }
+    }
+
+    #[test]
+    fn single_query_workload_never_changes() {
+        // With one query, v_i == v_max by definition: Equation 11 has no
+        // one to rebalance toward.
+        let mut w = vec![0.42];
+        for v in [0.0, 0.5, 1.0] {
+            update_weights(&mut w, &[v]);
+            assert_eq!(w, vec![0.42], "v = {v}");
+        }
+    }
 }

@@ -22,7 +22,8 @@ use caqe_contract::{update_weights, QueryScore};
 use caqe_data::Table;
 use caqe_parallel::Threads;
 use caqe_partition::Partitioning;
-use caqe_regions::{buchta_estimate, estimate_ticks, prog_est, region_csm};
+use caqe_regions::{buchta_estimate, estimate_ticks, prog_est, region_csm, ReconciledEstimate};
+use caqe_trace::{NoopSink, SpanKind, TraceEvent, TraceSink};
 use caqe_types::ids::QuerySet;
 use caqe_types::{QueryId, RegionId, SimClock, Stats, Value};
 use std::collections::HashMap;
@@ -65,11 +66,60 @@ pub fn run_engine(
     engine: &EngineConfig,
     start_ticks: u64,
 ) -> RunOutcome {
+    run_engine_traced(
+        name,
+        r,
+        t,
+        workload,
+        exec,
+        engine,
+        start_ticks,
+        &mut NoopSink,
+    )
+}
+
+/// The stable lowercase policy label used in trace decision events.
+fn policy_label(policy: SchedulingPolicy) -> &'static str {
+    match policy {
+        SchedulingPolicy::ContractDriven => "contract",
+        SchedulingPolicy::CountDriven => "count",
+        SchedulingPolicy::Fifo => "fifo",
+    }
+}
+
+/// [`run_engine`] with a trace sink observing every scheduler decision,
+/// emission, estimator audit and phase span.
+///
+/// Tracing is strictly passive: every recording site (including the
+/// recomputation feeding it) sits under `if S::ENABLED`, reads the clock
+/// but never charges it, and with [`NoopSink`] monomorphizes away entirely —
+/// the outcome (stats, ticks, results) is bit-identical with tracing on,
+/// off, or compiled out, at every `parallelism` setting.
+#[allow(clippy::too_many_arguments)]
+pub fn run_engine_traced<S: TraceSink>(
+    name: &str,
+    r: &Table,
+    t: &Table,
+    workload: &Workload,
+    exec: &ExecConfig,
+    engine: &EngineConfig,
+    start_ticks: u64,
+    sink: &mut S,
+) -> RunOutcome {
     let wall_start = Instant::now();
     let threads = Threads::from_config(exec.parallelism);
     let mut clock = SimClock::new(exec.cost_model);
     clock.advance(start_ticks);
     let mut stats = Stats::new();
+    stats.ensure_queries(workload.len());
+    if S::ENABLED {
+        sink.record(TraceEvent::Meta {
+            strategy: name.to_string(),
+            queries: workload.len(),
+            ticks_per_second: exec.cost_model.ticks_per_second,
+            start_tick: start_ticks,
+        });
+    }
 
     // The two partitionings are independent; the quad-tree build is not
     // charged to the virtual clock, so running them concurrently is free of
@@ -79,6 +129,16 @@ pub fn run_engine(
         || Partitioning::build(r, exec.quadtree),
         || Partitioning::build(t, exec.quadtree),
     );
+    if S::ENABLED {
+        // Degenerate span by design: the quad-tree build charges no ticks.
+        sink.record(TraceEvent::Span {
+            kind: SpanKind::PartitionBuild,
+            group: None,
+            region: None,
+            start_tick: start_ticks,
+            end_tick: clock.ticks(),
+        });
+    }
 
     // Blind blocking pipelines never consult the dependency graph; everyone
     // else needs it for scheduling, discarding or emission safety.
@@ -95,6 +155,7 @@ pub fn run_engine(
         threads,
         &mut clock,
         &mut stats,
+        sink,
     );
 
     let nq = workload.len();
@@ -123,7 +184,7 @@ pub fn run_engine(
     // the skipped prefix never needs rescanning.
     let mut fifo_cursors: Vec<usize> = vec![0; groups.len()];
 
-    while let Some((gi, rid)) = select_region(
+    while let Some((gi, rid, score)) = select_region(
         &groups,
         &pendings,
         engine.policy,
@@ -132,6 +193,44 @@ pub fn run_engine(
         &clock,
         &mut fifo_cursors,
     ) {
+        // Trace the decision and capture the schedule-time estimates for the
+        // completion-side audit. Everything here is a pure read of engine
+        // state: the clock is consulted, never charged.
+        let sched_tick = clock.ticks();
+        let join_results_before = stats.join_results;
+        let mut audit = ReconciledEstimate::default();
+        if S::ENABLED {
+            let g = &groups[gi];
+            let reg = g.regions.region(rid);
+            let out_dims = g.mapping.output_dims();
+            audit.est_join = reg.est_join;
+            audit.est_skyline = g
+                .members
+                .iter()
+                .filter(|&&q| reg.serving.contains(q))
+                .map(|&q| buchta_estimate(reg.est_join.max(1.0), g.regions.pref(q).len()))
+                .sum();
+            audit.est_ticks = estimate_ticks(reg, clock.model(), out_dims);
+            let prog: f64 = g
+                .members
+                .iter()
+                .map(|&q| prog_est(&g.regions, &g.dg, reg, q))
+                .sum();
+            let csm = region_csm(&g.regions, &g.dg, reg, &scores, &weights, &clock, out_dims);
+            sink.record(TraceEvent::Decision {
+                tick: sched_tick,
+                group: gi as u32,
+                region: rid.0,
+                policy: policy_label(engine.policy),
+                root: g.dg.is_root(rid),
+                score,
+                csm,
+                prog_est: prog,
+                est_ticks: audit.est_ticks,
+                weights: weights.clone(),
+            });
+        }
+
         // --- Tuple-level processing of the chosen region (§6). ---
         clock.charge_region_overhead();
         stats.regions_processed += 1;
@@ -151,6 +250,27 @@ pub fn run_engine(
         );
 
         groups[gi].regions.region_mut(rid).processed = true;
+
+        if S::ENABLED {
+            let completed_tick = clock.ticks();
+            audit.actual_join = stats.join_results - join_results_before;
+            audit.actual_skyline = new_by_query.iter().map(|v| v.len() as u64).sum();
+            audit.actual_ticks = completed_tick - sched_tick;
+            sink.record(TraceEvent::Span {
+                kind: SpanKind::Region,
+                group: Some(gi as u32),
+                region: Some(rid.0),
+                start_tick: sched_tick,
+                end_tick: completed_tick,
+            });
+            sink.record(TraceEvent::EstimateAudit {
+                scheduled_tick: sched_tick,
+                completed_tick,
+                group: gi as u32,
+                region: rid.0,
+                estimate: audit,
+            });
+        }
 
         // Origins whose pending tuples must be re-examined this round.
         let mut recheck: Vec<u32> = vec![rid.0];
@@ -198,6 +318,7 @@ pub fn run_engine(
                 &mut results,
                 &mut clock,
                 &mut stats,
+                sink,
             );
         }
 
@@ -219,23 +340,34 @@ pub fn run_engine(
         // only now that all processing has finished.
         for g in &groups {
             for (local, &global) in g.members.iter().enumerate() {
-                let mut entries: Vec<(u64, u64, u64)> = g
+                let mut entries: Vec<(u64, u32, u64, u64)> = g
                     .plan
                     .query_skyline_entries(caqe_types::QueryId(local as u16))
                     .iter()
                     .map(|(tag, _)| {
                         let tu = &g.arena[*tag as usize];
-                        (*tag, tu.rid, tu.tid)
+                        (*tag, tu.origin.0, tu.rid, tu.tid)
                     })
                     .collect();
                 entries.sort_unstable();
-                for (_, rid, tid) in entries {
+                for (tag, origin, rid, tid) in entries {
                     clock.charge_emits(1);
-                    stats.tuples_emitted += 1;
                     let ts = clock.now();
                     let u = scores[global.index()].record(ts);
+                    stats.record_emission(global.index(), u);
                     emissions[global.index()].push((ts, u));
                     results[global.index()].push((rid, tid));
+                    if S::ENABLED {
+                        sink.record(TraceEvent::Emission {
+                            tick: clock.ticks(),
+                            query: global.0,
+                            seq: results[global.index()].len() as u64,
+                            rid: origin,
+                            tid: tag,
+                            utility: u,
+                            satisfaction: scores[global.index()].runtime_satisfaction(),
+                        });
+                    }
                 }
             }
         }
@@ -266,7 +398,7 @@ pub fn run_engine(
 
 /// Picks the next region per the scheduling policy: among dependency-graph
 /// roots when any exist (falling back to all alive regions on cycles), the
-/// one with the highest score.
+/// one with the highest score. Returns the winner and its score.
 fn select_region(
     groups: &[JoinGroup],
     pendings: &[PendingState],
@@ -275,7 +407,7 @@ fn select_region(
     weights: &[f64],
     clock: &SimClock,
     fifo_cursors: &mut [usize],
-) -> Option<(usize, RegionId)> {
+) -> Option<(usize, RegionId, f64)> {
     if policy == SchedulingPolicy::Fifo {
         // Amortized O(1): advance each group's cursor past the dead prefix
         // once instead of rescanning every region on every pick.
@@ -287,7 +419,7 @@ fn select_region(
             }
             fifo_cursors[gi] = cursor;
             if cursor < regions.len() {
-                return Some((gi, regions[cursor].id));
+                return Some((gi, regions[cursor].id, 0.0));
             }
         }
         return None;
@@ -346,7 +478,7 @@ fn select_region(
         }
         // No roots (mutual-domination cycle): fall back to all alive.
     }
-    best.map(|(gi, rid, _)| (gi, rid))
+    best
 }
 
 /// Scores one candidate region under the active policy.
@@ -712,7 +844,7 @@ fn point_dominates_rect(p: &[Value], lo: &[Value], mask: caqe_types::DimMask) ->
 /// Emits every pending tuple (of the given origin regions) that can no
 /// longer be dominated by any alive region (§6, Example 19).
 #[allow(clippy::too_many_arguments)]
-fn emit_safe(
+fn emit_safe<S: TraceSink>(
     g: &mut JoinGroup,
     pending: &mut PendingState,
     origins: &[u32],
@@ -721,6 +853,7 @@ fn emit_safe(
     results: &mut [Vec<(u64, u64)>],
     clock: &mut SimClock,
     stats: &mut Stats,
+    sink: &mut S,
 ) {
     for &origin in origins {
         let Some(mut list) = pending.by_origin.remove(&origin) else {
@@ -764,11 +897,22 @@ fn emit_safe(
                     }
                     None => {
                         clock.charge_emits(1);
-                        stats.tuples_emitted += 1;
                         let ts = clock.now();
                         let u = scores[q.index()].record(ts);
+                        stats.record_emission(q.index(), u);
                         emissions[q.index()].push((ts, u));
                         results[q.index()].push((tuple.rid, tuple.tid));
+                        if S::ENABLED {
+                            sink.record(TraceEvent::Emission {
+                                tick: clock.ticks(),
+                                query: q.0,
+                                seq: results[q.index()].len() as u64,
+                                rid: tuple.origin.0,
+                                tid: p.tag,
+                                utility: u,
+                                satisfaction: scores[q.index()].runtime_satisfaction(),
+                            });
+                        }
                         false
                     }
                 }

@@ -15,6 +15,7 @@ use caqe_parallel::Threads;
 use caqe_partition::Partitioning;
 use caqe_regions::depgraph::Edge;
 use caqe_regions::{build_regions, DependencyGraph, RegionBuildInput, RegionSet};
+use caqe_trace::{SpanKind, TraceBuffer, TraceEvent, TraceSink};
 use caqe_types::{DimMask, QueryId, SimClock, Stats, Value};
 
 /// One materialized join tuple living in a group's arena.
@@ -77,8 +78,13 @@ impl JoinGroup {
 /// Construction only ever charges ticks — it never reads the current time —
 /// so the per-worker tick deltas are merged back in fixed group order and
 /// the shared clock lands on exactly the serial value.
+///
+/// Tracing follows the same contract: workers record phase spans with ticks
+/// relative to their private clock into a [`TraceBuffer`], and the buffers
+/// are rebased and drained into `sink` in the same fixed group order as the
+/// tick deltas — so the trace, too, is identical at every worker count.
 #[allow(clippy::too_many_arguments)] // one engine toggle per argument
-pub fn build_groups(
+pub fn build_groups<S: TraceSink>(
     workload: &Workload,
     part_r: &Partitioning,
     part_t: &Partitioning,
@@ -88,6 +94,7 @@ pub fn build_groups(
     threads: Threads,
     clock: &mut SimClock,
     stats: &mut Stats,
+    sink: &mut S,
 ) -> Vec<JoinGroup> {
     // Group by (join column, mapping functions).
     let mut groups: Vec<(usize, MappingSet, Vec<QueryId>)> = Vec::new();
@@ -103,9 +110,10 @@ pub fn build_groups(
     }
 
     let model = *clock.model();
-    let built = caqe_parallel::map_ordered(threads, groups, |_, (join_col, mapping, members)| {
+    let built = caqe_parallel::map_ordered(threads, groups, |gi, (join_col, mapping, members)| {
         let mut wclock = SimClock::new(model);
         let mut wstats = Stats::new();
+        let mut buf = TraceBuffer::new(S::ENABLED);
         let group = build_one_group(
             workload,
             part_r,
@@ -113,23 +121,35 @@ pub fn build_groups(
             exec,
             coarse_pruning,
             build_dg,
+            gi as u32,
             join_col,
             mapping,
             members,
             &mut wclock,
             &mut wstats,
+            &mut buf,
         );
-        (group, wclock.ticks(), wstats)
+        buf.record(TraceEvent::Span {
+            kind: SpanKind::GroupBuild,
+            group: Some(gi as u32),
+            region: None,
+            start_tick: 0,
+            end_tick: wclock.ticks(),
+        });
+        (group, wclock.ticks(), wstats, buf)
     });
 
     // Merge worker deltas in fixed group order: tick charges are additive,
     // so the final clock and stats are independent of worker scheduling.
+    // Each group's trace buffer is rebased to the clock value at which the
+    // serial loop would have started that group.
     let mut out = Vec::with_capacity(built.len());
-    for (group, ticks, wstats) in built {
+    caqe_parallel::fold_ordered(built, &mut out, |out, _, (group, ticks, wstats, buf)| {
+        buf.merge_into(sink, clock.ticks());
         clock.advance(ticks);
         *stats += wstats;
         out.push(group);
-    }
+    });
     out
 }
 
@@ -142,11 +162,13 @@ fn build_one_group(
     exec: &ExecConfig,
     coarse_pruning: bool,
     build_dg: bool,
+    gi: u32,
     join_col: usize,
     mapping: MappingSet,
     members: Vec<QueryId>,
     clock: &mut SimClock,
     stats: &mut Stats,
+    buf: &mut TraceBuffer,
 ) -> JoinGroup {
     let queries: Vec<(QueryId, DimMask)> = members
         .iter()
@@ -160,12 +182,20 @@ fn build_one_group(
         queries: &queries,
         coarse_pruning,
     };
+    let la_start = clock.ticks();
     let regions = build_regions(&input, clock, stats);
     let dg = if build_dg {
         DependencyGraph::build(&regions, clock, stats)
     } else {
         DependencyGraph::empty(regions.len())
     };
+    buf.record(TraceEvent::Span {
+        kind: SpanKind::LookAhead,
+        group: Some(gi),
+        region: None,
+        start_tick: la_start,
+        end_tick: clock.ticks(),
+    });
     let static_threats_in = (0..regions.len())
         .map(|i| dg.threats_in(caqe_types::RegionId(i as u32)).to_vec())
         .collect();
@@ -238,6 +268,7 @@ mod tests {
             Threads::default(),
             &mut clock,
             &mut stats,
+            &mut caqe_trace::NoopSink,
         );
         assert_eq!(groups.len(), 2);
         let g0 = groups.iter().find(|g| g.join_col == 0).unwrap();

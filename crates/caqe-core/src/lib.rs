@@ -29,7 +29,7 @@ pub mod strategy;
 pub mod workload;
 
 pub use config::{EngineConfig, ExecConfig, SchedulingPolicy};
-pub use engine::run_engine;
+pub use engine::{run_engine, run_engine_traced};
 pub use outcome::{QueryOutcome, RunOutcome};
 pub use strategy::{CaqeStrategy, ExecutionStrategy};
 pub use workload::{QuerySpec, Workload, WorkloadBuilder};

@@ -1,10 +1,11 @@
 //! The execution-strategy abstraction the experiment harness compares.
 
 use crate::config::{EngineConfig, ExecConfig};
-use crate::engine::run_engine;
+use crate::engine::{run_engine, run_engine_traced};
 use crate::outcome::RunOutcome;
 use crate::workload::Workload;
 use caqe_data::Table;
+use caqe_trace::{RecordingSink, TraceEvent, TraceSink};
 
 /// A technique that executes a whole workload over a pair of base tables —
 /// CAQE itself or any of the paper's competitors (§7.1).
@@ -14,6 +15,30 @@ pub trait ExecutionStrategy {
 
     /// Executes the workload and reports the outcome.
     fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome;
+
+    /// Executes the workload while recording a deterministic trace.
+    ///
+    /// Takes the concrete [`RecordingSink`] (rather than a generic
+    /// `impl TraceSink`) so the trait stays object-safe — the harness
+    /// compares strategies through `Box<dyn ExecutionStrategy>`. The
+    /// default implementation runs untraced and records only the run
+    /// header, for strategies that predate the tracing layer.
+    fn run_traced(
+        &self,
+        r: &Table,
+        t: &Table,
+        workload: &Workload,
+        exec: &ExecConfig,
+        sink: &mut RecordingSink,
+    ) -> RunOutcome {
+        sink.record(TraceEvent::Meta {
+            strategy: self.name().to_string(),
+            queries: workload.len(),
+            ticks_per_second: exec.cost_model.ticks_per_second,
+            start_tick: 0,
+        });
+        self.run(r, t, workload, exec)
+    }
 }
 
 /// The full CAQE framework.
@@ -27,5 +52,25 @@ impl ExecutionStrategy for CaqeStrategy {
 
     fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome {
         run_engine(self.name(), r, t, workload, exec, &EngineConfig::caqe(), 0)
+    }
+
+    fn run_traced(
+        &self,
+        r: &Table,
+        t: &Table,
+        workload: &Workload,
+        exec: &ExecConfig,
+        sink: &mut RecordingSink,
+    ) -> RunOutcome {
+        run_engine_traced(
+            self.name(),
+            r,
+            t,
+            workload,
+            exec,
+            &EngineConfig::caqe(),
+            0,
+            sink,
+        )
     }
 }

@@ -152,6 +152,57 @@ pub fn estimate_ticks(region: &OutputRegion, model: &CostModel, output_dims: usi
     ticks.ceil() as u64
 }
 
+/// One region's benefit-model predictions reconciled against what actually
+/// happened when the region was processed.
+///
+/// The scheduler commits to a region on the strength of three estimates —
+/// the expected join size, the Buchta skyline estimate (Equation 9) behind
+/// `ProgEst` (Equation 10), and the projected processing ticks behind
+/// Equation 8's completion time. The trace layer records all three at
+/// schedule time and the matching actuals at completion; the relative
+/// errors below are the estimator-accuracy audit the adaptive-lattice
+/// ROADMAP items depend on.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ReconciledEstimate {
+    /// Expected join results of the cell pair (`est_join` of the region).
+    pub est_join: f64,
+    /// Buchta skyline estimate summed over the queries the region served.
+    pub est_skyline: f64,
+    /// Projected processing ticks ([`estimate_ticks`]).
+    pub est_ticks: u64,
+    /// Join results the region actually materialized.
+    pub actual_join: u64,
+    /// Tuples the region actually admitted to a query skyline (summed over
+    /// served queries, counted at insertion time).
+    pub actual_skyline: u64,
+    /// Ticks the region's tuple-level processing actually charged.
+    pub actual_ticks: u64,
+}
+
+/// Relative error `|est − actual| / max(actual, 1)`: the floor keeps
+/// zero-actual regions (fully discarded output) from dividing by zero while
+/// still penalizing estimates that promised output.
+fn relative_error(est: f64, actual: f64) -> f64 {
+    (est - actual).abs() / actual.max(1.0)
+}
+
+impl ReconciledEstimate {
+    /// Relative error of the join-size estimate.
+    pub fn join_rel_error(&self) -> f64 {
+        relative_error(self.est_join, self.actual_join as f64)
+    }
+
+    /// Relative error of the Buchta skyline estimate (Equation 9).
+    pub fn skyline_rel_error(&self) -> f64 {
+        relative_error(self.est_skyline, self.actual_skyline as f64)
+    }
+
+    /// Relative error of the tick (cost) estimate.
+    pub fn ticks_rel_error(&self) -> f64 {
+        relative_error(self.est_ticks as f64, self.actual_ticks as f64)
+    }
+}
+
 /// Equation 8: the Cumulative Satisfaction Metric of a candidate region at
 /// the current virtual time.
 ///
@@ -251,7 +302,7 @@ mod tests {
         // whose worst corner is strictly worse than (2,2): the top-right
         // cell [2,4]x[2,4] is at risk; the bottom-left [0,2]x[0,2] is safe.
         let c0 = prog_count(&set, &dg, set.region(RegionId(0)), q);
-        assert!(c0 >= 1 && c0 < 4, "prog_count(r0) = {c0}");
+        assert!((1..4).contains(&c0), "prog_count(r0) = {c0}");
         // r1 is heavily threatened by r0 (lower corner (0,0) dominates all).
         let c1 = prog_count(&set, &dg, set.region(RegionId(1)), q);
         assert_eq!(c1, 0);
@@ -275,7 +326,7 @@ mod tests {
     #[test]
     fn estimate_ticks_grows_with_work() {
         let model = CostModel::default();
-        let queries = vec![(QueryId(0), DimMask::full(2))];
+        let queries = [(QueryId(0), DimMask::full(2))];
         let all: QuerySet = queries.iter().map(|(q, _)| *q).collect();
         let small = OutputRegion::new(
             RegionId(0),
@@ -355,6 +406,46 @@ mod tests {
             2,
         );
         assert!((w2 - 2.0 * w1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconciled_estimate_relative_errors() {
+        let rec = ReconciledEstimate {
+            est_join: 150.0,
+            est_skyline: 12.0,
+            est_ticks: 2000,
+            actual_join: 100,
+            actual_skyline: 10,
+            actual_ticks: 1000,
+        };
+        assert!((rec.join_rel_error() - 0.5).abs() < 1e-12);
+        assert!((rec.skyline_rel_error() - 0.2).abs() < 1e-12);
+        assert!((rec.ticks_rel_error() - 1.0).abs() < 1e-12);
+        // Perfect estimates read zero error.
+        let exact = ReconciledEstimate {
+            est_join: 100.0,
+            est_skyline: 10.0,
+            est_ticks: 1000,
+            actual_join: 100,
+            actual_skyline: 10,
+            actual_ticks: 1000,
+        };
+        assert_eq!(exact.join_rel_error(), 0.0);
+        assert_eq!(exact.skyline_rel_error(), 0.0);
+        assert_eq!(exact.ticks_rel_error(), 0.0);
+        // Zero actuals: the unit floor keeps the error finite and equal to
+        // the unfulfilled estimate itself.
+        let empty = ReconciledEstimate {
+            est_join: 3.0,
+            est_skyline: 2.0,
+            est_ticks: 5,
+            actual_join: 0,
+            actual_skyline: 0,
+            actual_ticks: 0,
+        };
+        assert!((empty.join_rel_error() - 3.0).abs() < 1e-12);
+        assert!((empty.skyline_rel_error() - 2.0).abs() < 1e-12);
+        assert!((empty.ticks_rel_error() - 5.0).abs() < 1e-12);
     }
 
     #[test]

@@ -28,6 +28,6 @@ pub use build::{build_regions, RegionBuildInput};
 pub use depgraph::DependencyGraph;
 pub use estimate::{
     buchta_estimate, estimate_ticks, prog_count, prog_est, region_csm, soft_prog_count,
-    soft_prog_est,
+    soft_prog_est, ReconciledEstimate,
 };
 pub use region::{OutputRegion, RegionSet};

@@ -1,0 +1,194 @@
+//! The trace event vocabulary.
+//!
+//! Every event carries virtual-clock ticks, never wall time: the trace is a
+//! pure function of (workload, strategy, config-visible knobs), which is
+//! what makes it diffable across runs and parallelism settings.
+
+use caqe_regions::ReconciledEstimate;
+use caqe_types::Ticks;
+
+/// Which engine phase a [`TraceEvent::Span`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    /// Quad-tree partitioning of the base relations (§4).
+    PartitionBuild,
+    /// Building one join group: coarse join, coarse skyline, dependency
+    /// graph (§5.1–§5.2). Carries the group index.
+    GroupBuild,
+    /// Multi-query look-ahead: region construction and pruning inside a
+    /// group build.
+    LookAhead,
+    /// Fine-level execution of one scheduled region (§6).
+    Region,
+}
+
+impl SpanKind {
+    /// Stable lowercase name used in the JSONL and Chrome-trace output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::PartitionBuild => "partition_build",
+            SpanKind::GroupBuild => "group_build",
+            SpanKind::LookAhead => "look_ahead",
+            SpanKind::Region => "region",
+        }
+    }
+}
+
+/// One structured observation of engine behaviour.
+///
+/// Tick fields are absolute virtual-clock readings except inside a
+/// [`TraceBuffer`](crate::TraceBuffer), where they are relative to the
+/// buffer's base until [`offset_ticks`](TraceEvent::offset_ticks) rebases
+/// them at merge time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Run header: identifies the strategy and clock calibration so a trace
+    /// file is self-describing.
+    Meta {
+        strategy: String,
+        queries: usize,
+        ticks_per_second: f64,
+        start_tick: Ticks,
+    },
+    /// A phase with tick-weighted duration `[start_tick, end_tick]`.
+    Span {
+        kind: SpanKind,
+        /// Join-group index, when the phase belongs to one group.
+        group: Option<u32>,
+        /// Region id, for [`SpanKind::Region`] spans.
+        region: Option<u32>,
+        start_tick: Ticks,
+        end_tick: Ticks,
+    },
+    /// The scheduler committed to a region: the full decision record.
+    Decision {
+        tick: Ticks,
+        group: u32,
+        region: u32,
+        /// Policy branch taken: `"contract"`, `"count"` or `"fifo"`.
+        policy: &'static str,
+        /// Whether the region was a dependency-graph root at pick time.
+        root: bool,
+        /// The score the policy ranked candidates by.
+        score: f64,
+        /// Cumulative Satisfaction Metric, Equation 8.
+        csm: f64,
+        /// Progressiveness estimate, Equation 10.
+        prog_est: f64,
+        /// Projected fine-level cost of the region, in ticks.
+        est_ticks: Ticks,
+        /// Live per-query weights (Equation 11) at decision time.
+        weights: Vec<f64>,
+    },
+    /// One result tuple crossed the emission boundary.
+    Emission {
+        tick: Ticks,
+        /// Owning query index.
+        query: u16,
+        /// 1-based emission ordinal *within* the owning query.
+        seq: u64,
+        /// Region the tuple was produced in (`u32::MAX` when the strategy
+        /// has no region notion, e.g. baselines).
+        rid: u32,
+        /// Join-result ordinal the tuple came from.
+        tid: u64,
+        /// Utility awarded by the contract's decay function.
+        utility: f64,
+        /// Running satisfaction `v(Q_i, t)` *after* this emission.
+        satisfaction: f64,
+    },
+    /// Schedule-time estimates reconciled against region completion.
+    EstimateAudit {
+        scheduled_tick: Ticks,
+        completed_tick: Ticks,
+        group: u32,
+        region: u32,
+        estimate: ReconciledEstimate,
+    },
+}
+
+impl TraceEvent {
+    /// Rebases every tick field by `base` — used when merging a worker's
+    /// relative-tick buffer into the absolute timeline.
+    pub fn offset_ticks(&mut self, base: Ticks) {
+        match self {
+            TraceEvent::Meta { start_tick, .. } => *start_tick += base,
+            TraceEvent::Span {
+                start_tick,
+                end_tick,
+                ..
+            } => {
+                *start_tick += base;
+                *end_tick += base;
+            }
+            TraceEvent::Decision { tick, .. } => *tick += base,
+            TraceEvent::Emission { tick, .. } => *tick += base,
+            TraceEvent::EstimateAudit {
+                scheduled_tick,
+                completed_tick,
+                ..
+            } => {
+                *scheduled_tick += base;
+                *completed_tick += base;
+            }
+        }
+    }
+
+    /// The event's primary timestamp, for ordering checks.
+    pub fn tick(&self) -> Ticks {
+        match self {
+            TraceEvent::Meta { start_tick, .. } => *start_tick,
+            TraceEvent::Span { start_tick, .. } => *start_tick,
+            TraceEvent::Decision { tick, .. } => *tick,
+            TraceEvent::Emission { tick, .. } => *tick,
+            TraceEvent::EstimateAudit { scheduled_tick, .. } => *scheduled_tick,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offset_rebases_every_tick_field() {
+        let mut ev = TraceEvent::Span {
+            kind: SpanKind::GroupBuild,
+            group: Some(2),
+            region: None,
+            start_tick: 10,
+            end_tick: 25,
+        };
+        ev.offset_ticks(100);
+        assert_eq!(
+            ev,
+            TraceEvent::Span {
+                kind: SpanKind::GroupBuild,
+                group: Some(2),
+                region: None,
+                start_tick: 110,
+                end_tick: 125,
+            }
+        );
+
+        let mut ev = TraceEvent::Emission {
+            tick: 7,
+            query: 1,
+            seq: 3,
+            rid: 9,
+            tid: 40,
+            utility: 0.5,
+            satisfaction: 0.25,
+        };
+        ev.offset_ticks(13);
+        assert_eq!(ev.tick(), 20);
+    }
+
+    #[test]
+    fn span_kind_names_are_stable() {
+        assert_eq!(SpanKind::PartitionBuild.name(), "partition_build");
+        assert_eq!(SpanKind::GroupBuild.name(), "group_build");
+        assert_eq!(SpanKind::LookAhead.name(), "look_ahead");
+        assert_eq!(SpanKind::Region.name(), "region");
+    }
+}

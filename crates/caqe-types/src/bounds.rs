@@ -300,8 +300,8 @@ mod tests {
             assert!(r.contains_point(c.lo()));
             assert!(r.contains_point(c.hi()));
         }
-        assert!(g.iter().any(|c| c.lo() == &[0.0, 0.0]));
-        assert!(g.iter().any(|c| c.hi() == &[4.0, 8.0]));
+        assert!(g.iter().any(|c| c.lo() == [0.0, 0.0]));
+        assert!(g.iter().any(|c| c.hi() == [4.0, 8.0]));
     }
 
     #[test]

@@ -12,6 +12,11 @@
 /// Virtual time expressed in seconds.
 pub type VirtualSeconds = f64;
 
+/// Virtual time expressed in raw clock ticks — the unit trace events are
+/// keyed on. Ticks are exact integers, so equality comparisons across runs
+/// (the determinism guarantee) never involve floating-point rounding.
+pub type Ticks = u64;
+
 /// Tick prices for the elementary operations of skyline-over-join
 /// processing. The defaults approximate the relative CPU cost of each
 /// operation; what matters for the reproduction is that the *same* model is

@@ -23,10 +23,10 @@ pub mod subspace;
 
 pub use bounds::Rect;
 pub use bounds::RegionRelation;
-pub use clock::{CostModel, SimClock, VirtualSeconds};
+pub use clock::{CostModel, SimClock, Ticks, VirtualSeconds};
 pub use dominance::{dominates, dominates_in, relate, relate_in, DomRelation};
 pub use ids::{CellId, QueryId, QuerySet, RegionId};
-pub use stats::Stats;
+pub use stats::{PerQueryStats, Stats};
 pub use subspace::DimMask;
 
 /// Attribute values throughout the system.

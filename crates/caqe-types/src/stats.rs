@@ -5,8 +5,27 @@
 
 use std::ops::AddAssign;
 
+/// Per-query emission counters: the raw material of the Figure 9/11
+/// per-query satisfaction breakdowns, accumulated directly by the
+/// executors instead of being reconstructed from emission logs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PerQueryStats {
+    /// Result tuples emitted for this query.
+    pub tuples_emitted: u64,
+    /// Sum of the utilities awarded to this query's emissions (the
+    /// numerator of the run-time satisfaction metric `v(Q_i, t)`).
+    pub utility_sum: f64,
+}
+
+impl AddAssign for PerQueryStats {
+    fn add_assign(&mut self, rhs: PerQueryStats) {
+        self.tuples_emitted += rhs.tuples_emitted;
+        self.utility_sum += rhs.utility_sum;
+    }
+}
+
 /// Counters accumulated by an execution strategy over a whole workload run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Stats {
     /// Join-candidate pairs examined (probe attempts).
     pub join_probes: u64,
@@ -31,12 +50,33 @@ pub struct Stats {
     pub regions_pruned: u64,
     /// Join results discarded because their output cell was dominated.
     pub tuples_discarded: u64,
+    /// Per-query breakdown of emissions and utility, indexed by `QueryId`.
+    /// Empty until an executor sizes it to the workload; worker-thread stat
+    /// deltas carry it empty, so merges never misattribute across indices.
+    pub per_query: Vec<PerQueryStats>,
 }
 
 impl Stats {
-    /// A zeroed counter set.
+    /// A zeroed counter set (workload-global totals only; call
+    /// [`Stats::ensure_queries`] to open the per-query breakdown).
     pub fn new() -> Self {
         Stats::default()
+    }
+
+    /// Sizes the per-query breakdown to at least `n` entries.
+    pub fn ensure_queries(&mut self, n: usize) {
+        if self.per_query.len() < n {
+            self.per_query.resize(n, PerQueryStats::default());
+        }
+    }
+
+    /// Credits one emission with utility `u` to query index `q`, growing
+    /// the breakdown on demand.
+    pub fn record_emission(&mut self, q: usize, u: f64) {
+        self.tuples_emitted += 1;
+        self.ensure_queries(q + 1);
+        self.per_query[q].tuples_emitted += 1;
+        self.per_query[q].utility_sum += u;
     }
 }
 
@@ -51,6 +91,10 @@ impl AddAssign for Stats {
         self.regions_processed += rhs.regions_processed;
         self.regions_pruned += rhs.regions_pruned;
         self.tuples_discarded += rhs.tuples_discarded;
+        self.ensure_queries(rhs.per_query.len());
+        for (mine, theirs) in self.per_query.iter_mut().zip(rhs.per_query) {
+            *mine += theirs;
+        }
     }
 }
 
@@ -70,16 +114,56 @@ mod tests {
             regions_processed: 6,
             regions_pruned: 7,
             tuples_discarded: 8,
+            per_query: vec![PerQueryStats {
+                tuples_emitted: 5,
+                utility_sum: 2.5,
+            }],
         };
-        a += a;
+        a += a.clone();
         assert_eq!(a.join_probes, 2);
         assert_eq!(a.region_comparisons, 18);
         assert_eq!(a.tuples_discarded, 16);
+        assert_eq!(a.per_query[0].tuples_emitted, 10);
+        assert!((a.per_query[0].utility_sum - 5.0).abs() < 1e-12);
     }
 
     #[test]
     fn default_is_zero() {
         assert_eq!(Stats::new(), Stats::default());
         assert_eq!(Stats::new().join_results, 0);
+        assert!(Stats::new().per_query.is_empty());
+    }
+
+    #[test]
+    fn per_query_merge_handles_length_mismatch() {
+        let mut a = Stats::new();
+        a.ensure_queries(1);
+        a.per_query[0].tuples_emitted = 3;
+        let mut b = Stats::new();
+        b.ensure_queries(3);
+        b.per_query[2].utility_sum = 1.5;
+        a += b;
+        assert_eq!(a.per_query.len(), 3);
+        assert_eq!(a.per_query[0].tuples_emitted, 3);
+        assert_eq!(a.per_query[1], PerQueryStats::default());
+        assert!((a.per_query[2].utility_sum - 1.5).abs() < 1e-12);
+        // Merging an empty (worker-delta) breakdown changes nothing.
+        let snapshot = a.clone();
+        a += Stats::new();
+        assert_eq!(a.per_query, snapshot.per_query);
+    }
+
+    #[test]
+    fn record_emission_grows_and_credits() {
+        let mut s = Stats::new();
+        s.record_emission(2, 0.5);
+        s.record_emission(2, 0.25);
+        s.record_emission(0, 1.0);
+        assert_eq!(s.tuples_emitted, 3);
+        assert_eq!(s.per_query.len(), 3);
+        assert_eq!(s.per_query[2].tuples_emitted, 2);
+        assert!((s.per_query[2].utility_sum - 0.75).abs() < 1e-12);
+        assert_eq!(s.per_query[1].tuples_emitted, 0);
+        assert_eq!(s.per_query[0].tuples_emitted, 1);
     }
 }

@@ -34,6 +34,10 @@ pub use caqe_contract as contract;
 /// Output regions, dependency graph and the contract-driven benefit model.
 pub use caqe_regions as regions;
 
+/// Deterministic event tracing: scheduler decisions, satisfaction
+/// timelines, estimator audits and phase spans over virtual time.
+pub use caqe_trace as trace;
+
 /// The CAQE framework: workload model, optimizer and contract-aware executor.
 pub use caqe_core as core;
 

@@ -116,6 +116,59 @@ fn chunked_probe_path_is_bit_identical() {
 }
 
 #[test]
+fn trace_is_bit_identical_at_every_parallelism() {
+    // The recorded trace — not just the outcome — must be a pure function
+    // of the workload: serialize the full event stream and compare bytes
+    // across worker counts, including the chunked-probe regime.
+    let w = workload();
+    let (r, t) = tables(1600, Distribution::Independent, 99);
+    let serial = ExecConfig::default().with_target_cells(1600, 2);
+    let mut base_sink = caqe::trace::RecordingSink::new();
+    let base = CaqeStrategy.run_traced(&r, &t, &w, &serial, &mut base_sink);
+    let base_jsonl = caqe::trace::to_jsonl(base_sink.events());
+    assert!(base.total_results() > 0, "degenerate workload");
+    assert!(
+        base_sink
+            .events()
+            .iter()
+            .any(|e| matches!(e, caqe::trace::TraceEvent::Decision { .. })),
+        "trace recorded no scheduler decisions"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let mut sink = caqe::trace::RecordingSink::new();
+        let out = CaqeStrategy.run_traced(
+            &r,
+            &t,
+            &w,
+            &serial.with_parallelism(Some(threads)),
+            &mut sink,
+        );
+        assert_identical(&base, &out, &format!("traced threads={threads}"));
+        assert_eq!(
+            base_jsonl,
+            caqe::trace::to_jsonl(sink.events()),
+            "trace bytes diverged at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn recording_sink_does_not_perturb_the_run() {
+    // Observation must not interfere: a traced run and a no-op-sink run
+    // agree on every observable, and tracing costs zero virtual ticks.
+    let w = workload();
+    let (r, t) = tables(500, Distribution::Independent, 41);
+    let exec = ExecConfig::default()
+        .with_target_cells(500, 8)
+        .with_parallelism(Some(4));
+    let plain = CaqeStrategy.run(&r, &t, &w, &exec);
+    let mut sink = caqe::trace::RecordingSink::new();
+    let traced = CaqeStrategy.run_traced(&r, &t, &w, &exec, &mut sink);
+    assert!(!sink.events().is_empty(), "recording sink captured nothing");
+    assert_identical(&plain, &traced, "noop-vs-recording");
+}
+
+#[test]
 fn fifo_baseline_is_thread_invariant_too() {
     // S-JFSL exercises the FIFO cursor path and the blocking pipeline.
     let w = workload();
