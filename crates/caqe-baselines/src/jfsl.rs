@@ -3,10 +3,10 @@
 use caqe_contract::QueryScore;
 use caqe_core::{ExecConfig, ExecutionStrategy, QueryOutcome, RunOutcome, Workload};
 use caqe_data::Table;
-use caqe_operators::{hash_join_project, skyline_bnl, JoinSpec};
+use caqe_operators::{hash_join_project_store, skyline_bnl_store, JoinSpec};
 use caqe_regions::buchta_estimate;
 use caqe_trace::{NoopSink, RecordingSink, TraceEvent, TraceSink};
-use caqe_types::{SimClock, Stats};
+use caqe_types::{DomKernel, SimClock, Stats};
 use std::time::Instant;
 
 /// Join-first-skyline-later: per query (priority order), materialize the
@@ -41,8 +41,9 @@ impl JfslStrategy {
 
         for qid in workload.by_priority() {
             let spec = workload.query(qid);
-            // Full join, repeated per query: no shared sub-expressions.
-            let join = hash_join_project(
+            // Full join, repeated per query: no shared sub-expressions. The
+            // join output lands directly in a flat point store.
+            let join = hash_join_project_store(
                 r.records(),
                 t.records(),
                 JoinSpec::on_column(spec.join_col),
@@ -50,11 +51,11 @@ impl JfslStrategy {
                 &mut clock,
                 &mut stats,
             );
-            let points: Vec<Vec<f64>> = join.iter().map(|o| o.vals.clone()).collect();
             // Blocking skyline: nothing is reported until it completes.
-            let sky = skyline_bnl(&points, spec.pref, &mut clock, &mut stats);
+            let kernel = DomKernel::new(spec.pref, join.store.stride());
+            let sky = skyline_bnl_store(&join.store, &kernel, &mut clock, &mut stats);
 
-            let est = buchta_estimate(points.len().max(1) as f64, spec.pref.len());
+            let est = buchta_estimate(join.len().max(1) as f64, spec.pref.len());
             let mut score = QueryScore::new(spec.contract.clone(), est);
             let mut emissions = Vec::with_capacity(sky.len());
             let mut results = Vec::with_capacity(sky.len());
@@ -64,7 +65,7 @@ impl JfslStrategy {
                 let u = score.record(ts);
                 stats.record_emission(qid.index(), u);
                 emissions.push((ts, u));
-                results.push((join[i].rid, join[i].tid));
+                results.push(join.pairs[i]);
                 if S::ENABLED {
                     sink.record(TraceEvent::Emission {
                         tick: clock.ticks(),

@@ -3,10 +3,10 @@
 use caqe_contract::QueryScore;
 use caqe_core::{ExecConfig, ExecutionStrategy, QueryOutcome, RunOutcome, Workload};
 use caqe_data::Table;
-use caqe_operators::{hash_join_project, monotone_score, JoinSpec};
+use caqe_operators::{hash_join_project_store, JoinSpec};
 use caqe_regions::buchta_estimate;
 use caqe_trace::{NoopSink, RecordingSink, TraceEvent, TraceSink};
-use caqe_types::{relate_in, DomRelation, SimClock, Stats};
+use caqe_types::{DomKernel, DomRelation, SimClock, Stats};
 use std::time::Instant;
 
 /// Skyline-Sort-Merge-Join: per query (priority order), materialize the
@@ -42,7 +42,7 @@ impl SsmjStrategy {
 
         for qid in workload.by_priority() {
             let spec = workload.query(qid);
-            let join = hash_join_project(
+            let join = hash_join_project_store(
                 r.records(),
                 t.records(),
                 JoinSpec::on_column(spec.join_col),
@@ -54,12 +54,14 @@ impl SsmjStrategy {
             // time upfront (these are sort comparisons, not dominance
             // comparisons, so they advance the clock but not the CPU
             // metric — matching what the paper measures in Fig. 10.b).
+            // Scores are computed once per tuple, not inside the comparator;
+            // the stable sort gives the identical order either way.
+            let kernel = DomKernel::new(spec.pref, join.store.stride());
             let m = join.len();
+            let scores_by_tuple: Vec<f64> =
+                (0..m).map(|i| kernel.score(join.store.at(i))).collect();
             let mut order: Vec<usize> = (0..m).collect();
-            order.sort_by(|&a, &b| {
-                monotone_score(&join[a].vals, spec.pref)
-                    .total_cmp(&monotone_score(&join[b].vals, spec.pref))
-            });
+            order.sort_by(|&a, &b| scores_by_tuple[a].total_cmp(&scores_by_tuple[b]));
             if m > 1 {
                 let sort_cost = (m as f64 * (m as f64).log2()).ceil() as u64;
                 clock.charge_sort_cmps(sort_cost);
@@ -76,7 +78,7 @@ impl SsmjStrategy {
                 for &s in &sky {
                     clock.charge_dom_cmps(1);
                     stats.dom_comparisons += 1;
-                    match relate_in(&join[s].vals, &join[i].vals, spec.pref) {
+                    match kernel.relate(join.store.at(s), join.store.at(i)) {
                         DomRelation::Dominates => continue 'next,
                         DomRelation::DominatedBy => {
                             unreachable!("monotone sort violated")
@@ -90,7 +92,7 @@ impl SsmjStrategy {
                 let u = score.record(ts);
                 stats.record_emission(qid.index(), u);
                 emissions.push((ts, u));
-                results.push((join[i].rid, join[i].tid));
+                results.push(join.pairs[i]);
                 if S::ENABLED {
                     sink.record(TraceEvent::Emission {
                         tick: clock.ticks(),

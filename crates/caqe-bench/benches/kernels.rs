@@ -1,0 +1,171 @@
+//! Criterion micro-benchmarks for the flat-layout migration (DESIGN.md §12):
+//! every pair is the seed-era `Vec<Vec<f64>>`/`HashMap` kernel (`legacy/*`)
+//! against its `PointStore`/`DomKernel` replacement (`flat/*`), performing
+//! the *identical* comparison sequence — the measured difference is pure
+//! data layout, allocation and kernel specialization.
+//!
+//! CI runs this suite in quick mode as a smoke test; `bench_pr3` measures
+//! the composite wall-clock speedup on the fig9-style workload.
+
+use caqe_bench::legacy::{
+    legacy_hash_join_project, legacy_skyline_bnl, legacy_skyline_sfs, LegacyIncrementalSkyline,
+};
+use caqe_data::{Distribution, TableGenerator};
+use caqe_operators::{
+    hash_join_project_store, skyline_bnl_store, skyline_sfs_store, IncrementalSkyline, JoinSpec,
+    MappingSet,
+};
+use caqe_types::{DimMask, DomKernel, PointStore, SimClock, Stats};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn points(n: usize, d: usize, dist: Distribution) -> Vec<Vec<f64>> {
+    TableGenerator::new(n, d, dist)
+        .generate("B")
+        .records()
+        .iter()
+        .map(|r| r.vals.clone())
+        .collect()
+}
+
+fn intern(pts: &[Vec<f64>], d: usize) -> PointStore {
+    let mut store = PointStore::with_capacity(d, pts.len());
+    for p in pts {
+        store.push(p);
+    }
+    store
+}
+
+fn bench_skyline_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/skyline");
+    for dist in Distribution::ALL {
+        let pts = points(1500, 4, dist);
+        let mask = DimMask::full(4);
+        let store = intern(&pts, 4);
+        let kernel = DomKernel::new(mask, 4);
+        group.bench_with_input(
+            BenchmarkId::new("legacy_bnl", dist.label()),
+            &pts,
+            |b, pts| {
+                b.iter(|| {
+                    let mut clock = SimClock::default();
+                    let mut stats = Stats::new();
+                    black_box(legacy_skyline_bnl(pts, mask, &mut clock, &mut stats))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flat_bnl", dist.label()),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    let mut clock = SimClock::default();
+                    let mut stats = Stats::new();
+                    black_box(skyline_bnl_store(store, &kernel, &mut clock, &mut stats))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("legacy_sfs", dist.label()),
+            &pts,
+            |b, pts| {
+                b.iter(|| {
+                    let mut clock = SimClock::default();
+                    let mut stats = Stats::new();
+                    black_box(legacy_skyline_sfs(pts, mask, &mut clock, &mut stats))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("flat_sfs", dist.label()),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    let mut clock = SimClock::default();
+                    let mut stats = Stats::new();
+                    black_box(skyline_sfs_store(store, &kernel, &mut clock, &mut stats))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_incremental_kernels(c: &mut Criterion) {
+    let pts = points(2000, 4, Distribution::Anticorrelated);
+    let mask = DimMask::from_dims([0, 2]);
+    let mut group = c.benchmark_group("kernels/incremental");
+    group.bench_function("legacy_insert_stream", |b| {
+        b.iter(|| {
+            let mut sky = LegacyIncrementalSkyline::new(mask);
+            let mut clock = SimClock::default();
+            let mut stats = Stats::new();
+            for (i, p) in pts.iter().enumerate() {
+                black_box(sky.insert(i as u64, p, &mut clock, &mut stats));
+            }
+            sky.len()
+        })
+    });
+    group.bench_function("flat_insert_stream", |b| {
+        b.iter(|| {
+            let mut sky = IncrementalSkyline::new(mask);
+            let mut clock = SimClock::default();
+            let mut stats = Stats::new();
+            for (i, p) in pts.iter().enumerate() {
+                black_box(sky.insert(i as u64, p, &mut clock, &mut stats));
+            }
+            sky.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_join_kernels(c: &mut Criterion) {
+    let gen = TableGenerator::new(1200, 2, Distribution::Independent)
+        .with_selectivities(&[0.02])
+        .with_seed(0xBE11C);
+    let r = gen.generate("R");
+    let t = gen.generate("T");
+    let mapping = MappingSet::mixed(2, 2, 4);
+    let spec = JoinSpec::on_column(0);
+    let mut group = c.benchmark_group("kernels/join");
+    group.bench_function("legacy_hash_map", |b| {
+        b.iter(|| {
+            let mut clock = SimClock::default();
+            let mut stats = Stats::new();
+            black_box(legacy_hash_join_project(
+                r.records(),
+                t.records(),
+                spec,
+                &mapping,
+                &mut clock,
+                &mut stats,
+            ))
+            .len()
+        })
+    });
+    group.bench_function("flat_sorted_runs", |b| {
+        b.iter(|| {
+            let mut clock = SimClock::default();
+            let mut stats = Stats::new();
+            black_box(hash_join_project_store(
+                r.records(),
+                t.records(),
+                spec,
+                &mapping,
+                &mut clock,
+                &mut stats,
+            ))
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_skyline_kernels,
+    bench_incremental_kernels,
+    bench_join_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,221 @@
+//! Single-thread kernel speedup of the flat-layout migration (DESIGN.md
+//! §12), recorded in `BENCH_PR3.json`.
+//!
+//! Replays the kernel work of the fig9-style BENCH_PR2 workload (same
+//! tables: n=2500 per side, seed 0xBE11C; same eight queries) through both
+//! implementations of every migrated hot path — join + projection, BNL and
+//! SFS skylines, and the streaming skyline insert — once with the seed-era
+//! `Vec<Vec<f64>>`/`HashMap` kernels ([`caqe_bench::legacy`]) and once with
+//! the `PointStore`/`DomKernel` kernels that replaced them. Both paths are
+//! verified to perform the *identical* comparison sequence (same `Stats`,
+//! same results) before any timing is reported, so `speedup` prices the
+//! data layout and kernel specialization alone — hence
+//! `"measures": "kernel"`, as opposed to BENCH_PR2's threading ratio.
+//!
+//! ```text
+//! cargo run --release -p caqe-bench --bin bench_pr3 -- [--n <rows>]
+//!     [--cells <per-table>] [--reps <r>] [--out <path>]
+//! ```
+
+use caqe_bench::json::ObjectWriter;
+use caqe_bench::legacy::{
+    legacy_hash_join_project, legacy_skyline_bnl, legacy_skyline_sfs, LegacyIncrementalSkyline,
+};
+use caqe_bench::report::cli_arg;
+use caqe_contract::Contract;
+use caqe_core::{QuerySpec, Workload};
+use caqe_data::{Distribution, Table, TableGenerator};
+use caqe_operators::{
+    hash_join_project_store, skyline_bnl_store, skyline_sfs_store, IncrementalSkyline, JoinSpec,
+    MappingFn, MappingSet,
+};
+use caqe_types::{DimMask, DomKernel, SimClock, Stats};
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+/// Same four mapping variants as BENCH_PR2's `par_speedup` workload.
+fn mapping_variant(v: usize) -> MappingSet {
+    let fns = (0..4)
+        .map(|j| {
+            let mut wr = vec![0.0; 2];
+            let mut wt = vec![0.0; 2];
+            wr[j % 2] = 1.0 + 0.05 * v as f64;
+            wt[(j + v) % 2] = 1.0 + 0.1 * j as f64;
+            MappingFn::new(wr, wt, 0.0)
+        })
+        .collect();
+    MappingSet::new(fns)
+}
+
+/// The eight-query BENCH_PR2 workload: four mapping variants × two
+/// preference subspaces, alternating join columns.
+fn workload() -> Workload {
+    let mut queries = Vec::new();
+    for v in 0..4 {
+        let mapping = mapping_variant(v);
+        for (pref, priority) in [
+            (DimMask::from_dims([0, 1]), 0.8),
+            (DimMask::from_dims([2, 3]), 0.4),
+        ] {
+            queries.push(QuerySpec {
+                join_col: v % 2,
+                mapping: mapping.clone(),
+                pref,
+                priority,
+                contract: Contract::LogDecay,
+            });
+        }
+    }
+    Workload::new(queries)
+}
+
+/// One query's kernel replay result: everything both paths must agree on.
+#[derive(PartialEq)]
+struct Replay {
+    pairs: Vec<(u64, u64)>,
+    bnl: Vec<usize>,
+    sfs: Vec<usize>,
+    incremental_tags: Vec<u64>,
+    stats: Stats,
+    ticks: u64,
+}
+
+/// Seed-era kernels: per-tuple `Vec` allocation, `relate_in`, `HashMap`.
+fn replay_legacy(r: &Table, t: &Table, spec: &QuerySpec) -> Replay {
+    let mut clock = SimClock::default();
+    let mut stats = Stats::new();
+    let join = legacy_hash_join_project(
+        r.records(),
+        t.records(),
+        JoinSpec::on_column(spec.join_col),
+        &spec.mapping,
+        &mut clock,
+        &mut stats,
+    );
+    let points: Vec<Vec<f64>> = join.iter().map(|o| o.vals.clone()).collect();
+    let bnl = legacy_skyline_bnl(&points, spec.pref, &mut clock, &mut stats);
+    let sfs = legacy_skyline_sfs(&points, spec.pref, &mut clock, &mut stats);
+    let mut sky = LegacyIncrementalSkyline::new(spec.pref);
+    for (i, p) in points.iter().enumerate() {
+        sky.insert(i as u64, p, &mut clock, &mut stats);
+    }
+    Replay {
+        pairs: join.iter().map(|o| (o.rid, o.tid)).collect(),
+        bnl,
+        sfs,
+        incremental_tags: sky.tags().collect(),
+        stats,
+        ticks: clock.ticks(),
+    }
+}
+
+/// Migrated kernels: flat `PointStore`, specialized `DomKernel`s.
+fn replay_flat(r: &Table, t: &Table, spec: &QuerySpec) -> Replay {
+    let mut clock = SimClock::default();
+    let mut stats = Stats::new();
+    let join = hash_join_project_store(
+        r.records(),
+        t.records(),
+        JoinSpec::on_column(spec.join_col),
+        &spec.mapping,
+        &mut clock,
+        &mut stats,
+    );
+    let kernel = DomKernel::new(spec.pref, join.store.stride());
+    let bnl = skyline_bnl_store(&join.store, &kernel, &mut clock, &mut stats);
+    let sfs = skyline_sfs_store(&join.store, &kernel, &mut clock, &mut stats);
+    let mut sky = IncrementalSkyline::new(spec.pref);
+    for i in 0..join.len() {
+        sky.insert(i as u64, join.store.at(i), &mut clock, &mut stats);
+    }
+    Replay {
+        pairs: join.pairs,
+        bnl,
+        sfs,
+        incremental_tags: sky.tags().collect(),
+        stats,
+        ticks: clock.ticks(),
+    }
+}
+
+/// Best-of-`reps` wall seconds for replaying every query through `f`.
+fn measure(
+    r: &Table,
+    t: &Table,
+    w: &Workload,
+    reps: usize,
+    f: impl Fn(&Table, &Table, &QuerySpec) -> Replay,
+) -> (f64, Vec<Replay>) {
+    let mut best = f64::INFINITY;
+    let mut replays = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let out: Vec<Replay> = w.queries().iter().map(|q| f(r, t, q)).collect();
+        best = best.min(start.elapsed().as_secs_f64());
+        replays = Some(out);
+    }
+    (best, replays.expect("reps >= 1"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = cli_arg(&args, "--n").map_or(2500, |s| s.parse().expect("--n"));
+    let cells: usize = cli_arg(&args, "--cells").map_or(22, |s| s.parse().expect("--cells"));
+    let reps: usize = cli_arg(&args, "--reps").map_or(3, |s| s.parse().expect("--reps"));
+    let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR3.json".to_string());
+
+    let gen = TableGenerator::new(n, 2, Distribution::Independent)
+        .with_selectivities(&[0.02, 0.03])
+        .with_seed(0xBE11C);
+    let (r, t) = (gen.generate("R"), gen.generate("T"));
+    let w = workload();
+
+    let (legacy_secs, legacy_out) = measure(&r, &t, &w, reps, replay_legacy);
+    let (flat_secs, flat_out) = measure(&r, &t, &w, reps, replay_flat);
+
+    // The migration contract: same comparisons, same counts, same results —
+    // only the layout changed. Verified before any number is reported.
+    let mut dom_comparisons = 0u64;
+    let mut join_results = 0u64;
+    for (q, (a, b)) in legacy_out.iter().zip(&flat_out).enumerate() {
+        assert_eq!(a.pairs, b.pairs, "q{q}: join output diverged");
+        assert_eq!(a.bnl, b.bnl, "q{q}: BNL skyline diverged");
+        assert_eq!(a.sfs, b.sfs, "q{q}: SFS skyline diverged");
+        assert_eq!(
+            a.incremental_tags, b.incremental_tags,
+            "q{q}: incremental skyline diverged"
+        );
+        assert_eq!(a.stats, b.stats, "q{q}: stats diverged");
+        assert_eq!(a.ticks, b.ticks, "q{q}: virtual clock diverged");
+        dom_comparisons += a.stats.dom_comparisons;
+        join_results += a.stats.join_results;
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    let speedup = legacy_secs / flat_secs;
+    let mut obj = ObjectWriter::new();
+    obj.string("bench", "bench_pr3")
+        .uint("n", n as u64)
+        .uint("cells_per_table", cells as u64)
+        .uint("queries", w.len() as u64)
+        .uint("threads", 1)
+        .uint("host_cores", cores as u64)
+        .uint("reps", reps as u64)
+        .string("measures", "kernel")
+        .number("legacy_wall_seconds", legacy_secs)
+        .number("flat_wall_seconds", flat_secs)
+        .number("speedup", speedup)
+        .uint("join_results", join_results)
+        .uint("dom_comparisons", dom_comparisons)
+        .bool("counts_identical", true);
+    let json = obj.finish();
+    std::fs::write(&out_path, format!("{json}\n")).expect("write bench json");
+    println!(
+        "kernel replay, n={n}, {} queries, single thread: legacy {legacy_secs:.3}s, \
+         flat {flat_secs:.3}s -> {speedup:.2}x ({dom_comparisons} dom cmps, \
+         {join_results} join results, counts identical) ({out_path})",
+        w.len()
+    );
+}

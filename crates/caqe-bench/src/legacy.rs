@@ -1,0 +1,272 @@
+//! Seed-era hot-path implementations, preserved verbatim as the benchmark
+//! baseline for the flat-layout migration (DESIGN.md §12).
+//!
+//! These are the `Vec<Vec<f64>>` + `HashMap` kernels the engine shipped with
+//! before the [`caqe_types::PointStore`] / [`caqe_types::DomKernel`]
+//! rewrite: one heap allocation per projected tuple, `relate_in` walking the
+//! full mask per comparison, and SFS recomputing the monotone score inside
+//! the sort comparator. They charge the virtual clock and [`Stats`] exactly
+//! like their replacements, so `bench_pr3` can assert that the two paths
+//! perform *identical* comparison counts while timing only the layout and
+//! kernel specialization — the quantity BENCH_PR3.json's `speedup` reports.
+//!
+//! Nothing outside the bench crate may depend on this module.
+
+use caqe_data::Record;
+use caqe_operators::{InsertOutcome, JoinSpec, MappingSet, OutTuple};
+use caqe_types::{relate_in, DimMask, DomRelation, SimClock, Stats, Value};
+
+/// Seed Block-Nested-Loop skyline: window of indices, `relate_in` per test.
+pub fn legacy_skyline_bnl(
+    points: &[Vec<Value>],
+    mask: DimMask,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<usize> {
+    let mut window: Vec<usize> = Vec::new();
+    'next: for (i, p) in points.iter().enumerate() {
+        let mut k = 0;
+        while k < window.len() {
+            clock.charge_dom_cmps(1);
+            stats.dom_comparisons += 1;
+            match relate_in(&points[window[k]], p, mask) {
+                DomRelation::Dominates => continue 'next,
+                DomRelation::DominatedBy => {
+                    window.swap_remove(k);
+                }
+                DomRelation::Equal | DomRelation::Incomparable => k += 1,
+            }
+        }
+        window.push(i);
+    }
+    window.sort_unstable();
+    window
+}
+
+/// Seed Sort-Filter-Skyline: the monotone score is recomputed inside the
+/// sort comparator — O(n log n · d) score work where one O(n · d) pass
+/// suffices. This is the exact defect PR3's satellite fix removed; kept here
+/// so the benchmark can price it.
+pub fn legacy_skyline_sfs(
+    points: &[Vec<Value>],
+    mask: DimMask,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<usize> {
+    let score = |p: &[Value]| -> Value { mask.iter().map(|k| p[k]).sum() };
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| score(&points[a]).total_cmp(&score(&points[b])));
+    let mut sky: Vec<usize> = Vec::new();
+    'next: for i in order {
+        for &s in &sky {
+            clock.charge_dom_cmps(1);
+            stats.dom_comparisons += 1;
+            match relate_in(&points[s], &points[i], mask) {
+                DomRelation::Dominates => continue 'next,
+                DomRelation::DominatedBy => unreachable!("SFS invariant violated"),
+                DomRelation::Equal | DomRelation::Incomparable => {}
+            }
+        }
+        sky.push(i);
+    }
+    sky.sort_unstable();
+    sky
+}
+
+/// Seed streaming skyline: each member owns its point as a `Vec<Value>`
+/// (`point.to_vec()` per admission), comparisons go through `relate_in`.
+#[derive(Debug, Clone)]
+pub struct LegacyIncrementalSkyline {
+    mask: DimMask,
+    entries: Vec<(u64, Vec<Value>)>,
+}
+
+impl LegacyIncrementalSkyline {
+    /// An empty skyline over subspace `mask`.
+    pub fn new(mask: DimMask) -> Self {
+        LegacyIncrementalSkyline {
+            mask,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Current number of skyline members.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the skyline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Tags of the current members, in insertion order.
+    pub fn tags(&self) -> impl Iterator<Item = u64> + '_ {
+        self.entries.iter().map(|(t, _)| *t)
+    }
+
+    /// Seed insert: `relate_in` per member, `to_vec` per admission.
+    pub fn insert(
+        &mut self,
+        tag: u64,
+        point: &[Value],
+        clock: &mut SimClock,
+        stats: &mut Stats,
+    ) -> InsertOutcome {
+        let mut removed = Vec::new();
+        let mut k = 0;
+        while k < self.entries.len() {
+            clock.charge_dom_cmps(1);
+            stats.dom_comparisons += 1;
+            match relate_in(&self.entries[k].1, point, self.mask) {
+                DomRelation::Dominates => {
+                    debug_assert!(removed.is_empty(), "partial order violated");
+                    return InsertOutcome::Dominated;
+                }
+                DomRelation::DominatedBy => {
+                    removed.push(self.entries.swap_remove(k).0);
+                }
+                DomRelation::Equal | DomRelation::Incomparable => k += 1,
+            }
+        }
+        self.entries.push((tag, point.to_vec()));
+        InsertOutcome::Added { removed }
+    }
+}
+
+/// Seed hash equi-join fused with projection: `HashMap`-indexed build side,
+/// one fresh `Vec<Value>` allocated per match via `MappingSet::apply`.
+///
+/// The `HashMap` is exactly why this lives behind an allow: the workspace
+/// bans iteration-ordered maps on traced paths (clippy.toml), and this
+/// legacy baseline only *probes* the map (probe order follows the probe
+/// table, so output order is still deterministic) — but it is the shape the
+/// migration removed, and the benchmark must run the removed shape.
+#[allow(clippy::disallowed_types)]
+pub fn legacy_hash_join_project(
+    left: &[Record],
+    right: &[Record],
+    spec: JoinSpec,
+    mapping: &MappingSet,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<OutTuple> {
+    use std::collections::HashMap;
+    let (build, probe, build_is_left) = if left.len() <= right.len() {
+        (left, right, true)
+    } else {
+        (right, left, false)
+    };
+    let mut index: HashMap<u32, Vec<&Record>> = HashMap::new();
+    for b in build {
+        index.entry(b.key(spec.column)).or_default().push(b);
+    }
+    let mut out = Vec::new();
+    for p in probe {
+        clock.charge_join_probes(1);
+        stats.join_probes += 1;
+        if let Some(matches) = index.get(&p.key(spec.column)) {
+            for b in matches {
+                clock.charge_join_probes(1);
+                stats.join_probes += 1;
+                let (r, t) = if build_is_left { (*b, p) } else { (p, *b) };
+                let k = mapping.output_dims() as u64;
+                clock.charge_map_evals(k);
+                stats.map_evals += k;
+                stats.join_results += 1;
+                out.push(OutTuple {
+                    rid: r.id,
+                    tid: t.id,
+                    vals: mapping.apply(&r.vals, &t.vals),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqe_operators::{
+        hash_join_project, skyline_bnl, skyline_sfs, IncrementalSkyline, MappingSet,
+    };
+
+    fn lattice(n: usize, d: usize) -> Vec<Vec<Value>> {
+        (0..n)
+            .map(|i| (0..d).map(|j| ((i * 37 + j * 13) % 23) as Value).collect())
+            .collect()
+    }
+
+    #[test]
+    fn legacy_skylines_match_migrated_paths_exactly() {
+        let points = lattice(150, 4);
+        for mask in [DimMask::full(4), DimMask::from_dims([1, 3])] {
+            let mut c1 = SimClock::default();
+            let mut s1 = Stats::new();
+            let mut c2 = SimClock::default();
+            let mut s2 = Stats::new();
+            assert_eq!(
+                legacy_skyline_bnl(&points, mask, &mut c1, &mut s1),
+                skyline_bnl(&points, mask, &mut c2, &mut s2)
+            );
+            assert_eq!(s1, s2);
+            assert_eq!(c1.ticks(), c2.ticks());
+
+            let mut c3 = SimClock::default();
+            let mut s3 = Stats::new();
+            let mut c4 = SimClock::default();
+            let mut s4 = Stats::new();
+            assert_eq!(
+                legacy_skyline_sfs(&points, mask, &mut c3, &mut s3),
+                skyline_sfs(&points, mask, &mut c4, &mut s4)
+            );
+            assert_eq!(s3, s4);
+            assert_eq!(c3.ticks(), c4.ticks());
+        }
+    }
+
+    #[test]
+    fn legacy_incremental_matches_migrated_incremental() {
+        let points = lattice(120, 3);
+        let mask = DimMask::from_dims([0, 2]);
+        let mut old = LegacyIncrementalSkyline::new(mask);
+        let mut new = IncrementalSkyline::new(mask);
+        let mut c1 = SimClock::default();
+        let mut s1 = Stats::new();
+        let mut c2 = SimClock::default();
+        let mut s2 = Stats::new();
+        assert!(old.is_empty());
+        for (i, p) in points.iter().enumerate() {
+            let a = old.insert(i as u64, p, &mut c1, &mut s1);
+            let b = new.insert(i as u64, p, &mut c2, &mut s2);
+            assert_eq!(a, b, "outcome diverged at point {i}");
+        }
+        assert_eq!(old.len(), new.len());
+        assert!(old.tags().eq(new.tags()));
+        assert_eq!(s1, s2);
+        assert_eq!(c1.ticks(), c2.ticks());
+    }
+
+    #[test]
+    fn legacy_join_matches_migrated_join() {
+        let rec = |id: u64, v: f64, key: u32| Record::new(id, vec![v, v * 0.5], vec![key]);
+        let left: Vec<Record> = (0..40)
+            .map(|i| rec(i, i as f64, (i as u32 * 7) % 5))
+            .collect();
+        let right: Vec<Record> = (0..60)
+            .map(|i| rec(100 + i, i as f64, (i as u32 * 3) % 5))
+            .collect();
+        let mapping = MappingSet::mixed(2, 2, 4);
+        let spec = JoinSpec::on_column(0);
+        let mut c1 = SimClock::default();
+        let mut s1 = Stats::new();
+        let old = legacy_hash_join_project(&left, &right, spec, &mapping, &mut c1, &mut s1);
+        let mut c2 = SimClock::default();
+        let mut s2 = Stats::new();
+        let new = hash_join_project(&left, &right, spec, &mapping, &mut c2, &mut s2);
+        assert_eq!(old, new);
+        assert_eq!(s1, s2);
+        assert_eq!(c1.ticks(), c2.ticks());
+    }
+}

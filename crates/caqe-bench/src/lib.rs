@@ -6,15 +6,19 @@
 //! * [`experiment`] — one-stop comparison runner producing the rows behind
 //!   Figures 9, 10 and 11 for all five systems;
 //! * [`report`] — plain-text table rendering and JSON row emission so
-//!   EXPERIMENTS.md can be regenerated verbatim.
+//!   EXPERIMENTS.md can be regenerated verbatim;
+//! * [`legacy`] — the seed-era `Vec<Vec<f64>>`/`HashMap` kernels, kept as
+//!   the baseline the flat-layout migration (DESIGN.md §12) is benchmarked
+//!   against.
 //!
 //! Binaries: `fig9`, `fig10`, `fig11`, `table2`, `ablation`, `sweep`,
-//! `par_speedup`, `trace_report` — see DESIGN.md §5 for the per-experiment
-//! index. All execution drivers accept `--trace <dir>` to export the
-//! deterministic trace of every run (DESIGN.md §11).
+//! `par_speedup`, `bench_pr3`, `trace_report` — see DESIGN.md §5 for the
+//! per-experiment index. All execution drivers accept `--trace <dir>` to
+//! export the deterministic trace of every run (DESIGN.md §11).
 
 pub mod experiment;
 pub mod json;
+pub mod legacy;
 pub mod report;
 pub mod workloads;
 

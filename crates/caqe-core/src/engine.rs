@@ -20,13 +20,13 @@ use crate::outcome::{QueryOutcome, RunOutcome};
 use crate::workload::Workload;
 use caqe_contract::{update_weights, QueryScore};
 use caqe_data::Table;
+use caqe_operators::SortedJoinIndex;
 use caqe_parallel::Threads;
 use caqe_partition::Partitioning;
 use caqe_regions::{buchta_estimate, estimate_ticks, prog_est, region_csm, ReconciledEstimate};
 use caqe_trace::{NoopSink, SpanKind, TraceEvent, TraceSink};
 use caqe_types::ids::QuerySet;
-use caqe_types::{QueryId, RegionId, SimClock, Stats, Value};
-use std::collections::HashMap;
+use caqe_types::{PointId, QueryId, RegionId, SimClock, Stats, Value};
 use std::time::Instant;
 
 /// Minimum R-rows per chunk in the parallel probe phase: below this the
@@ -47,10 +47,14 @@ struct PendingTuple {
 }
 
 /// Per-group mutable emission state.
-#[derive(Default)]
+///
+/// Indexed densely by region id rather than through a hash map: traced code
+/// paths iterate this state, and iteration-ordered maps are banned there
+/// (see clippy.toml) — dense vectors make the order a pure function of the
+/// input for free, and drop the hashing from the hot path.
 struct PendingState {
-    /// Pending tuples indexed by their origin region.
-    by_origin: HashMap<u32, Vec<PendingTuple>>,
+    /// Pending tuples per origin region (one slot per region id).
+    by_origin: Vec<Vec<PendingTuple>>,
 }
 
 /// Runs the engine over a workload.
@@ -175,8 +179,12 @@ pub fn run_engine_traced<S: TraceSink>(
     }
     let mut weights = workload.initial_weights();
 
-    let mut pendings: Vec<PendingState> =
-        (0..groups.len()).map(|_| PendingState::default()).collect();
+    let mut pendings: Vec<PendingState> = groups
+        .iter()
+        .map(|g| PendingState {
+            by_origin: vec![Vec::new(); g.regions.len()],
+        })
+        .collect();
     let mut emissions: Vec<Vec<(f64, f64)>> = vec![Vec::new(); nq];
     let mut results: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nq];
     // FIFO scan cursors: first index per group that may still be alive.
@@ -334,7 +342,7 @@ pub fn run_engine_traced<S: TraceSink>(
         // been emitted by the final recheck cascade.
         debug_assert!(pendings
             .iter()
-            .all(|p| p.by_origin.values().all(|v| v.is_empty())));
+            .all(|p| p.by_origin.iter().all(|v| v.is_empty())));
     } else {
         // Blocking profile (S-JFSL): report every query's final skyline
         // only now that all processing has finished.
@@ -342,11 +350,11 @@ pub fn run_engine_traced<S: TraceSink>(
             for (local, &global) in g.members.iter().enumerate() {
                 let mut entries: Vec<(u64, u32, u64, u64)> = g
                     .plan
-                    .query_skyline_entries(caqe_types::QueryId(local as u16))
+                    .query_skyline_tags(caqe_types::QueryId(local as u16))
                     .iter()
-                    .map(|(tag, _)| {
-                        let tu = &g.arena[*tag as usize];
-                        (*tag, tu.origin.0, tu.rid, tu.tid)
+                    .map(|&tag| {
+                        let tu = &g.arena[tag as usize];
+                        (tag, tu.origin.0, tu.rid, tu.tid)
                     })
                     .collect();
                 entries.sort_unstable();
@@ -428,18 +436,22 @@ fn select_region(
     // Per group: how many pending tuples cite each region as their emission
     // blocker (witness), per query. Processing a heavily-cited blocker
     // unblocks those tuples — or moves their witness one step down the
-    // blocker clique — so candidates are credited for it below.
-    let blocked: Vec<HashMap<u32, Vec<u32>>> = if policy == SchedulingPolicy::ContractDriven {
+    // blocker clique — so candidates are credited for it below. Dense
+    // region-indexed table (inner count vectors allocated only for cited
+    // regions); no iteration-ordered map on this traced path.
+    let blocked: Vec<Vec<Vec<u32>>> = if policy == SchedulingPolicy::ContractDriven {
         pendings
             .iter()
-            .map(|pending| {
-                let mut per_region: HashMap<u32, Vec<u32>> = HashMap::new();
-                for p in pending.by_origin.values().flatten() {
+            .enumerate()
+            .map(|(gi, pending)| {
+                let mut per_region: Vec<Vec<u32>> = vec![Vec::new(); groups[gi].regions.len()];
+                for p in pending.by_origin.iter().flatten() {
                     for (q, witness) in &p.entries {
                         if let Some(w) = witness {
-                            let counts = per_region
-                                .entry(w.0)
-                                .or_insert_with(|| vec![0; scores.len()]);
+                            let counts = &mut per_region[w.index()];
+                            if counts.is_empty() {
+                                counts.resize(scores.len(), 0);
+                            }
                             counts[q.index()] += 1;
                         }
                     }
@@ -465,8 +477,8 @@ fn select_region(
                 }
                 let witnessed = blocked
                     .get(gi)
-                    .and_then(|m| m.get(&reg.id.0))
-                    .map(Vec::as_slice);
+                    .map(|m| m[reg.id.index()].as_slice())
+                    .filter(|w| !w.is_empty());
                 let score = candidate_score(g, reg.id, policy, scores, weights, clock, witnessed);
                 if best.map_or(true, |(_, _, s)| score > s) {
                     best = Some((gi, reg.id, score));
@@ -564,18 +576,20 @@ fn candidate_score(
     }
 }
 
-/// One surviving join candidate from the parallel probe phase, waiting for
-/// its sequential shared-plan insertion.
-struct JoinCandidate {
-    r_row: usize,
-    t_row: usize,
+/// The surviving join candidates of one probe chunk, in flat layout: one
+/// provenance/lineage row per candidate, with the projected points packed
+/// contiguously (`vals[i*stride..(i+1)*stride]` belongs to `meta[i]`).
+struct CandidateBatch {
+    /// `(r_row, t_row, lineage)` per candidate, in probe order.
+    meta: Vec<(usize, usize, QuerySet)>,
+    /// Flat projected output-space points, stride = mapping output dims.
     vals: Vec<Value>,
-    lineage: QuerySet,
 }
 
 /// Joins the region's cell pair, projects, and inserts surviving tuples into
 /// the shared skyline plan. Returns, per member query (local order), the
-/// output-space points newly admitted to that query's skyline.
+/// handles (into the group's point store) of tuples newly admitted to that
+/// query's skyline.
 ///
 /// The hash-probe/projection phase is data-parallel over contiguous R-row
 /// chunks: workers only read shared state and accumulate private tick/stat
@@ -598,9 +612,9 @@ fn process_region_tuples(
     threads: Threads,
     clock: &mut SimClock,
     stats: &mut Stats,
-) -> Vec<Vec<Vec<Value>>> {
+) -> Vec<Vec<PointId>> {
     let n_local = g.members.len();
-    let mut new_by_query: Vec<Vec<Vec<Value>>> = vec![Vec::new(); n_local];
+    let mut new_by_query: Vec<Vec<PointId>> = vec![Vec::new(); n_local];
 
     let (r_cell, t_cell, serving) = {
         let reg = g.regions.region(rid);
@@ -610,130 +624,120 @@ fn process_region_tuples(
         return new_by_query;
     }
 
-    // Hash join within the cell pair (build on T side).
-    let mut index: HashMap<u32, Vec<usize>> = HashMap::new();
-    for &ti in &part_t.cell(t_cell).rows {
-        index
-            .entry(t.record(ti).key(g.join_col))
-            .or_default()
-            .push(ti);
-    }
+    // Join index within the cell pair (build on T side): stable-sorted
+    // `(key, row)` runs — matches per key come back in cell-row order, the
+    // same order an append-built hash index would yield.
+    let t_rows: &[usize] = &part_t.cell(t_cell).rows;
+    let join_col = g.join_col;
+    let index = SortedJoinIndex::build(t_rows.len(), |i| t.record(t_rows[i]).key(join_col));
 
     let out_dims = g.mapping.output_dims() as u64;
+    let stride = g.mapping.output_dims();
     let r_rows: &[usize] = &part_r.cell(r_cell).rows;
 
     // --- Phase 1: probe + project, parallel over R-row chunks. ---
-    let candidates = {
+    let (cand_meta, cand_vals) = {
         let reg = g.regions.region(rid);
         let mapping = &g.mapping;
-        let join_col = g.join_col;
         let model = *clock.model();
         let ranges = caqe_parallel::chunk_ranges(threads, r_rows.len(), PAR_MIN_ROWS);
         let per_chunk = caqe_parallel::map_indexed(threads, ranges.len(), |ci| {
             let (start, end) = ranges[ci];
             let mut wclock = SimClock::new(model);
             let mut wstats = Stats::new();
-            let mut found: Vec<JoinCandidate> = Vec::new();
+            let mut found = CandidateBatch {
+                meta: Vec::new(),
+                vals: Vec::new(),
+            };
             for &ri in &r_rows[start..end] {
                 wclock.charge_join_probes(1);
                 wstats.join_probes += 1;
                 let rrec = r.record(ri);
-                let Some(matches) = index.get(&rrec.key(join_col)) else {
-                    continue;
-                };
-                for &ti in matches {
+                for mi in index.matches(rrec.key(join_col)) {
+                    let ti = t_rows[mi];
                     wclock.charge_join_probes(1);
                     wstats.join_probes += 1;
                     let trec = t.record(ti);
                     wclock.charge_map_evals(out_dims);
                     wstats.map_evals += out_dims;
                     wstats.join_results += 1;
-                    let vals = mapping.apply(&rrec.vals, &trec.vals);
+                    // Project straight into the chunk's flat buffer; roll
+                    // back if the tuple turns out to serve nobody.
+                    let vstart = found.vals.len();
+                    mapping.apply_into(&rrec.vals, &trec.vals, &mut found.vals);
+                    let vals = &found.vals[vstart..];
 
                     // Cell-level lineage: which queries can this tuple
                     // still serve?
-                    let lineage = match reg.locate(&vals) {
+                    let lineage = match reg.locate(vals) {
                         Some(c) => reg.cell_lineage(c).intersect(serving),
                         None => serving,
                     };
                     if lineage.is_empty() {
                         wstats.tuples_discarded += 1;
+                        found.vals.truncate(vstart);
                         continue;
                     }
-                    found.push(JoinCandidate {
-                        r_row: ri,
-                        t_row: ti,
-                        vals,
-                        lineage,
-                    });
+                    found.meta.push((ri, ti, lineage));
                 }
             }
             (found, wclock.ticks(), wstats)
         });
         // Merge chunk deltas in chunk order; concatenation restores the
         // exact serial candidate order because chunks are contiguous.
-        let mut candidates: Vec<JoinCandidate> = Vec::new();
+        let mut cand_meta: Vec<(usize, usize, QuerySet)> = Vec::new();
+        let mut cand_vals: Vec<Value> = Vec::new();
         for (found, ticks, wstats) in per_chunk {
             clock.advance(ticks);
             *stats += wstats;
-            candidates.extend(found);
+            cand_meta.extend(found.meta);
+            cand_vals.extend(found.vals);
         }
-        candidates
+        (cand_meta, cand_vals)
     };
 
     // --- Phase 2: sequential shared-plan insertion in candidate order. ---
-    for cand in candidates {
-        let JoinCandidate {
-            r_row,
-            t_row,
-            vals,
-            lineage,
-        } = cand;
-        {
-            let tag = g.arena.len() as u64;
-            g.arena.push(ArenaTuple {
-                rid: r.record(r_row).id,
-                tid: t.record(t_row).id,
-                vals: vals.clone(),
-                origin: rid,
+    for (ci, (r_row, t_row, lineage)) in cand_meta.into_iter().enumerate() {
+        let vals = &cand_vals[ci * stride..(ci + 1) * stride];
+        let tag = g.arena.len() as u64;
+        g.arena.push(ArenaTuple {
+            rid: r.record(r_row).id,
+            tid: t.record(t_row).id,
+            origin: rid,
+        });
+        let pid = g.points.push(vals);
+        debug_assert_eq!(pid.index() as u64, tag, "arena/point-store desync");
+        let ins = g.plan.insert(tag, vals, clock, stats);
+
+        // Register newly admitted skyline tuples as pending emissions.
+        let mut pend_entries: Vec<(QueryId, Option<RegionId>)> = Vec::new();
+        for (local, &in_sky) in ins.in_query_sky.iter().enumerate() {
+            let global = g.members[local];
+            if in_sky && serving.contains(global) && lineage.contains(global) {
+                pend_entries.push((global, None));
+                new_by_query[local].push(pid);
+            }
+        }
+        if progressive && !pend_entries.is_empty() {
+            pending.by_origin[rid.index()].push(PendingTuple {
+                tag,
+                entries: pend_entries,
             });
-            let ins = g.plan.insert(tag, &vals, clock, stats);
+        }
 
-            // Register newly admitted skyline tuples as pending emissions.
-            let mut pend_entries: Vec<(QueryId, Option<RegionId>)> = Vec::new();
-            for (local, &in_sky) in ins.in_query_sky.iter().enumerate() {
-                let global = g.members[local];
-                if in_sky && serving.contains(global) && lineage.contains(global) {
-                    pend_entries.push((global, None));
-                    new_by_query[local].push(vals.clone());
-                }
-            }
-            if progressive && !pend_entries.is_empty() {
-                pending
-                    .by_origin
-                    .entry(rid.0)
-                    .or_default()
-                    .push(PendingTuple {
-                        tag,
-                        entries: pend_entries,
-                    });
-            }
-
-            // Handle evictions: invalidated provisional results.
-            if progressive {
-                for (local_q, evicted) in &ins.query_evictions {
-                    let global = g.members[local_q.index()];
-                    for &etag in evicted {
-                        let origin = g.arena[etag as usize].origin;
-                        if let Some(list) = pending.by_origin.get_mut(&origin.0) {
-                            for p in list.iter_mut() {
-                                if p.tag == etag {
-                                    p.entries.retain(|(q, _)| *q != global);
-                                }
-                            }
-                            list.retain(|p| !p.entries.is_empty());
+        // Handle evictions: invalidated provisional results.
+        if progressive {
+            for (local_q, evicted) in &ins.query_evictions {
+                let global = g.members[local_q.index()];
+                for &etag in evicted {
+                    let origin = g.arena[etag as usize].origin;
+                    let list = &mut pending.by_origin[origin.index()];
+                    for p in list.iter_mut() {
+                        if p.tag == etag {
+                            p.entries.retain(|(q, _)| *q != global);
                         }
                     }
+                    list.retain(|p| !p.entries.is_empty());
                 }
             }
         }
@@ -746,7 +750,7 @@ fn process_region_tuples(
 fn discard_dominated(
     g: &mut JoinGroup,
     rid: RegionId,
-    new_by_query: &[Vec<Vec<Value>>],
+    new_by_query: &[Vec<PointId>],
     recheck: &mut Vec<u32>,
     clock: &mut SimClock,
     stats: &mut Stats,
@@ -782,10 +786,10 @@ fn discard_dominated(
                     if !reg.cell_lineage(c).contains(global) {
                         continue;
                     }
-                    for tuple in news {
+                    for &pid in news {
                         clock.charge_dom_cmps(1);
                         stats.region_comparisons += 1;
-                        if point_dominates_rect(tuple, cell.lo(), mask) {
+                        if point_dominates_rect(g.points.get(pid), cell.lo(), mask) {
                             kills.push(c);
                             break;
                         }
@@ -856,14 +860,17 @@ fn emit_safe<S: TraceSink>(
     sink: &mut S,
 ) {
     for &origin in origins {
-        let Some(mut list) = pending.by_origin.remove(&origin) else {
+        let mut list = std::mem::take(&mut pending.by_origin[origin as usize]);
+        if list.is_empty() {
             continue;
-        };
+        }
         let threats = &g.static_threats_in[origin as usize];
         let regions = &g.regions;
         let arena = &g.arena;
+        let points = &g.points;
         list.retain_mut(|p| {
             let tuple = &arena[p.tag as usize];
+            let vals = points.at(p.tag as usize);
             p.entries.retain_mut(|(q, witness)| {
                 // Fast path: the cached witness still blocks this tuple —
                 // region bounds are immutable, so alive + serving is enough.
@@ -885,7 +892,7 @@ fn emit_safe<S: TraceSink>(
                     }
                     clock.charge_dom_cmps(1);
                     stats.region_comparisons += 1;
-                    if reg.bounds.may_dominate_point(&tuple.vals, mask) {
+                    if reg.bounds.may_dominate_point(vals, mask) {
                         blocker = Some(e.peer);
                         break;
                     }
@@ -920,7 +927,7 @@ fn emit_safe<S: TraceSink>(
             !p.entries.is_empty()
         });
         if !list.is_empty() {
-            pending.by_origin.insert(origin, list);
+            pending.by_origin[origin as usize] = list;
         }
     }
 }

@@ -16,17 +16,17 @@ use caqe_partition::Partitioning;
 use caqe_regions::depgraph::Edge;
 use caqe_regions::{build_regions, DependencyGraph, RegionBuildInput, RegionSet};
 use caqe_trace::{SpanKind, TraceBuffer, TraceEvent, TraceSink};
-use caqe_types::{DimMask, QueryId, SimClock, Stats, Value};
+use caqe_types::{DimMask, PointStore, QueryId, SimClock, Stats};
 
-/// One materialized join tuple living in a group's arena.
-#[derive(Debug, Clone)]
+/// Provenance of one materialized join tuple living in a group's arena.
+/// The tuple's output-space point lives at the same index in the group's
+/// flat [`PointStore`] ([`JoinGroup::points`]).
+#[derive(Debug, Clone, Copy)]
 pub struct ArenaTuple {
     /// Contributing R record id.
     pub rid: u64,
     /// Contributing T record id.
     pub tid: u64,
-    /// Output-space point.
-    pub vals: Vec<Value>,
     /// The region whose processing materialized this tuple.
     pub origin: caqe_types::RegionId,
 }
@@ -52,8 +52,13 @@ pub struct JoinGroup {
     /// The shared min-max-cuboid skyline plan (local query indexing).
     pub plan: SharedSkylinePlan,
     /// Materialized join tuples; the tag passed to the plan is the index
-    /// into this arena.
+    /// into this arena (and into [`Self::points`]).
     pub arena: Vec<ArenaTuple>,
+    /// Flat output-space points of the arena tuples: point `i` belongs to
+    /// `arena[i]`. Interned once per tuple; everything downstream (plan
+    /// insertion, pending-emission safety tests, discard sweeps) reads the
+    /// slice instead of cloning.
+    pub points: PointStore,
     /// Cached progressiveness estimates per region (local-query order);
     /// `None` marks a dirty entry.
     pub prog_cache: Vec<Option<Vec<f64>>>,
@@ -205,6 +210,7 @@ fn build_one_group(
     let prefs: Vec<DimMask> = queries.iter().map(|(_, m)| *m).collect();
     let plan = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), exec.assume_dva);
     let prog_cache = vec![None; regions.len()];
+    let points = PointStore::new(mapping.output_dims());
     JoinGroup {
         join_col,
         mapping,
@@ -215,6 +221,7 @@ fn build_one_group(
         static_threats_out,
         plan,
         arena: Vec::new(),
+        points,
         prog_cache,
     }
 }

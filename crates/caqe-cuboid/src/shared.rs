@@ -20,7 +20,9 @@
 //! dominator's sum is never *larger* — on ties the boundary is included).
 
 use crate::minmax::MinMaxCuboid;
-use caqe_types::{relate_in, DimMask, DomRelation, QueryId, SimClock, Stats, Value};
+use caqe_types::{
+    DimMask, DomKernel, DomRelation, PointId, PointStore, QueryId, SimClock, Stats, Value,
+};
 
 /// Result of inserting one tuple into the shared plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,12 +38,13 @@ pub struct SharedInsert {
     pub query_evictions: Vec<(QueryId, Vec<u64>)>,
 }
 
-/// One member of a subspace skyline.
-#[derive(Debug, Clone)]
+/// One member of a subspace skyline: precomputed score, opaque tag, and a
+/// copy-cheap handle into the plan's shared point arena.
+#[derive(Debug, Clone, Copy)]
 struct Entry {
     score: Value,
     tag: u64,
-    point: Vec<Value>,
+    point: PointId,
 }
 
 /// A subspace skyline kept sorted ascending by monotone score.
@@ -58,11 +61,19 @@ impl SubspaceSky {
 
 /// One incremental skyline per min-max-cuboid subspace, with Theorem 1 and
 /// presorting-based comparison sharing.
+///
+/// All member points live in one plan-level [`PointStore`]: a tuple admitted
+/// in several subspaces is interned *once* and referenced by [`PointId`]
+/// everywhere, instead of cloned per subspace. Per-subspace [`DomKernel`]s
+/// precompute each subspace's dimension list once (the stride, and hence the
+/// kernels, are learned from the first inserted point).
 #[derive(Debug, Clone)]
 pub struct SharedSkylinePlan {
     cuboid: MinMaxCuboid,
     skylines: Vec<SubspaceSky>,
     assume_dva: bool,
+    points: PointStore,
+    kernels: Vec<DomKernel>,
 }
 
 impl SharedSkylinePlan {
@@ -78,6 +89,8 @@ impl SharedSkylinePlan {
             cuboid,
             skylines,
             assume_dva,
+            points: PointStore::new(0),
+            kernels: Vec::new(),
         }
     }
 
@@ -104,7 +117,7 @@ impl SharedSkylinePlan {
         self.skylines[i]
             .entries
             .iter()
-            .map(|e| (e.tag, e.point.clone()))
+            .map(|e| (e.tag, self.points.get(e.point).to_vec()))
             .collect()
     }
 
@@ -127,8 +140,20 @@ impl SharedSkylinePlan {
         let mut added_mask: u64 = 0;
         let mut query_evictions: Vec<(QueryId, Vec<u64>)> = Vec::new();
 
+        // Learn the stride (and build the per-subspace kernels) on first use.
+        if self.kernels.is_empty() {
+            self.points = PointStore::new(point.len());
+            self.kernels = self
+                .cuboid
+                .subspaces()
+                .iter()
+                .map(|&m| DomKernel::new(m, point.len()))
+                .collect();
+        }
+        // The tuple's point is interned lazily, on its first admission.
+        let mut interned: Option<PointId> = None;
+
         for i in 0..n_subs {
-            let mask = self.cuboid.subspaces()[i];
             let child_bits: u64 = self
                 .cuboid
                 .children(i)
@@ -136,7 +161,8 @@ impl SharedSkylinePlan {
                 .fold(0u64, |acc, &c| acc | (1u64 << c));
             let known_survivor = self.assume_dva && (added_mask & child_bits) != 0;
 
-            let score: Value = mask.iter().map(|k| point[k]).sum();
+            let kernel = &self.kernels[i];
+            let score: Value = kernel.score(point);
             let sky = &mut self.skylines[i];
             let pos = sky.position(score);
 
@@ -148,7 +174,7 @@ impl SharedSkylinePlan {
                 for e in &sky.entries[..boundary] {
                     clock.charge_dom_cmps(1);
                     stats.dom_comparisons += 1;
-                    if relate_in(&e.point, point, mask) == DomRelation::Dominates {
+                    if kernel.relate(self.points.get(e.point), point) == DomRelation::Dominates {
                         rejected = true;
                         break;
                     }
@@ -166,19 +192,22 @@ impl SharedSkylinePlan {
                 while k < sky.entries.len() {
                     clock.charge_dom_cmps(1);
                     stats.dom_comparisons += 1;
-                    if relate_in(point, &sky.entries[k].point, mask) == DomRelation::Dominates {
+                    if kernel.relate(point, self.points.get(sky.entries[k].point))
+                        == DomRelation::Dominates
+                    {
                         evicted.push(sky.entries.remove(k).tag);
                     } else {
                         k += 1;
                     }
                 }
             }
-            sky.entries.insert(
+            let pid = *interned.get_or_insert_with(|| self.points.push(point));
+            self.skylines[i].entries.insert(
                 pos,
                 Entry {
                     score,
                     tag,
-                    point: point.to_vec(),
+                    point: pid,
                 },
             );
             added_mask |= 1u64 << i;

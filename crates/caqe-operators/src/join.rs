@@ -6,11 +6,18 @@
 //! Both steps are fused here so intermediate join tuples never need a second
 //! pass, and so the virtual clock charges probes and mapping evaluations at
 //! the moment they happen.
+//!
+//! The build side is indexed with a [`SortedJoinIndex`] — stable-sorted
+//! `(key, row)` runs probed by binary search — rather than a hash map:
+//! iteration order is then a pure function of the input (build order within
+//! each key), which the determinism contract requires on traced paths, and
+//! probing allocates nothing. Output points go straight into a flat
+//! [`PointStore`] ([`hash_join_project_store`]); the [`OutTuple`]-returning
+//! entry points are thin adapters with identical charges and output order.
 
 use crate::mapping::MappingSet;
 use caqe_data::Record;
-use caqe_types::{SimClock, Stats, Value};
-use std::collections::HashMap;
+use caqe_types::{PointStore, SimClock, Stats, Value};
 
 /// A join condition: equality on join column `column` of both tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -41,6 +48,66 @@ pub struct OutTuple {
     pub tid: u64,
     /// The output-space attribute vector `X`.
     pub vals: Vec<Value>,
+}
+
+/// Join output in flat layout: one provenance pair per point, with the
+/// output-space points interned in a [`PointStore`] (pair `i` ↔ point `i`).
+#[derive(Debug, Clone, Default)]
+pub struct JoinOutput {
+    /// `(rid, tid)` provenance per join result, in production order.
+    pub pairs: Vec<(u64, u64)>,
+    /// The projected output-space points, same order as `pairs`.
+    pub store: PointStore,
+}
+
+impl JoinOutput {
+    /// Number of join results.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the join produced nothing.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+/// An equi-join build index with *deterministic* probe order: rows are
+/// stable-sorted by key, so the rows matching any key come back in build
+/// order — exactly the order a `HashMap<key, Vec<row>>` built by appending
+/// would yield, but with no hashing, no per-key allocation and no
+/// iteration-order hazard. Probes are two binary searches (equal range).
+#[derive(Debug, Clone)]
+pub struct SortedJoinIndex {
+    /// `(key, row)` pairs sorted by key; ties keep build order.
+    entries: Vec<(u32, u32)>,
+}
+
+impl SortedJoinIndex {
+    /// Indexes `rows.len()` rows by the key extracted from each.
+    pub fn build(n: usize, key_of: impl Fn(usize) -> u32) -> Self {
+        let mut entries: Vec<(u32, u32)> = (0..n).map(|i| (key_of(i), i as u32)).collect();
+        entries.sort_by_key(|&(k, _)| k);
+        SortedJoinIndex { entries }
+    }
+
+    /// The build rows matching `key`, in build order.
+    #[inline]
+    pub fn matches(&self, key: u32) -> impl Iterator<Item = usize> + '_ {
+        let lo = self.entries.partition_point(|&(k, _)| k < key);
+        let hi = self.entries.partition_point(|&(k, _)| k <= key);
+        self.entries[lo..hi].iter().map(|&(_, row)| row as usize)
+    }
+
+    /// Number of indexed rows.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 /// Nested-loop equi-join fused with projection.
@@ -76,12 +143,53 @@ pub fn nested_loop_join_project(
     out
 }
 
-/// Hash equi-join fused with projection. Builds on the smaller side.
+/// Hash equi-join fused with projection, flat output. Builds on the smaller
+/// side.
 ///
 /// Probe cost: one `join_probe` per (probe tuple × matching build tuple),
-/// plus one per probe tuple for the hash lookup itself — a deliberately
+/// plus one per probe tuple for the index lookup itself — a deliberately
 /// cheaper profile than the nested-loop join, reflecting the paper's
 /// assumption that join computation is shared efficiently.
+pub fn hash_join_project_store(
+    left: &[Record],
+    right: &[Record],
+    spec: JoinSpec,
+    mapping: &MappingSet,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> JoinOutput {
+    let (build, probe, build_is_left) = if left.len() <= right.len() {
+        (left, right, true)
+    } else {
+        (right, left, false)
+    };
+    let index = SortedJoinIndex::build(build.len(), |i| build[i].key(spec.column));
+    let k = mapping.output_dims() as u64;
+    let mut out = JoinOutput {
+        pairs: Vec::new(),
+        store: PointStore::new(k as usize),
+    };
+    for p in probe {
+        clock.charge_join_probes(1);
+        stats.join_probes += 1;
+        for row in index.matches(p.key(spec.column)) {
+            clock.charge_join_probes(1);
+            stats.join_probes += 1;
+            let b = &build[row];
+            let (r, t) = if build_is_left { (b, p) } else { (p, b) };
+            clock.charge_map_evals(k);
+            stats.map_evals += k;
+            stats.join_results += 1;
+            out.pairs.push((r.id, t.id));
+            out.store
+                .push_with(|dst| mapping.apply_into(&r.vals, &t.vals, dst));
+        }
+    }
+    out
+}
+
+/// Hash equi-join fused with projection — thin adapter over
+/// [`hash_join_project_store`] (identical charges and output order).
 pub fn hash_join_project(
     left: &[Record],
     right: &[Record],
@@ -90,37 +198,16 @@ pub fn hash_join_project(
     clock: &mut SimClock,
     stats: &mut Stats,
 ) -> Vec<OutTuple> {
-    let (build, probe, build_is_left) = if left.len() <= right.len() {
-        (left, right, true)
-    } else {
-        (right, left, false)
-    };
-    let mut index: HashMap<u32, Vec<&Record>> = HashMap::new();
-    for b in build {
-        index.entry(b.key(spec.column)).or_default().push(b);
-    }
-    let mut out = Vec::new();
-    for p in probe {
-        clock.charge_join_probes(1);
-        stats.join_probes += 1;
-        if let Some(matches) = index.get(&p.key(spec.column)) {
-            for b in matches {
-                clock.charge_join_probes(1);
-                stats.join_probes += 1;
-                let (r, t) = if build_is_left { (*b, p) } else { (p, *b) };
-                let k = mapping.output_dims() as u64;
-                clock.charge_map_evals(k);
-                stats.map_evals += k;
-                stats.join_results += 1;
-                out.push(OutTuple {
-                    rid: r.id,
-                    tid: t.id,
-                    vals: mapping.apply(&r.vals, &t.vals),
-                });
-            }
-        }
-    }
-    out
+    let out = hash_join_project_store(left, right, spec, mapping, clock, stats);
+    out.pairs
+        .iter()
+        .zip(out.store.iter())
+        .map(|(&(rid, tid), vals)| OutTuple {
+            rid,
+            tid,
+            vals: vals.to_vec(),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -178,6 +265,38 @@ mod tests {
         assert_eq!(s1.join_results, s2.join_results);
         // Hash join probes fewer candidate pairs.
         assert!(s2.join_probes <= s1.join_probes);
+    }
+
+    #[test]
+    fn store_output_matches_adapter() {
+        let (l, r, m) = setup();
+        let spec = JoinSpec::on_column(0);
+        let mut c1 = SimClock::default();
+        let mut s1 = Stats::new();
+        let flat = hash_join_project_store(&l, &r, spec, &m, &mut c1, &mut s1);
+        let mut c2 = SimClock::default();
+        let mut s2 = Stats::new();
+        let tuples = hash_join_project(&l, &r, spec, &m, &mut c2, &mut s2);
+        assert_eq!(flat.len(), tuples.len());
+        assert!(!flat.is_empty());
+        for (i, o) in tuples.iter().enumerate() {
+            assert_eq!(flat.pairs[i], (o.rid, o.tid), "pair order diverged");
+            assert_eq!(flat.store.at(i), o.vals.as_slice(), "point diverged");
+        }
+        assert_eq!(s1, s2);
+        assert_eq!(c1.ticks(), c2.ticks());
+    }
+
+    #[test]
+    fn sorted_index_preserves_build_order_within_key() {
+        let keys = [5u32, 3, 5, 5, 3, 9];
+        let idx = SortedJoinIndex::build(keys.len(), |i| keys[i]);
+        assert_eq!(idx.len(), 6);
+        assert!(!idx.is_empty());
+        assert_eq!(idx.matches(5).collect::<Vec<_>>(), vec![0, 2, 3]);
+        assert_eq!(idx.matches(3).collect::<Vec<_>>(), vec![1, 4]);
+        assert_eq!(idx.matches(9).collect::<Vec<_>>(), vec![5]);
+        assert_eq!(idx.matches(7).count(), 0);
     }
 
     #[test]

@@ -15,8 +15,12 @@ pub mod join;
 pub mod mapping;
 pub mod skyline;
 
-pub use join::{hash_join_project, nested_loop_join_project, JoinSpec, OutTuple};
+pub use join::{
+    hash_join_project, hash_join_project_store, nested_loop_join_project, JoinOutput, JoinSpec,
+    OutTuple, SortedJoinIndex,
+};
 pub use mapping::{MappingFn, MappingSet};
 pub use skyline::{
-    monotone_score, skyline_bnl, skyline_reference, skyline_sfs, IncrementalSkyline, InsertOutcome,
+    monotone_score, skyline_bnl, skyline_bnl_store, skyline_reference, skyline_sfs,
+    skyline_sfs_store, sorted_by_score, IncrementalSkyline, InsertOutcome,
 };

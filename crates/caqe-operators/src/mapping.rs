@@ -154,6 +154,15 @@ impl MappingSet {
         self.fns.iter().map(|f| f.apply(r_vals, t_vals)).collect()
     }
 
+    /// Maps one joined pair, appending the output point to `out` — the
+    /// allocation-free form used with `PointStore::push_with`.
+    #[inline]
+    pub fn apply_into(&self, r_vals: &[Value], t_vals: &[Value], out: &mut Vec<Value>) {
+        for f in &self.fns {
+            out.push(f.apply(r_vals, t_vals));
+        }
+    }
+
     /// Maps a pair of input cells to the exact output-space box.
     pub fn apply_bounds(&self, r_cell: &Rect, t_cell: &Rect) -> Rect {
         let mut lo = Vec::with_capacity(self.fns.len());

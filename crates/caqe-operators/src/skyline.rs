@@ -15,8 +15,26 @@
 //!
 //! All of them count every pairwise dominance comparison (the paper's CPU
 //! metric, Figure 10.b) through the supplied [`Stats`] and [`SimClock`].
+//!
+//! The algorithms run over the flat [`PointStore`] layout with a
+//! per-subspace [`DomKernel`] (DESIGN.md §12); the `&[Vec<Value>]` entry
+//! points are thin adapters kept for oracles and call-site compatibility.
+//! Both layouts perform the *same comparisons in the same order*, so stats,
+//! ticks and traces are identical whichever entry point is used.
 
-use caqe_types::{relate_in, DimMask, DomRelation, SimClock, Stats, Value};
+use caqe_types::{relate_in, DimMask, DomKernel, DomRelation, PointStore, SimClock, Stats, Value};
+
+/// Interns a `Vec<Vec<f64>>` point set into a flat store (adapter path).
+fn intern(points: &[Vec<Value>], mask: DimMask) -> PointStore {
+    let stride = points
+        .first()
+        .map_or_else(|| mask.iter().last().map_or(0, |k| k + 1), Vec::len);
+    let mut store = PointStore::with_capacity(stride, points.len());
+    for p in points {
+        store.push(p);
+    }
+    store
+}
 
 /// Naive O(n²) skyline straight from Definition 2. Returns the indices of
 /// non-dominated points, preserving input order. Oracle for tests; not
@@ -40,23 +58,25 @@ pub fn skyline_reference(points: &[Vec<Value>], mask: DimMask) -> Vec<usize> {
         .collect()
 }
 
-/// Block-Nested-Loop skyline [3]: maintains a window of current skyline
-/// candidates and compares every incoming point against it.
+/// Block-Nested-Loop skyline [3] over a flat point store: maintains a window
+/// of current skyline candidates and compares every incoming point against
+/// it through the specialized kernel.
 ///
 /// Returns indices of skyline points in input order of survival.
-pub fn skyline_bnl(
-    points: &[Vec<Value>],
-    mask: DimMask,
+pub fn skyline_bnl_store(
+    points: &PointStore,
+    kernel: &DomKernel,
     clock: &mut SimClock,
     stats: &mut Stats,
 ) -> Vec<usize> {
     let mut window: Vec<usize> = Vec::new();
-    'next: for (i, p) in points.iter().enumerate() {
+    'next: for i in 0..points.len() {
+        let p = points.at(i);
         let mut k = 0;
         while k < window.len() {
             clock.charge_dom_cmps(1);
             stats.dom_comparisons += 1;
-            match relate_in(&points[window[k]], p, mask) {
+            match kernel.relate(points.at(window[k]), p) {
                 DomRelation::Dominates => continue 'next,
                 DomRelation::DominatedBy => {
                     window.swap_remove(k);
@@ -71,6 +91,19 @@ pub fn skyline_bnl(
     window
 }
 
+/// Block-Nested-Loop skyline over `Vec<Vec<f64>>` points — thin adapter
+/// over [`skyline_bnl_store`] (identical comparisons, counts and order).
+pub fn skyline_bnl(
+    points: &[Vec<Value>],
+    mask: DimMask,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<usize> {
+    let store = intern(points, mask);
+    let kernel = DomKernel::new(mask, store.stride());
+    skyline_bnl_store(&store, &kernel, clock, stats)
+}
+
 /// The monotone sorting score used by SFS: the sum of the point's values on
 /// the subspace dimensions. If `sum_V(a) < sum_V(b)` then `b` cannot
 /// dominate `a`.
@@ -79,25 +112,37 @@ pub fn monotone_score(p: &[Value], mask: DimMask) -> Value {
     mask.iter().map(|k| p[k]).sum()
 }
 
-/// Sort-Filter-Skyline [6]: sorts by [`monotone_score`], then filters.
-/// Survivors are final the moment they are admitted, which is what makes
-/// SFS-style processing *progressive*.
-pub fn skyline_sfs(
-    points: &[Vec<Value>],
-    mask: DimMask,
+/// Sorts `0..n` by ascending precomputed score (stable on ties, matching a
+/// comparator-based `sort_by` over the same scores).
+pub fn sorted_by_score(scores: &[Value]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    order
+}
+
+/// Sort-Filter-Skyline [6] over a flat point store: sorts by the kernel's
+/// monotone score, then filters. Survivors are final the moment they are
+/// admitted, which is what makes SFS-style processing *progressive*.
+///
+/// Scores are computed once per point (O(n·d)), not inside the sort
+/// comparator (O(n log n · d)).
+pub fn skyline_sfs_store(
+    points: &PointStore,
+    kernel: &DomKernel,
     clock: &mut SimClock,
     stats: &mut Stats,
 ) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..points.len()).collect();
-    order.sort_by(|&a, &b| {
-        monotone_score(&points[a], mask).total_cmp(&monotone_score(&points[b], mask))
-    });
+    let scores: Vec<Value> = (0..points.len())
+        .map(|i| kernel.score(points.at(i)))
+        .collect();
+    let order = sorted_by_score(&scores);
     let mut sky: Vec<usize> = Vec::new();
     'next: for i in order {
+        let p = points.at(i);
         for &s in &sky {
             clock.charge_dom_cmps(1);
             stats.dom_comparisons += 1;
-            match relate_in(&points[s], &points[i], mask) {
+            match kernel.relate(points.at(s), p) {
                 DomRelation::Dominates => continue 'next,
                 // After monotone presorting an incoming point can never
                 // dominate an admitted survivor.
@@ -110,6 +155,19 @@ pub fn skyline_sfs(
     }
     sky.sort_unstable();
     sky
+}
+
+/// Sort-Filter-Skyline over `Vec<Vec<f64>>` points — thin adapter over
+/// [`skyline_sfs_store`] (identical comparisons, counts and order).
+pub fn skyline_sfs(
+    points: &[Vec<Value>],
+    mask: DimMask,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<usize> {
+    let store = intern(points, mask);
+    let kernel = DomKernel::new(mask, store.stride());
+    skyline_sfs_store(&store, &kernel, clock, stats)
 }
 
 /// Outcome of inserting one point into an [`IncrementalSkyline`].
@@ -131,19 +189,29 @@ pub enum InsertOutcome {
 /// Streaming skyline maintenance over one subspace.
 ///
 /// Each member carries an opaque `tag` so executors can correlate skyline
-/// membership with their own tuple arenas.
+/// membership with their own tuple arenas. Member points live in one flat
+/// value buffer (no per-member allocation); removal swaps the last member
+/// into the hole, mirroring the original `Vec::swap_remove` order exactly.
 #[derive(Debug, Clone)]
 pub struct IncrementalSkyline {
     mask: DimMask,
-    entries: Vec<(u64, Vec<Value>)>,
+    kernel: Option<DomKernel>,
+    tags: Vec<u64>,
+    /// Flat member points; member `i` is `data[i*stride..(i+1)*stride]`.
+    data: Vec<Value>,
+    stride: usize,
 }
 
 impl IncrementalSkyline {
-    /// An empty skyline over subspace `mask`.
+    /// An empty skyline over subspace `mask`. The point stride is learned
+    /// from the first insertion.
     pub fn new(mask: DimMask) -> Self {
         IncrementalSkyline {
             mask,
-            entries: Vec::new(),
+            kernel: None,
+            tags: Vec::new(),
+            data: Vec::new(),
+            stride: 0,
         }
     }
 
@@ -154,22 +222,36 @@ impl IncrementalSkyline {
 
     /// Current number of skyline members.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.tags.len()
     }
 
     /// Whether the skyline is empty.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.tags.is_empty()
     }
 
     /// Tags of the current members, in insertion order.
     pub fn tags(&self) -> impl Iterator<Item = u64> + '_ {
-        self.entries.iter().map(|(t, _)| *t)
+        self.tags.iter().copied()
     }
 
     /// Whether the given tag is currently a member.
     pub fn contains_tag(&self, tag: u64) -> bool {
-        self.entries.iter().any(|(t, _)| *t == tag)
+        self.tags.contains(&tag)
+    }
+
+    /// The point of member `i`.
+    #[inline]
+    fn member(&self, i: usize) -> &[Value] {
+        &self.data[i * self.stride..(i + 1) * self.stride]
+    }
+
+    #[inline]
+    fn ensure_kernel(&mut self, stride: usize) {
+        if self.kernel.is_none() {
+            self.stride = stride;
+            self.kernel = Some(DomKernel::new(self.mask, stride));
+        }
     }
 
     /// Inserts a point, maintaining the skyline invariant. Counts one
@@ -181,43 +263,67 @@ impl IncrementalSkyline {
         clock: &mut SimClock,
         stats: &mut Stats,
     ) -> InsertOutcome {
+        self.ensure_kernel(point.len());
+        debug_assert_eq!(point.len(), self.stride, "stride mismatch");
+        // Split field borrows: the kernel stays immutably borrowed while the
+        // member table is edited (no per-insert kernel clone).
+        let stride = self.stride;
+        let (kernel, tags, data) = (
+            self.kernel.as_ref().expect("just initialized"),
+            &mut self.tags,
+            &mut self.data,
+        );
         let mut removed = Vec::new();
         let mut k = 0;
-        while k < self.entries.len() {
+        while k < tags.len() {
             clock.charge_dom_cmps(1);
             stats.dom_comparisons += 1;
-            match relate_in(&self.entries[k].1, point, self.mask) {
+            match kernel.relate(&data[k * stride..(k + 1) * stride], point) {
                 DomRelation::Dominates => {
                     debug_assert!(removed.is_empty(), "partial order violated");
                     return InsertOutcome::Dominated;
                 }
                 DomRelation::DominatedBy => {
-                    removed.push(self.entries.swap_remove(k).0);
+                    removed.push(tags.swap_remove(k));
+                    let last = tags.len();
+                    if k != last {
+                        let (head, tail) = data.split_at_mut(last * stride);
+                        head[k * stride..(k + 1) * stride].copy_from_slice(&tail[..stride]);
+                    }
+                    data.truncate(last * stride);
                 }
                 // Definition 1: equal points do not dominate — keep both.
                 DomRelation::Equal | DomRelation::Incomparable => k += 1,
             }
         }
-        self.entries.push((tag, point.to_vec()));
+        tags.push(tag);
+        data.extend_from_slice(point);
         InsertOutcome::Added { removed }
     }
 
     /// Like [`insert`](Self::insert) but without mutating: returns whether
     /// the point *would* survive. Still counts the comparisons performed.
     pub fn would_survive(&self, point: &[Value], clock: &mut SimClock, stats: &mut Stats) -> bool {
-        for (_, q) in &self.entries {
+        for k in 0..self.tags.len() {
             clock.charge_dom_cmps(1);
             stats.dom_comparisons += 1;
-            if relate_in(q, point, self.mask) == DomRelation::Dominates {
+            let rel = match &self.kernel {
+                Some(kernel) => kernel.relate(self.member(k), point),
+                None => relate_in(self.member(k), point, self.mask),
+            };
+            if rel == DomRelation::Dominates {
                 return false;
             }
         }
         true
     }
 
-    /// Current members as `(tag, point)` pairs.
-    pub fn entries(&self) -> &[(u64, Vec<Value>)] {
-        &self.entries
+    /// Current members as `(tag, point)` pairs in insertion order.
+    pub fn entries(&self) -> impl ExactSizeIterator<Item = (u64, &[Value])> + '_ {
+        self.tags
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| (t, &self.data[i * self.stride..(i + 1) * self.stride]))
     }
 }
 
@@ -281,6 +387,43 @@ mod tests {
     }
 
     #[test]
+    fn store_entry_points_match_adapters_exactly() {
+        // The flat-layout entry points and the Vec<Vec<f64>> adapters must
+        // agree on results, comparison counts AND virtual ticks.
+        let points: Vec<Vec<Value>> = (0..120)
+            .map(|i| {
+                let x = (i * 37 % 100) as Value;
+                vec![x, 100.0 - x, (i % 9) as Value]
+            })
+            .collect();
+        let mask = DimMask::from_dims([0, 2]);
+        let mut store = PointStore::new(3);
+        for p in &points {
+            store.push(p);
+        }
+        let kernel = DomKernel::new(mask, 3);
+        for which in ["bnl", "sfs"] {
+            let mut c1 = SimClock::default();
+            let mut s1 = Stats::new();
+            let mut c2 = SimClock::default();
+            let mut s2 = Stats::new();
+            let (a, b) = match which {
+                "bnl" => (
+                    skyline_bnl(&points, mask, &mut c1, &mut s1),
+                    skyline_bnl_store(&store, &kernel, &mut c2, &mut s2),
+                ),
+                _ => (
+                    skyline_sfs(&points, mask, &mut c1, &mut s1),
+                    skyline_sfs_store(&store, &kernel, &mut c2, &mut s2),
+                ),
+            };
+            assert_eq!(a, b, "{which}: results diverged");
+            assert_eq!(s1, s2, "{which}: stats diverged");
+            assert_eq!(c1.ticks(), c2.ticks(), "{which}: ticks diverged");
+        }
+    }
+
+    #[test]
     fn incremental_matches_batch() {
         let points = pts(&[
             &[3.0, 3.0],
@@ -309,6 +452,10 @@ mod tests {
         assert_eq!(tags, expect);
         assert!(sky.contains_tag(1));
         assert!(!sky.contains_tag(0));
+        // Flat entries expose the surviving points.
+        for (tag, p) in sky.entries() {
+            assert_eq!(p, points[tag as usize].as_slice());
+        }
     }
 
     #[test]
@@ -356,6 +503,12 @@ mod tests {
         let p = [1.0, 10.0, 100.0];
         assert_eq!(monotone_score(&p, DimMask::from_dims([0, 2])), 101.0);
         assert_eq!(monotone_score(&p, DimMask::full(3)), 111.0);
+        // The kernel's precomputed score agrees.
+        assert_eq!(
+            DomKernel::new(DimMask::from_dims([0, 2]), 3).score(&p),
+            101.0
+        );
+        assert_eq!(DomKernel::new(DimMask::full(3), 3).score(&p), 111.0);
     }
 
     #[test]

@@ -126,8 +126,15 @@ fn coarse_skyline(
         let children = cuboid.children(s);
         let mut surv = vec![true; n];
         let mut order: Vec<usize> = (0..n).collect();
-        let score = |i: usize| -> f64 { mask.iter().map(|k| regions[i].bounds.lo()[k]).sum() };
-        order.sort_by(|&a, &b| score(a).total_cmp(&score(b)));
+        // Precompute each region's lower-corner monotone score once —
+        // O(n·d) instead of O(n log n · d) inside the sort comparator. The
+        // dimension list is walked once per subspace, not once per access.
+        let dims: Vec<usize> = mask.iter().collect();
+        let scores: Vec<f64> = regions
+            .iter()
+            .map(|r| dims.iter().map(|&k| r.bounds.lo()[k]).sum())
+            .collect();
+        order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
         let mut window: Vec<usize> = Vec::new();
         for &i in &order {
             // Theorem 1 (region form): non-dominated in a kept child

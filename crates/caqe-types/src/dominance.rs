@@ -113,6 +113,148 @@ pub fn weakly_dominates_in(a: &[Value], b: &[Value], mask: DimMask) -> bool {
     mask.iter().all(|k| a[k] <= b[k])
 }
 
+/// A dominance kernel specialized for one subspace.
+///
+/// [`relate_in`] re-walks the bitmask (`trailing_zeros` + clear-lowest-bit)
+/// on every comparison; a kernel precomputes the dimension list *once* per
+/// mask and, when the subspace is the contiguous full space of a known
+/// stride, relates the two point slices directly — the layout the flat
+/// [`crate::store::PointStore`] hands out.
+///
+/// The kernel is semantics-preserving by construction: dimensions are
+/// visited in the same ascending order with the same early exit as
+/// [`relate_in`], so it returns the identical [`DomRelation`] for every
+/// input, and callers keep counting one comparison per pairwise test —
+/// `Stats`, the virtual clock and traces cannot tell the kernels apart.
+#[derive(Debug, Clone)]
+pub struct DomKernel {
+    mask: DimMask,
+    /// Precomputed ascending dimension indices of `mask`.
+    dims: Vec<u32>,
+    /// Specialized comparison shape, resolved once at construction.
+    shape: Shape,
+}
+
+/// The comparison shape a [`DomKernel`] dispatches on: the common subspace
+/// arities get straight-line code with the dimension indices held inline
+/// (no per-comparison load from the `dims` heap allocation).
+#[derive(Debug, Clone, Copy)]
+enum Shape {
+    /// `mask` covers `0..d` contiguously: relate the point prefixes.
+    Full(usize),
+    /// One-dimensional subspace.
+    Single(usize),
+    /// Two-dimensional subspace (ascending indices).
+    Pair(usize, usize),
+    /// Anything else: loop over the precomputed `dims` list.
+    General,
+}
+
+impl DomKernel {
+    /// Builds the kernel for `mask` over points of `stride` dimensions.
+    pub fn new(mask: DimMask, stride: usize) -> Self {
+        let dims: Vec<u32> = mask.iter().map(|k| k as u32).collect();
+        let shape = if mask == DimMask::full(stride) && stride > 0 {
+            Shape::Full(stride)
+        } else {
+            match *dims.as_slice() {
+                [k] => Shape::Single(k as usize),
+                [i, j] => Shape::Pair(i as usize, j as usize),
+                _ => Shape::General,
+            }
+        };
+        DomKernel { mask, dims, shape }
+    }
+
+    /// The subspace this kernel relates points in.
+    #[inline]
+    pub fn mask(&self) -> DimMask {
+        self.mask
+    }
+
+    /// The precomputed ascending dimension list.
+    #[inline]
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// Number of dimensions in the subspace.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether the subspace is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Relates `a` and `b` over the kernel's subspace — identical outcome
+    /// to `relate_in(a, b, self.mask())`, without the bitmask walk.
+    #[inline]
+    pub fn relate(&self, a: &[Value], b: &[Value]) -> DomRelation {
+        match self.shape {
+            Shape::Full(d) => relate(&a[..d], &b[..d]),
+            Shape::Single(k) => verdict(a[k] < b[k], b[k] < a[k]),
+            Shape::Pair(i, j) => {
+                // Both dimensions are examined unconditionally; the early
+                // exit of the general loop only skips work, never changes
+                // the verdict, so the outcome is identical.
+                verdict(a[i] < b[i] || a[j] < b[j], b[i] < a[i] || b[j] < a[j])
+            }
+            Shape::General => {
+                let mut a_better = false;
+                let mut b_better = false;
+                for &k in &self.dims {
+                    let (x, y) = (a[k as usize], b[k as usize]);
+                    if x < y {
+                        a_better = true;
+                    } else if y < x {
+                        b_better = true;
+                    }
+                    if a_better && b_better {
+                        return DomRelation::Incomparable;
+                    }
+                }
+                verdict(a_better, b_better)
+            }
+        }
+    }
+
+    /// Subspace dominance test through the kernel.
+    #[inline]
+    pub fn dominates(&self, a: &[Value], b: &[Value]) -> bool {
+        self.relate(a, b) == DomRelation::Dominates
+    }
+
+    /// The SFS monotone sorting score: the sum of `p` over the subspace
+    /// dimensions, without re-walking the bitmask.
+    #[inline]
+    pub fn score(&self, p: &[Value]) -> Value {
+        // The straight-line sums start from 0.0 like `Iterator::sum`'s fold
+        // so signed zeros come out bit-identical (total_cmp tells -0.0 and
+        // +0.0 apart, and SFS sorts scores with total_cmp).
+        match self.shape {
+            Shape::Full(d) => p[..d].iter().sum(),
+            Shape::Single(k) => 0.0 + p[k],
+            Shape::Pair(i, j) => 0.0 + p[i] + p[j],
+            Shape::General => self.dims.iter().map(|&k| p[k as usize]).sum(),
+        }
+    }
+}
+
+/// Folds the two strict-improvement flags into a [`DomRelation`].
+#[inline]
+fn verdict(a_better: bool, b_better: bool) -> DomRelation {
+    match (a_better, b_better) {
+        (true, false) => DomRelation::Dominates,
+        (false, true) => DomRelation::DominatedBy,
+        (false, false) => DomRelation::Equal,
+        (true, true) => DomRelation::Incomparable,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,20 +13,25 @@
 //!   DESIGN.md §3 for the substitution rationale).
 //! * [`stats::Stats`] — the operation counters reported in Figures 9–11.
 //! * [`ids`] — strongly-typed identifiers for queries, regions and cells.
+//! * [`store::PointStore`] — flat structure-of-arrays point arenas with
+//!   copy-cheap handles, plus [`dominance::DomKernel`]s specialized per
+//!   subspace (DESIGN.md §12).
 
 pub mod bounds;
 pub mod clock;
 pub mod dominance;
 pub mod ids;
 pub mod stats;
+pub mod store;
 pub mod subspace;
 
 pub use bounds::Rect;
 pub use bounds::RegionRelation;
 pub use clock::{CostModel, SimClock, Ticks, VirtualSeconds};
-pub use dominance::{dominates, dominates_in, relate, relate_in, DomRelation};
+pub use dominance::{dominates, dominates_in, relate, relate_in, DomKernel, DomRelation};
 pub use ids::{CellId, QueryId, QuerySet, RegionId};
 pub use stats::{PerQueryStats, Stats};
+pub use store::{PointId, PointStore, SwapStore};
 pub use subspace::DimMask;
 
 /// Attribute values throughout the system.

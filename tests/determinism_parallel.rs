@@ -153,6 +153,32 @@ fn trace_is_bit_identical_at_every_parallelism() {
 }
 
 #[test]
+fn trace_matches_committed_golden() {
+    // Layout-migration regression gate: the JSONL trace of a fixed workload
+    // is committed at `tests/golden/caqe_trace.jsonl` (recorded before the
+    // flat `PointStore` migration). Any storage or kernel change that
+    // perturbs a single comparison, tick or emission shows up as a byte
+    // diff here. Refresh intentionally with UPDATE_GOLDEN=1.
+    let w = workload();
+    let (r, t) = tables(1600, Distribution::Independent, 99);
+    let exec = ExecConfig::default().with_target_cells(1600, 2);
+    let mut sink = caqe::trace::RecordingSink::new();
+    let out = CaqeStrategy.run_traced(&r, &t, &w, &exec, &mut sink);
+    assert!(out.total_results() > 0, "degenerate workload");
+    let jsonl = caqe::trace::to_jsonl(sink.events());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/caqe_trace.jsonl");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &jsonl).expect("write golden trace");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect("missing golden trace");
+    assert_eq!(
+        golden, jsonl,
+        "trace diverged from the committed pre-migration golden"
+    );
+}
+
+#[test]
 fn recording_sink_does_not_perturb_the_run() {
     // Observation must not interfere: a traced run and a no-op-sink run
     // agree on every observable, and tracing costs zero virtual ticks.

@@ -106,7 +106,6 @@ proptest! {
                 InsertOutcome::Dominated => {
                     prop_assert!(sky
                         .entries()
-                        .iter()
                         .any(|(_, q)| dominates_in(q, p, mask)));
                 }
             }
