@@ -20,6 +20,9 @@
 //!   strawman — pipelines all join tuples over the min-max-cuboid plan in
 //!   blind FIFO order, with no look-ahead pruning and no feedback.
 
+// Library code must degrade, not abort (DESIGN.md §13).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod jfsl;
 pub mod progxe;
 pub mod sjfsl;

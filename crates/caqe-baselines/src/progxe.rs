@@ -2,12 +2,12 @@
 //! output space, count-driven rather than contract-driven.
 
 use caqe_core::{
-    run_engine_traced, EngineConfig, ExecConfig, ExecutionStrategy, QueryOutcome, RunOutcome,
-    Workload,
+    try_run_engine, try_run_engine_traced, EngineConfig, ExecConfig, ExecutionStrategy,
+    QueryOutcome, RunOutcome, Workload,
 };
 use caqe_data::Table;
 use caqe_trace::{NoopSink, RecordingSink, TraceEvent, TraceSink};
-use caqe_types::{PerQueryStats, Stats};
+use caqe_types::{EngineError, PerQueryStats, Stats};
 use std::time::Instant;
 
 /// ProgXe+ processes one query at a time (priority order) with the
@@ -15,7 +15,8 @@ use std::time::Instant;
 /// ordering and safe progressive emission — but picks regions by estimated
 /// output count per unit cost and knows nothing about contracts or other
 /// queries. Partitioning, regions and join work are all rebuilt per query:
-/// no sharing.
+/// no sharing — including ingestion, which each sub-run validates afresh
+/// (the fault plan is deterministic, so every sub-run sees the same input).
 #[derive(Debug, Clone, Default)]
 pub struct ProgXeStrategy;
 
@@ -27,7 +28,7 @@ impl ProgXeStrategy {
         workload: &Workload,
         exec: &ExecConfig,
         sink: &mut S,
-    ) -> RunOutcome {
+    ) -> Result<RunOutcome, EngineError> {
         let wall = Instant::now();
         let engine = EngineConfig::progxe_core();
         let mut per_query: Vec<Option<QueryOutcome>> = vec![None; workload.len()];
@@ -53,7 +54,7 @@ impl ProgXeStrategy {
             // before joining the outer stream.
             let mut sub = if S::ENABLED {
                 let mut sub_sink = RecordingSink::new();
-                let out = run_engine_traced(
+                let out = try_run_engine_traced(
                     self.name(),
                     r,
                     t,
@@ -62,7 +63,7 @@ impl ProgXeStrategy {
                     &engine,
                     ticks,
                     &mut sub_sink,
-                );
+                )?;
                 for mut ev in sub_sink.into_events() {
                     match &mut ev {
                         // The outer Meta already describes the whole run.
@@ -74,7 +75,7 @@ impl ProgXeStrategy {
                 }
                 out
             } else {
-                caqe_core::run_engine(self.name(), r, t, &single, exec, &engine, ticks)
+                try_run_engine(self.name(), r, t, &single, exec, &engine, ticks)?
             };
             ticks = (sub.virtual_seconds * exec.cost_model.ticks_per_second).round() as u64;
             virtual_seconds = sub.virtual_seconds;
@@ -86,18 +87,24 @@ impl ProgXeStrategy {
             }
             stats += sub.stats;
             stats.per_query[qid.index()] += sub_pq;
-            let mut outcome = sub.per_query.into_iter().next().expect("one query");
+            let Some(mut outcome) = sub.per_query.into_iter().next() else {
+                return Err(EngineError::InvalidWorkload {
+                    reason: "single-query sub-run returned no outcome".to_string(),
+                });
+            };
             outcome.query = qid;
             per_query[qid.index()] = Some(outcome);
         }
 
-        RunOutcome {
+        // Every priority slot was filled above; flatten preserves order.
+        debug_assert!(per_query.iter().all(Option::is_some));
+        Ok(RunOutcome {
             strategy: self.name().to_string(),
-            per_query: per_query.into_iter().map(Option::unwrap).collect(),
+            per_query: per_query.into_iter().flatten().collect(),
             stats,
             virtual_seconds,
             wall_seconds: wall.elapsed().as_secs_f64(),
-        }
+        })
     }
 }
 
@@ -106,18 +113,24 @@ impl ExecutionStrategy for ProgXeStrategy {
         "ProgXe+"
     }
 
-    fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome {
+    fn try_run(
+        &self,
+        r: &Table,
+        t: &Table,
+        workload: &Workload,
+        exec: &ExecConfig,
+    ) -> Result<RunOutcome, EngineError> {
         self.run_impl(r, t, workload, exec, &mut NoopSink)
     }
 
-    fn run_traced(
+    fn try_run_traced(
         &self,
         r: &Table,
         t: &Table,
         workload: &Workload,
         exec: &ExecConfig,
         sink: &mut RecordingSink,
-    ) -> RunOutcome {
+    ) -> Result<RunOutcome, EngineError> {
         self.run_impl(r, t, workload, exec, sink)
     }
 }

@@ -2,11 +2,12 @@
 //! the min-max-cuboid shared plan with blind pipelining (§7.1).
 
 use caqe_core::{
-    run_engine, run_engine_traced, EngineConfig, ExecConfig, ExecutionStrategy, RunOutcome,
+    try_run_engine, try_run_engine_traced, EngineConfig, ExecConfig, ExecutionStrategy, RunOutcome,
     Workload,
 };
 use caqe_data::Table;
 use caqe_trace::RecordingSink;
+use caqe_types::EngineError;
 
 /// S-JFSL pipelines every join tuple through the shared min-max-cuboid plan
 /// in FIFO cell-pair order. It enjoys the shared plan's reduction in join
@@ -21,8 +22,14 @@ impl ExecutionStrategy for SJfslStrategy {
         "S-JFSL"
     }
 
-    fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome {
-        run_engine(
+    fn try_run(
+        &self,
+        r: &Table,
+        t: &Table,
+        workload: &Workload,
+        exec: &ExecConfig,
+    ) -> Result<RunOutcome, EngineError> {
+        try_run_engine(
             self.name(),
             r,
             t,
@@ -33,15 +40,15 @@ impl ExecutionStrategy for SJfslStrategy {
         )
     }
 
-    fn run_traced(
+    fn try_run_traced(
         &self,
         r: &Table,
         t: &Table,
         workload: &Workload,
         exec: &ExecConfig,
         sink: &mut RecordingSink,
-    ) -> RunOutcome {
-        run_engine_traced(
+    ) -> Result<RunOutcome, EngineError> {
+        try_run_engine_traced(
             self.name(),
             r,
             t,

@@ -1,12 +1,14 @@
 //! SSMJ [14]: sort-based skyline-over-join — progressive but non-shared.
 
 use caqe_contract::QueryScore;
-use caqe_core::{ExecConfig, ExecutionStrategy, QueryOutcome, RunOutcome, Workload};
+use caqe_core::{
+    prepare_inputs, ExecConfig, ExecutionStrategy, QueryOutcome, RunOutcome, Workload,
+};
 use caqe_data::Table;
 use caqe_operators::{hash_join_project_store, JoinSpec};
 use caqe_regions::buchta_estimate;
 use caqe_trace::{NoopSink, RecordingSink, TraceEvent, TraceSink};
-use caqe_types::{DomKernel, DomRelation, SimClock, Stats};
+use caqe_types::{DomKernel, DomRelation, EngineError, SimClock, Stats};
 use std::time::Instant;
 
 /// Skyline-Sort-Merge-Join: per query (priority order), materialize the
@@ -25,7 +27,7 @@ impl SsmjStrategy {
         workload: &Workload,
         exec: &ExecConfig,
         sink: &mut S,
-    ) -> RunOutcome {
+    ) -> Result<RunOutcome, EngineError> {
         let wall = Instant::now();
         let mut clock = SimClock::new(exec.cost_model);
         let mut stats = Stats::new();
@@ -39,6 +41,12 @@ impl SsmjStrategy {
                 start_tick: 0,
             });
         }
+
+        let prep = prepare_inputs(r, t, exec, 0, sink)?;
+        stats.ingest_quarantined += prep.quarantined();
+        stats.ingest_clamped += prep.clamped();
+        let r = prep.r_table(r);
+        let t = prep.t_table(t);
 
         for qid in workload.by_priority() {
             let spec = workload.query(qid);
@@ -114,13 +122,15 @@ impl SsmjStrategy {
             });
         }
 
-        RunOutcome {
+        // Every priority slot was filled above; flatten preserves order.
+        debug_assert!(per_query.iter().all(Option::is_some));
+        Ok(RunOutcome {
             strategy: self.name().to_string(),
-            per_query: per_query.into_iter().map(Option::unwrap).collect(),
+            per_query: per_query.into_iter().flatten().collect(),
             stats,
             virtual_seconds: clock.now(),
             wall_seconds: wall.elapsed().as_secs_f64(),
-        }
+        })
     }
 }
 
@@ -129,18 +139,24 @@ impl ExecutionStrategy for SsmjStrategy {
         "SSMJ"
     }
 
-    fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome {
+    fn try_run(
+        &self,
+        r: &Table,
+        t: &Table,
+        workload: &Workload,
+        exec: &ExecConfig,
+    ) -> Result<RunOutcome, EngineError> {
         self.run_impl(r, t, workload, exec, &mut NoopSink)
     }
 
-    fn run_traced(
+    fn try_run_traced(
         &self,
         r: &Table,
         t: &Table,
         workload: &Workload,
         exec: &ExecConfig,
         sink: &mut RecordingSink,
-    ) -> RunOutcome {
+    ) -> Result<RunOutcome, EngineError> {
         self.run_impl(r, t, workload, exec, sink)
     }
 }

@@ -12,10 +12,13 @@
 //!
 //! ```text
 //! cargo run --release -p caqe-bench --bin ablation -- [--dist independent]
-//!     [--contract 3] [--n <rows>] [--json] [--trace <dir>]
+//!     [--contract 3] [--n <rows>] [--json] [--trace <dir>] [--faults <spec>]
+//!     [--validation reject|quarantine|clamp]
 //! ```
 
-use caqe_bench::report::{cli_arg, cli_flag, cli_threads, cli_trace, render_jsonl, render_table};
+use caqe_bench::report::{
+    cli_arg, cli_chaos, cli_flag, cli_threads, cli_trace, render_jsonl, render_table,
+};
 use caqe_bench::{ComparisonRow, ExperimentConfig};
 use caqe_core::{run_engine, run_engine_traced, EngineConfig, SchedulingPolicy};
 use caqe_data::Distribution;
@@ -82,6 +85,9 @@ fn main() {
         .unwrap_or(3);
     let mut cfg = ExperimentConfig::new(dist, contract);
     cfg.parallelism = cli_threads(&args);
+    let (faults, validation) = cli_chaos(&args);
+    cfg.faults = faults;
+    cfg.validation = validation;
     if let Some(n) = cli_arg(&args, "--n") {
         cfg.n = n.parse().expect("--n takes a number");
     } else if dist == Distribution::Anticorrelated {

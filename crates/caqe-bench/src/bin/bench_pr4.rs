@@ -1,0 +1,185 @@
+//! Graceful-degradation benchmark for the chaos subsystem (DESIGN.md §13),
+//! recorded in `BENCH_PR4.json`.
+//!
+//! Runs CAQE on one experimental cell under three scenarios sharing tables,
+//! workload and contract calibration:
+//!
+//! 1. **clean** — no faults (the golden path);
+//! 2. **chaos** — the `--faults` plan (worker panics, cost spikes,
+//!    estimator noise, input corruption) with quarantine-based recovery;
+//! 3. **chaos+shed** — the same plan with contract-aware load shedding
+//!    enabled (`--floor`, default 0.5).
+//!
+//! The chaos scenario is executed twice and both outcomes are compared
+//! field-by-field — `"deterministic"` in the output asserts that fault
+//! injection and recovery are a pure function of (seed, plan), per the
+//! repo's determinism contract. `"measures": "degradation"`: the headline
+//! numbers are the satisfaction retained under chaos relative to clean.
+//!
+//! ```text
+//! cargo run --release -p caqe-bench --bin bench_pr4 -- [--n <rows>]
+//!     [--faults <spec>] [--floor <sat>] [--threads <t>] [--out <path>]
+//! ```
+
+use caqe_bench::json::ObjectWriter;
+use caqe_bench::report::{cli_arg, cli_faults, cli_threads};
+use caqe_bench::ExperimentConfig;
+use caqe_core::{CaqeStrategy, DegradationPolicy, ExecConfig, ExecutionStrategy, RunOutcome};
+use caqe_data::{Distribution, ValidationPolicy};
+use caqe_faults::{silence_injected_panics, FaultPlan};
+
+/// Per-query observables: emission `(ts, utility)` pairs and result
+/// `(rid, tid)` provenance.
+type QueryDigest = (Vec<(f64, f64)>, Vec<(u64, u64)>);
+
+/// The outcome fields every repetition must agree on byte-for-byte
+/// (wall-clock time is excluded by construction).
+fn digest(o: &RunOutcome) -> (String, Vec<QueryDigest>, f64) {
+    (
+        format!("{:?}", o.stats),
+        o.per_query
+            .iter()
+            .map(|q| (q.emissions.clone(), q.results.clone()))
+            .collect(),
+        o.virtual_seconds,
+    )
+}
+
+struct Scenario {
+    label: &'static str,
+    outcome: RunOutcome,
+}
+
+impl Scenario {
+    fn to_json(&self) -> String {
+        let s = &self.outcome.stats;
+        let mut w = ObjectWriter::new();
+        w.string("scenario", self.label)
+            .number("avg_satisfaction", self.outcome.avg_satisfaction())
+            .number("total_p_score", self.outcome.total_p_score())
+            .uint("results", self.outcome.total_results() as u64)
+            .number("virtual_seconds", self.outcome.virtual_seconds)
+            .uint("region_retries", s.region_retries)
+            .uint("regions_quarantined", s.regions_quarantined)
+            .uint("regions_shed", s.regions_shed)
+            .uint("ingest_quarantined", s.ingest_quarantined)
+            .uint("ingest_clamped", s.ingest_clamped);
+        w.finish()
+    }
+}
+
+fn main() {
+    silence_injected_panics();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = cli_arg(&args, "--n").map_or(1500, |s| s.parse().expect("--n"));
+    let floor: f64 = cli_arg(&args, "--floor").map_or(0.5, |s| s.parse().expect("--floor"));
+    let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let faults = {
+        let plan = cli_faults(&args);
+        if plan.is_active() {
+            plan
+        } else {
+            // Default chaos plan: every fault domain exercised.
+            FaultPlan::seeded(7)
+                .with_panics(0.15)
+                .with_spikes(0.10, 8.0)
+                .with_estimator_noise(0.20, 4.0)
+                .with_corruption(0.02)
+        }
+    };
+
+    let mut cfg = ExperimentConfig::new(Distribution::Independent, 2);
+    cfg.n = n;
+    cfg.workload_size = 6;
+    cfg.cells_per_table = 10;
+    cfg.parallelism = cli_threads(&args);
+    cfg.reference_secs = Some(cfg.reference_seconds());
+    let (r, t) = cfg.tables();
+    let workload = cfg.workload();
+
+    let run = |exec: &ExecConfig| {
+        CaqeStrategy
+            .try_run(&r, &t, &workload, exec)
+            .expect("quarantine validation never rejects")
+    };
+
+    let clean_exec = cfg.exec();
+    let chaos_exec = cfg
+        .exec()
+        .with_faults(faults)
+        .with_validation(ValidationPolicy::Quarantine);
+    let shed_exec = chaos_exec.with_degradation(DegradationPolicy {
+        sat_floor: floor,
+        grace_ticks: 20_000,
+    });
+
+    let clean = run(&clean_exec);
+    let chaos = run(&chaos_exec);
+    let chaos_again = run(&chaos_exec);
+    let deterministic = digest(&chaos) == digest(&chaos_again);
+    assert!(
+        deterministic,
+        "chaos run diverged between repetitions — fault injection is not deterministic"
+    );
+    let shed = run(&shed_exec);
+
+    let retention = |s: &Scenario| {
+        let base = clean.avg_satisfaction();
+        if base > 0.0 {
+            s.outcome.avg_satisfaction() / base
+        } else {
+            1.0
+        }
+    };
+
+    let scenarios = [
+        Scenario {
+            label: "clean",
+            outcome: clean.clone(),
+        },
+        Scenario {
+            label: "chaos",
+            outcome: chaos,
+        },
+        Scenario {
+            label: "chaos_shed",
+            outcome: shed,
+        },
+    ];
+
+    let scenario_json: Vec<String> = scenarios.iter().map(Scenario::to_json).collect();
+    let mut obj = ObjectWriter::new();
+    obj.string("bench", "bench_pr4")
+        .uint("n", n as u64)
+        .uint("queries", workload.len() as u64)
+        .uint("threads", cfg.parallelism.unwrap_or(1).max(1) as u64)
+        .string("measures", "degradation")
+        .string("faults", &faults.to_spec())
+        .number("sat_floor", floor)
+        .bool("deterministic", deterministic)
+        .number("chaos_sat_retention", retention(&scenarios[1]))
+        .number("shed_sat_retention", retention(&scenarios[2]))
+        .raw("scenarios", &format!("[{}]", scenario_json.join(",")));
+    let json = obj.finish();
+    std::fs::write(&out_path, format!("{json}\n")).expect("write bench json");
+
+    for s in &scenarios {
+        let st = &s.outcome.stats;
+        println!(
+            "{:<11} sat {:.3}  p-score {:>8.1}  results {:>5}  retries {:>3}  \
+             quarantined {:>3}  shed {:>3}  ingest-q {:>4}",
+            s.label,
+            s.outcome.avg_satisfaction(),
+            s.outcome.total_p_score(),
+            s.outcome.total_results(),
+            st.region_retries,
+            st.regions_quarantined,
+            st.regions_shed,
+            st.ingest_quarantined,
+        );
+    }
+    println!(
+        "deterministic: {deterministic}  faults: {}  ({out_path})",
+        faults.to_spec()
+    );
+}

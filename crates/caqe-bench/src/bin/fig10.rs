@@ -4,9 +4,13 @@
 //!
 //! ```text
 //! cargo run --release -p caqe-bench --bin fig10 -- [--n <rows>] [--json] [--trace <dir>]
+//!                                                  [--faults <spec>]
+//!                                                  [--validation reject|quarantine|clamp]
 //! ```
 
-use caqe_bench::report::{cli_arg, cli_flag, cli_threads, cli_trace, render_jsonl, render_table};
+use caqe_bench::report::{
+    cli_arg, cli_chaos, cli_flag, cli_threads, cli_trace, render_jsonl, render_table,
+};
 use caqe_bench::{run_comparison_traced, ComparisonRow, ExperimentConfig};
 use caqe_data::Distribution;
 
@@ -14,11 +18,14 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = cli_flag(&args, "--json");
     let trace_dir = cli_trace(&args);
+    let (faults, validation) = cli_chaos(&args);
 
     let mut rows: Vec<ComparisonRow> = Vec::new();
     for dist in Distribution::ALL {
         let mut cfg = ExperimentConfig::new(dist, 2);
         cfg.parallelism = cli_threads(&args);
+        cfg.faults = faults;
+        cfg.validation = validation;
         if let Some(n) = cli_arg(&args, "--n") {
             cfg.n = n.parse().expect("--n takes a number");
         } else if dist == Distribution::Anticorrelated {

@@ -4,14 +4,17 @@
 //! ```text
 //! cargo run --release -p caqe-bench --bin fig9 -- [--dist correlated|independent|anticorrelated]
 //!                                                 [--n <rows>] [--queries <k>] [--json]
-//!                                                 [--trace <dir>]
+//!                                                 [--trace <dir>] [--faults <spec>]
+//!                                                 [--validation reject|quarantine|clamp]
 //! ```
 //!
 //! Without `--dist`, all three panels (9.a correlated, 9.b independent,
 //! 9.c anti-correlated) are produced. With `--trace`, every run exports
 //! its deterministic trace into the directory (see `trace_report`).
 
-use caqe_bench::report::{cli_arg, cli_flag, cli_threads, cli_trace, render_jsonl, render_table};
+use caqe_bench::report::{
+    cli_arg, cli_chaos, cli_flag, cli_threads, cli_trace, render_jsonl, render_table,
+};
 use caqe_bench::{run_comparison_traced, ComparisonRow, ExperimentConfig};
 use caqe_data::Distribution;
 
@@ -23,6 +26,7 @@ fn main() {
     };
     let json = cli_flag(&args, "--json");
     let trace_dir = cli_trace(&args);
+    let (faults, validation) = cli_chaos(&args);
 
     for dist in dists {
         let panel = match dist {
@@ -35,6 +39,8 @@ fn main() {
         for contract in 1..=5 {
             let mut cfg = ExperimentConfig::new(dist, contract);
             cfg.parallelism = cli_threads(&args);
+            cfg.faults = faults;
+            cfg.validation = validation;
             if let Some(n) = cli_arg(&args, "--n") {
                 cfg.n = n.parse().expect("--n takes a number");
             } else if dist == Distribution::Anticorrelated {

@@ -9,14 +9,15 @@
 //! ```text
 //! cargo run --release -p caqe-bench --bin par_speedup -- [--n <rows>]
 //!     [--threads <k>] [--cells <per-table>] [--reps <r>] [--out <path>]
-//!     [--trace <dir>]
+//!     [--trace <dir>] [--faults <spec>]
+//!     [--validation reject|quarantine|clamp]
 //! ```
 //!
 //! With `--trace`, the traced parallel run exports under the label
 //! `parallel` — CI byte-diffs that JSONL across thread counts.
 
 use caqe_bench::json::ObjectWriter;
-use caqe_bench::report::{cli_arg, cli_trace};
+use caqe_bench::report::{cli_arg, cli_chaos, cli_trace};
 use caqe_contract::Contract;
 use caqe_core::{CaqeStrategy, ExecConfig, ExecutionStrategy, QuerySpec, RunOutcome, Workload};
 use caqe_data::{Distribution, TableGenerator};
@@ -122,7 +123,11 @@ fn main() {
         .with_seed(0xBE11C);
     let (r, t) = (gen.generate("R"), gen.generate("T"));
     let w = workload();
-    let serial_exec = ExecConfig::default().with_target_cells(n, cells);
+    let (faults, validation) = cli_chaos(&args);
+    let serial_exec = ExecConfig::default()
+        .with_target_cells(n, cells)
+        .with_faults(faults)
+        .with_validation(validation);
     let par_exec = serial_exec.with_parallelism(Some(threads));
 
     let (serial_secs, serial_out) = measure(&r, &t, &w, &serial_exec, reps);

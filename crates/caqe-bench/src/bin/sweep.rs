@@ -6,9 +6,12 @@
 //! ```text
 //! cargo run --release -p caqe-bench --bin sweep -- [--axis n|sigma]
 //!     [--dist independent] [--contract 2] [--json] [--trace <dir>]
+//!     [--faults <spec>] [--validation reject|quarantine|clamp]
 //! ```
 
-use caqe_bench::report::{cli_arg, cli_flag, cli_threads, cli_trace, render_jsonl, render_table};
+use caqe_bench::report::{
+    cli_arg, cli_chaos, cli_flag, cli_threads, cli_trace, render_jsonl, render_table,
+};
 use caqe_bench::{run_comparison_traced, ComparisonRow, ExperimentConfig};
 use caqe_data::Distribution;
 
@@ -22,6 +25,7 @@ fn main() {
         .map(|c| c.parse().expect("--contract takes 1..=5"))
         .unwrap_or(2);
     let json = cli_flag(&args, "--json");
+    let (faults, validation) = cli_chaos(&args);
     let trace_dir = cli_trace(&args);
     // Sweep points share every label ingredient except the swept value, so
     // each point traces into its own subdirectory.
@@ -33,6 +37,8 @@ fn main() {
             for n in [500usize, 1000, 2000, 4000] {
                 let mut cfg = ExperimentConfig::new(dist, contract);
                 cfg.parallelism = cli_threads(&args);
+                cfg.faults = faults;
+                cfg.validation = validation;
                 cfg.n = n;
                 cfg.reference_secs = Some(cfg.reference_seconds());
                 rows.extend(run_comparison_traced(
@@ -45,6 +51,8 @@ fn main() {
             for sigma in [0.001f64, 0.01, 0.05, 0.1] {
                 let mut cfg = ExperimentConfig::new(dist, contract);
                 cfg.parallelism = cli_threads(&args);
+                cfg.faults = faults;
+                cfg.validation = validation;
                 cfg.n = 1500;
                 cfg.sigma = sigma;
                 cfg.reference_secs = Some(cfg.reference_seconds());

@@ -12,6 +12,9 @@
 //! non-decreasing (the virtual clock never runs backwards), per-query
 //! emission sequence numbers must be gapless from 1, and the sibling
 //! `.satisfaction.csv` must exist with a monotone `virtual_seconds` column.
+//! Chaos events (DESIGN.md §13) are validated too: a `quarantine` must be
+//! preceded by at least one `retry` for the same region, and a region that
+//! was `shed` must never appear in a later scheduling decision.
 //! Any violation exits non-zero, so CI can gate on it.
 
 use caqe_bench::json::parse;
@@ -45,7 +48,19 @@ struct Digest {
     /// (duration ticks, kind, group) of the longest spans.
     spans: Vec<(u64, String, Option<u64>)>,
     estimator: (u64, f64, f64), // audits, Σ ticks_err, max ticks_err
+    /// (group, region) -> retry count, for the quarantine-implies-retry rule.
+    retries: BTreeMap<(u64, u64), u64>,
+    /// (group, region) -> tick it was shed at; shed regions must never be
+    /// scheduled again.
+    shed: BTreeMap<(u64, u64), u64>,
     problems: Vec<String>,
+}
+
+fn group_region(v: &caqe_bench::json::JsonValue) -> (u64, u64) {
+    (
+        v["group"].as_f64().unwrap_or(-1.0) as u64,
+        v["region"].as_f64().unwrap_or(-1.0) as u64,
+    )
 }
 
 fn digest(path: &Path) -> Digest {
@@ -114,7 +129,46 @@ fn digest(path: &Path) -> Digest {
                 d.estimator.1 += err;
                 d.estimator.2 = d.estimator.2.max(err);
             }
-            "decision" => {}
+            "decision" => {
+                // A shed region must never be scheduled again: shedding
+                // retires it from the dependency graph, so any later
+                // Decision naming it means the degradation path leaked.
+                let key = group_region(&v);
+                let tick = v["tick"].as_f64().unwrap_or(-1.0) as u64;
+                if let Some(shed_tick) = d.shed.get(&key) {
+                    if tick >= *shed_tick {
+                        d.problems.push(format!(
+                            "line {}: region {}/{} scheduled at tick {tick} after being \
+                             shed at tick {shed_tick}",
+                            lineno + 1,
+                            key.0,
+                            key.1
+                        ));
+                    }
+                }
+            }
+            "fault" | "ingest" => {}
+            "retry" => {
+                *d.retries.entry(group_region(&v)).or_insert(0) += 1;
+            }
+            "quarantine" => {
+                // Quarantine is the terminal state of the retry ladder —
+                // it can only be reached after at least one recorded retry
+                // for the same region.
+                let key = group_region(&v);
+                if d.retries.get(&key).copied().unwrap_or(0) == 0 {
+                    d.problems.push(format!(
+                        "line {}: region {}/{} quarantined without a prior retry",
+                        lineno + 1,
+                        key.0,
+                        key.1
+                    ));
+                }
+            }
+            "shed" => {
+                let tick = v["tick"].as_f64().unwrap_or(-1.0) as u64;
+                d.shed.insert(group_region(&v), tick);
+            }
             other => {
                 d.problems
                     .push(format!("line {}: unknown event kind `{other}`", lineno + 1));

@@ -3,7 +3,8 @@
 use crate::workloads::{paper_workload, ContractParams, PriorityPolicy};
 use caqe_baselines::all_strategies;
 use caqe_core::{ExecConfig, ExecutionStrategy, RunOutcome, Workload};
-use caqe_data::{Distribution, Table, TableGenerator};
+use caqe_data::{Distribution, Table, TableGenerator, ValidationPolicy};
+use caqe_faults::FaultPlan;
 use caqe_trace::{write_trace, RecordingSink};
 use std::path::Path;
 
@@ -36,6 +37,12 @@ pub struct ExperimentConfig {
     /// `Some(0)` = all cores, `Some(n)` = exactly `n`. Never changes any
     /// reported number except wall-clock seconds.
     pub parallelism: Option<usize>,
+    /// Deterministic fault plan (inert by default); see the `--faults`
+    /// flag on the bench drivers.
+    pub faults: FaultPlan,
+    /// Ingestion validation policy. Chaos cells with input corruption
+    /// should pick `Quarantine` or `Clamp` — `Reject` aborts the run.
+    pub validation: ValidationPolicy,
 }
 
 impl ExperimentConfig {
@@ -54,6 +61,8 @@ impl ExperimentConfig {
             seed: 0xEDB7,
             reference_secs: None,
             parallelism: None,
+            faults: FaultPlan::none(),
+            validation: ValidationPolicy::default(),
         }
     }
 
@@ -70,6 +79,8 @@ impl ExperimentConfig {
         ExecConfig::default()
             .with_target_cells(self.n, self.cells_per_table)
             .with_parallelism(self.parallelism)
+            .with_faults(self.faults)
+            .with_validation(self.validation)
     }
 
     /// Builds the workload, calibrating contract deadlines against the
@@ -105,8 +116,13 @@ impl ExperimentConfig {
             },
             PriorityPolicy::for_contract(self.contract_id),
         );
+        // Calibration always runs on clean input: contract deadlines must
+        // not shift with the chaos plan being evaluated against them.
+        let clean = ExecConfig::default()
+            .with_target_cells(self.n, self.cells_per_table)
+            .with_parallelism(self.parallelism);
         caqe_baselines::JfslStrategy
-            .run(&r, &t, &probe, &self.exec())
+            .run(&r, &t, &probe, &clean)
             .virtual_seconds
     }
 }
@@ -138,6 +154,16 @@ pub struct ComparisonRow {
     pub wall_seconds: f64,
     /// Results emitted across all queries.
     pub results: usize,
+    /// Region processing attempts that failed and were retried.
+    pub region_retries: u64,
+    /// Regions quarantined after exhausting their retry budget.
+    pub regions_quarantined: u64,
+    /// Regions shed by contract-aware degradation.
+    pub regions_shed: u64,
+    /// Input records quarantined at ingestion.
+    pub ingest_quarantined: u64,
+    /// Input values clamped at ingestion.
+    pub ingest_clamped: u64,
 }
 
 impl ComparisonRow {
@@ -156,12 +182,23 @@ impl ComparisonRow {
             virtual_seconds: outcome.virtual_seconds,
             wall_seconds: outcome.wall_seconds,
             results: outcome.total_results(),
+            region_retries: outcome.stats.region_retries,
+            regions_quarantined: outcome.stats.regions_quarantined,
+            regions_shed: outcome.stats.regions_shed,
+            ingest_quarantined: outcome.stats.ingest_quarantined,
+            ingest_clamped: outcome.stats.ingest_clamped,
         }
     }
 
     /// Serializes the row as one JSON object (same field names as the
     /// struct, in declaration order).
     pub fn to_json(&self) -> String {
+        self.to_json_counted().0
+    }
+
+    /// Like [`ComparisonRow::to_json`], additionally returning how many
+    /// non-finite values were serialized as `null`.
+    pub fn to_json_counted(&self) -> (String, u64) {
         let mut w = crate::json::ObjectWriter::new();
         w.string("strategy", &self.strategy)
             .string("distribution", &self.distribution)
@@ -174,8 +211,13 @@ impl ComparisonRow {
             .uint("region_comparisons", self.region_comparisons)
             .number("virtual_seconds", self.virtual_seconds)
             .number("wall_seconds", self.wall_seconds)
-            .uint("results", self.results as u64);
-        w.finish()
+            .uint("results", self.results as u64)
+            .uint("region_retries", self.region_retries)
+            .uint("regions_quarantined", self.regions_quarantined)
+            .uint("regions_shed", self.regions_shed)
+            .uint("ingest_quarantined", self.ingest_quarantined)
+            .uint("ingest_clamped", self.ingest_clamped);
+        w.finish_counted()
     }
 }
 

@@ -88,6 +88,7 @@ impl PartialEq<u64> for JsonValue {
 pub struct ObjectWriter {
     buf: String,
     first: bool,
+    dropped: u64,
 }
 
 impl ObjectWriter {
@@ -96,7 +97,15 @@ impl ObjectWriter {
         ObjectWriter {
             buf: String::from("{"),
             first: true,
+            dropped: 0,
         }
+    }
+
+    /// How many non-finite float values were serialized as `null` so far.
+    /// JSON has no NaN/Infinity; callers surface this count in report
+    /// summaries instead of dropping the information silently.
+    pub fn dropped_values(&self) -> u64 {
+        self.dropped
     }
 
     fn key(&mut self, key: &str) {
@@ -122,6 +131,7 @@ impl ObjectWriter {
             let _ = write!(self.buf, "{value}");
         } else {
             self.buf.push_str("null");
+            self.dropped += 1;
         }
         self
     }
@@ -151,6 +161,13 @@ impl ObjectWriter {
     pub fn finish(mut self) -> String {
         self.buf.push('}');
         self.buf
+    }
+
+    /// Closes and returns the object text plus the count of non-finite
+    /// values serialized as `null` (see [`ObjectWriter::dropped_values`]).
+    pub fn finish_counted(mut self) -> (String, u64) {
+        self.buf.push('}');
+        (self.buf, self.dropped)
     }
 }
 
@@ -378,6 +395,19 @@ mod tests {
             s,
             "{\"name\":\"a\\\"b\\\\c\\nd\",\"x\":1.5,\"n\":42,\"ok\":true,\"bad\":null}"
         );
+    }
+
+    #[test]
+    fn writer_counts_non_finite_values() {
+        let mut w = ObjectWriter::new();
+        w.number("a", 1.0)
+            .number("b", f64::NAN)
+            .number("c", f64::INFINITY)
+            .number("d", f64::NEG_INFINITY);
+        assert_eq!(w.dropped_values(), 3);
+        let (s, dropped) = w.finish_counted();
+        assert_eq!(dropped, 3);
+        assert_eq!(s, "{\"a\":1,\"b\":null,\"c\":null,\"d\":null}");
     }
 
     #[test]

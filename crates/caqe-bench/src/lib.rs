@@ -12,9 +12,11 @@
 //!   against.
 //!
 //! Binaries: `fig9`, `fig10`, `fig11`, `table2`, `ablation`, `sweep`,
-//! `par_speedup`, `bench_pr3`, `trace_report` — see DESIGN.md §5 for the
-//! per-experiment index. All execution drivers accept `--trace <dir>` to
-//! export the deterministic trace of every run (DESIGN.md §11).
+//! `par_speedup`, `bench_pr3`, `bench_pr4`, `trace_report` — see
+//! DESIGN.md §5 for the per-experiment index. All execution drivers accept
+//! `--trace <dir>` to export the deterministic trace of every run
+//! (DESIGN.md §11), and `--faults <spec>` plus `--validation <policy>` to
+//! run under a deterministic chaos plan (DESIGN.md §13).
 
 pub mod experiment;
 pub mod json;

@@ -1,6 +1,8 @@
 //! Plain-text and JSON rendering of comparison rows.
 
 use crate::experiment::ComparisonRow;
+use caqe_data::ValidationPolicy;
+use caqe_faults::FaultPlan;
 
 /// Renders rows as an aligned plain-text table, one line per row.
 pub fn render_table(title: &str, rows: &[ComparisonRow]) -> String {
@@ -34,15 +36,48 @@ pub fn render_table(title: &str, rows: &[ComparisonRow]) -> String {
             r.results
         ));
     }
+    // Degradation summary: only printed when fault handling actually fired,
+    // so fault-free reports look exactly as before.
+    let (retries, quar, shed, iq, ic) = rows.iter().fold((0, 0, 0, 0, 0), |a, r| {
+        (
+            a.0 + r.region_retries,
+            a.1 + r.regions_quarantined,
+            a.2 + r.regions_shed,
+            a.3 + r.ingest_quarantined,
+            a.4 + r.ingest_clamped,
+        )
+    });
+    if retries + quar + shed + iq + ic > 0 {
+        out.push_str(&format!(
+            "-- degradation: {retries} retries, {quar} quarantined, {shed} shed, \
+             {iq} records quarantined at ingest, {ic} values clamped\n"
+        ));
+    }
     out
 }
 
 /// Serializes rows as JSON lines (one object per row) for machine use.
+/// Non-finite numbers are serialized as `null` — see
+/// [`render_jsonl_counted`] for surfacing how many.
 pub fn render_jsonl(rows: &[ComparisonRow]) -> String {
-    rows.iter()
-        .map(|r| r.to_json())
+    render_jsonl_counted(rows).0
+}
+
+/// [`render_jsonl`] plus the total count of non-finite values that were
+/// serialized as `null`; drivers print the count in their report summary
+/// instead of dropping the information silently.
+pub fn render_jsonl_counted(rows: &[ComparisonRow]) -> (String, u64) {
+    let mut dropped = 0;
+    let text = rows
+        .iter()
+        .map(|r| {
+            let (json, n) = r.to_json_counted();
+            dropped += n;
+            json
+        })
         .collect::<Vec<_>>()
-        .join("\n")
+        .join("\n");
+    (text, dropped)
 }
 
 /// Parses a `--key value`-style CLI, returning the value for `key`.
@@ -70,6 +105,51 @@ pub fn cli_trace(args: &[String]) -> Option<std::path::PathBuf> {
     cli_arg(args, "--trace").map(std::path::PathBuf::from)
 }
 
+/// Parses the shared `--faults <spec>` knob into a deterministic fault
+/// plan (see [`FaultPlan::parse`] for the spec grammar, e.g.
+/// `seed=7,panic=0.2,spike=0.3x8`). Exits with the parse error on a bad
+/// spec. Absent flag → inert plan.
+pub fn cli_faults(args: &[String]) -> FaultPlan {
+    match cli_arg(args, "--faults") {
+        Some(spec) => match FaultPlan::parse(&spec) {
+            Ok(plan) => {
+                if plan.is_active() {
+                    // Injected panics are caught by the engine; keep their
+                    // banners out of the driver's report.
+                    caqe_faults::silence_injected_panics();
+                }
+                plan
+            }
+            Err(e) => {
+                eprintln!("bad --faults spec: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => FaultPlan::none(),
+    }
+}
+
+/// Parses the shared `--validation reject|quarantine|clamp` knob (absent
+/// flag → the `Reject` default). Exits with the parse error on a bad name.
+pub fn cli_validation(args: &[String]) -> ValidationPolicy {
+    match cli_arg(args, "--validation") {
+        Some(name) => match ValidationPolicy::parse(&name) {
+            Ok(policy) => policy,
+            Err(e) => {
+                eprintln!("bad --validation policy: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => ValidationPolicy::default(),
+    }
+}
+
+/// Parses both chaos knobs at once — every execution driver takes
+/// `--faults <spec>` and `--validation <policy>` (DESIGN.md §13).
+pub fn cli_chaos(args: &[String]) -> (FaultPlan, ValidationPolicy) {
+    (cli_faults(args), cli_validation(args))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -88,6 +168,11 @@ mod tests {
             virtual_seconds: 12.5,
             wall_seconds: 0.2,
             results: 88,
+            region_retries: 0,
+            regions_quarantined: 0,
+            regions_shed: 0,
+            ingest_quarantined: 0,
+            ingest_clamped: 0,
         }
     }
 
@@ -107,6 +192,42 @@ mod tests {
         let v = crate::json::parse(s.lines().next().unwrap()).unwrap();
         assert_eq!(v["strategy"], "CAQE");
         assert_eq!(v["join_results"], 1000);
+    }
+
+    #[test]
+    fn degradation_summary_only_when_faults_fired() {
+        let clean = render_table("t", &[row()]);
+        assert!(!clean.contains("degradation"));
+        let mut r = row();
+        r.region_retries = 3;
+        r.regions_quarantined = 1;
+        let chaotic = render_table("t", &[r]);
+        assert!(chaotic.contains("degradation: 3 retries, 1 quarantined"));
+    }
+
+    #[test]
+    fn jsonl_counts_dropped_non_finite_values() {
+        let (_, none) = render_jsonl_counted(&[row()]);
+        assert_eq!(none, 0);
+        let mut r = row();
+        r.avg_satisfaction = f64::NAN;
+        r.virtual_seconds = f64::INFINITY;
+        let (text, dropped) = render_jsonl_counted(&[r]);
+        assert_eq!(dropped, 2);
+        assert!(text.contains("\"avg_satisfaction\":null"));
+    }
+
+    #[test]
+    fn cli_faults_parses_specs() {
+        let none: Vec<String> = vec![];
+        assert!(!cli_faults(&none).is_active());
+        let args: Vec<String> = ["--faults", "seed=9,panic=0.5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let plan = cli_faults(&args);
+        assert!(plan.is_active());
+        assert_eq!(plan.seed, 9);
     }
 
     #[test]

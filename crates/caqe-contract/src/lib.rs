@@ -11,6 +11,9 @@
 //!   satisfaction metric `v(Q_i, t_j)` (§6);
 //! * [`weights`] — the satisfaction-based weight feedback of Equation 11.
 
+// Library code must degrade, not abort (DESIGN.md §13).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod model;
 pub mod tracker;
 pub mod weights;

@@ -1,5 +1,7 @@
 //! Engine and execution configuration.
 
+use caqe_data::ValidationPolicy;
+use caqe_faults::FaultPlan;
 use caqe_partition::QuadTreeConfig;
 use caqe_types::CostModel;
 
@@ -80,6 +82,72 @@ impl Default for EngineConfig {
     }
 }
 
+/// How the engine recovers from a region processing unit that panicked
+/// (injected by a chaos plan or a genuine bug caught by `catch_unwind`).
+/// Backoff is measured in *virtual ticks*, so recovery schedules are
+/// deterministic and thread-invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Processing attempts before a region is quarantined.
+    pub max_attempts: u32,
+    /// Backoff after the first failure, doubling per retry.
+    pub backoff_base_ticks: u64,
+    /// Ceiling on the exponential backoff.
+    pub backoff_cap_ticks: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 3,
+            backoff_base_ticks: 64,
+            backoff_cap_ticks: 1024,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff after the `attempt`-th failure (1-based): exponential with
+    /// a cap, `base · 2^(attempt-1)` ticks.
+    pub fn backoff_ticks(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(32);
+        self.backoff_base_ticks
+            .saturating_mul(1u64 << shift)
+            .min(self.backoff_cap_ticks)
+    }
+}
+
+/// Contract-aware load shedding (DESIGN.md §13): when the workload's mean
+/// running satisfaction drops below `sat_floor` under load, the scheduler
+/// sheds the lowest-CSM dependency-graph root region (re-invoking the
+/// Alg. 1 ranking with the live Eq. 11 weights) instead of letting every
+/// query stall behind it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// Mean running-satisfaction floor in `[0, 1]`. `0.0` (the default)
+    /// disables shedding entirely — a strict no-op on the golden path.
+    pub sat_floor: f64,
+    /// Virtual ticks before the floor is first enforced, so startup (when
+    /// no query has emitted yet) is not misread as degradation.
+    pub grace_ticks: u64,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        DegradationPolicy {
+            sat_floor: 0.0,
+            grace_ticks: 20_000,
+        }
+    }
+}
+
+impl DegradationPolicy {
+    /// Whether shedding can ever trigger.
+    pub fn enabled(&self) -> bool {
+        self.sat_floor > 0.0
+    }
+}
+
 /// Environment shared by every execution strategy in a comparison: the
 /// virtual-clock cost model and the input partitioning granularity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -97,6 +165,16 @@ pub struct ExecConfig {
     /// speed — the virtual clock, stats and results are bit-identical at
     /// every setting.
     pub parallelism: Option<usize>,
+    /// Deterministic fault plan ([`FaultPlan::none`] by default — every
+    /// injection hook is then a strict no-op).
+    pub faults: FaultPlan,
+    /// Ingestion validation policy for non-finite values and duplicate
+    /// record ids.
+    pub validation: ValidationPolicy,
+    /// Panic isolation / retry / quarantine knobs.
+    pub recovery: RecoveryPolicy,
+    /// Contract-aware load shedding (disabled by default).
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for ExecConfig {
@@ -106,6 +184,10 @@ impl Default for ExecConfig {
             quadtree: QuadTreeConfig::default(),
             assume_dva: true,
             parallelism: None,
+            faults: FaultPlan::none(),
+            validation: ValidationPolicy::default(),
+            recovery: RecoveryPolicy::default(),
+            degradation: DegradationPolicy::default(),
         }
     }
 }
@@ -124,6 +206,30 @@ impl ExecConfig {
     /// Sets the worker-thread knob (see [`ExecConfig::parallelism`]).
     pub fn with_parallelism(mut self, parallelism: Option<usize>) -> Self {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Installs a fault plan (see [`FaultPlan`]).
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the ingestion validation policy.
+    pub fn with_validation(mut self, validation: ValidationPolicy) -> Self {
+        self.validation = validation;
+        self
+    }
+
+    /// Sets the panic recovery knobs.
+    pub fn with_recovery(mut self, recovery: RecoveryPolicy) -> Self {
+        self.recovery = recovery;
+        self
+    }
+
+    /// Enables contract-aware shedding below the given satisfaction floor.
+    pub fn with_degradation(mut self, degradation: DegradationPolicy) -> Self {
+        self.degradation = degradation;
         self
     }
 }
@@ -160,5 +266,33 @@ mod tests {
         assert_eq!(ExecConfig::default().parallelism, None);
         let c = ExecConfig::default().with_parallelism(Some(4));
         assert_eq!(c.parallelism, Some(4));
+    }
+
+    #[test]
+    fn fault_handling_defaults_are_inert() {
+        let c = ExecConfig::default();
+        assert!(!c.faults.is_active());
+        assert_eq!(c.validation, ValidationPolicy::Reject);
+        assert!(!c.degradation.enabled());
+        let chaos = ExecConfig::default()
+            .with_faults(FaultPlan::seeded(1).with_panics(0.5))
+            .with_validation(ValidationPolicy::Clamp)
+            .with_degradation(DegradationPolicy {
+                sat_floor: 0.4,
+                grace_ticks: 100,
+            });
+        assert!(chaos.faults.is_active());
+        assert!(chaos.degradation.enabled());
+        assert_ne!(chaos, ExecConfig::default());
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let r = RecoveryPolicy::default();
+        assert_eq!(r.backoff_ticks(1), 64);
+        assert_eq!(r.backoff_ticks(2), 128);
+        assert_eq!(r.backoff_ticks(3), 256);
+        assert_eq!(r.backoff_ticks(10), 1024);
+        assert_eq!(r.backoff_ticks(63), 1024); // shift clamp, no overflow
     }
 }

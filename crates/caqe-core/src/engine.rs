@@ -16,17 +16,22 @@
 
 use crate::config::{EngineConfig, ExecConfig, SchedulingPolicy};
 use crate::group::{build_groups, ArenaTuple, JoinGroup};
+use crate::ingest::prepare_inputs;
 use crate::outcome::{QueryOutcome, RunOutcome};
 use crate::workload::Workload;
 use caqe_contract::{update_weights, QueryScore};
 use caqe_data::Table;
+use caqe_faults::{FaultPlan, InjectedPanic};
 use caqe_operators::SortedJoinIndex;
 use caqe_parallel::Threads;
 use caqe_partition::Partitioning;
-use caqe_regions::{buchta_estimate, estimate_ticks, prog_est, region_csm, ReconciledEstimate};
+use caqe_regions::{
+    buchta_estimate, estimate_ticks, prog_est, region_csm, OutputRegion, ReconciledEstimate,
+};
 use caqe_trace::{NoopSink, SpanKind, TraceEvent, TraceSink};
 use caqe_types::ids::QuerySet;
-use caqe_types::{PointId, QueryId, RegionId, SimClock, Stats, Value};
+use caqe_types::{EngineError, PointId, QueryId, RegionId, SimClock, Stats, Value};
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Minimum R-rows per chunk in the parallel probe phase: below this the
@@ -57,10 +62,11 @@ struct PendingState {
     by_origin: Vec<Vec<PendingTuple>>,
 }
 
-/// Runs the engine over a workload.
+/// Runs the engine over a workload, panicking on ingestion failure.
 ///
 /// `start_ticks` offsets the virtual clock, letting sequential per-query
 /// baselines (ProgXe+) continue a shared timeline across invocations.
+/// Prefer [`try_run_engine`] where corrupt input must be handled.
 pub fn run_engine(
     name: &str,
     r: &Table,
@@ -70,7 +76,24 @@ pub fn run_engine(
     engine: &EngineConfig,
     start_ticks: u64,
 ) -> RunOutcome {
-    run_engine_traced(
+    match try_run_engine(name, r, t, workload, exec, engine, start_ticks) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("engine run failed: {e}"),
+    }
+}
+
+/// Fallible [`run_engine`]: corrupt input under the `Reject` validation
+/// policy surfaces as [`EngineError::CorruptInput`] instead of a panic.
+pub fn try_run_engine(
+    name: &str,
+    r: &Table,
+    t: &Table,
+    workload: &Workload,
+    exec: &ExecConfig,
+    engine: &EngineConfig,
+    start_ticks: u64,
+) -> Result<RunOutcome, EngineError> {
+    try_run_engine_traced(
         name,
         r,
         t,
@@ -110,6 +133,24 @@ pub fn run_engine_traced<S: TraceSink>(
     start_ticks: u64,
     sink: &mut S,
 ) -> RunOutcome {
+    match try_run_engine_traced(name, r, t, workload, exec, engine, start_ticks, sink) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("engine run failed: {e}"),
+    }
+}
+
+/// Fallible [`run_engine_traced`]; see [`try_run_engine`].
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_engine_traced<S: TraceSink>(
+    name: &str,
+    r: &Table,
+    t: &Table,
+    workload: &Workload,
+    exec: &ExecConfig,
+    engine: &EngineConfig,
+    start_ticks: u64,
+    sink: &mut S,
+) -> Result<RunOutcome, EngineError> {
     let wall_start = Instant::now();
     let threads = Threads::from_config(exec.parallelism);
     let mut clock = SimClock::new(exec.cost_model);
@@ -124,6 +165,14 @@ pub fn run_engine_traced<S: TraceSink>(
             start_tick: start_ticks,
         });
     }
+
+    // Ingestion: fault-plan corruption (if any) followed by validation.
+    // A strict no-op — no copy, no tick, no event — on clean no-fault input.
+    let prep = prepare_inputs(r, t, exec, start_ticks, sink)?;
+    stats.ingest_quarantined += prep.quarantined();
+    stats.ingest_clamped += prep.clamped();
+    let r = prep.r_table(r);
+    let t = prep.t_table(t);
 
     // The two partitionings are independent; the quad-tree build is not
     // charged to the virtual clock, so running them concurrently is free of
@@ -189,18 +238,86 @@ pub fn run_engine_traced<S: TraceSink>(
     let mut results: Vec<Vec<(u64, u64)>> = vec![Vec::new(); nq];
     // FIFO scan cursors: first index per group that may still be alive.
     // Liveness is monotone (processed/discarded regions never revive), so
-    // the skipped prefix never needs rescanning.
+    // the skipped prefix never needs rescanning. (Backoff is temporary and
+    // handled by a forward scan from the cursor, never by the cursor.)
     let mut fifo_cursors: Vec<usize> = vec![0; groups.len()];
+    // Per-region recovery state: failed attempts and virtual-tick backoff.
+    let mut health: Vec<RegionHealth> = groups
+        .iter()
+        .map(|g| RegionHealth::new(g.regions.len()))
+        .collect();
+    // Degradation: the earliest tick the satisfaction floor is enforced
+    // (and, after each shed, re-enforced) at.
+    let mut next_shed_check = start_ticks.saturating_add(exec.degradation.grace_ticks);
 
-    while let Some((gi, rid, score)) = select_region(
-        &groups,
-        &pendings,
-        engine.policy,
-        &scores,
-        &weights,
-        &clock,
-        &mut fifo_cursors,
-    ) {
+    loop {
+        // --- Contract-aware degradation (DESIGN.md §13): when the mean
+        // running satisfaction slips below the configured floor, shed the
+        // lowest-CSM root region (Alg. 1 ranking, live Eq. 11 weights)
+        // instead of letting every query stall behind it. ---
+        if engine.progressive_emission
+            && exec.degradation.enabled()
+            && clock.ticks() >= next_shed_check
+        {
+            let mean_sat: f64 =
+                scores.iter().map(|s| s.runtime_satisfaction()).sum::<f64>() / (nq.max(1)) as f64;
+            if mean_sat < exec.degradation.sat_floor {
+                if let Some((sgi, srid)) = pick_shed_victim(&groups, &scores, &weights, &clock) {
+                    stats.regions_shed += 1;
+                    if S::ENABLED {
+                        sink.record(TraceEvent::RegionShed {
+                            tick: clock.ticks(),
+                            group: sgi as u32,
+                            region: srid.0,
+                            satisfaction: mean_sat,
+                        });
+                    }
+                    let mut recheck = retire_region(&mut groups[sgi], srid);
+                    recheck.sort_unstable();
+                    recheck.dedup();
+                    emit_safe(
+                        &mut groups[sgi],
+                        &mut pendings[sgi],
+                        &recheck,
+                        &mut scores,
+                        &mut emissions,
+                        &mut results,
+                        &mut clock,
+                        &mut stats,
+                        sink,
+                    );
+                    next_shed_check = clock.ticks().saturating_add(exec.degradation.grace_ticks);
+                }
+            }
+        }
+
+        let picked = select_region(
+            &groups,
+            &pendings,
+            engine.policy,
+            &scores,
+            &weights,
+            &clock,
+            &mut fifo_cursors,
+            &health,
+            &exec.faults,
+        );
+        let (gi, rid, score) = match picked {
+            Some(pick) => pick,
+            None => {
+                // All alive regions (if any) are backing off after failed
+                // attempts: advance the virtual clock to the earliest
+                // wake-up and rescan, so pending emissions are never
+                // stranded by a premature exit.
+                match earliest_wakeup(&groups, &health, clock.ticks()) {
+                    Some(wake) => {
+                        clock.advance(wake - clock.ticks());
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+        };
         // Trace the decision and capture the schedule-time estimates for the
         // completion-side audit. Everything here is a pure read of engine
         // state: the clock is consulted, never charged.
@@ -218,7 +335,8 @@ pub fn run_engine_traced<S: TraceSink>(
                 .filter(|&&q| reg.serving.contains(q))
                 .map(|&q| buchta_estimate(reg.est_join.max(1.0), g.regions.pref(q).len()))
                 .sum();
-            audit.est_ticks = estimate_ticks(reg, clock.model(), out_dims);
+            audit.est_ticks =
+                perturbed_est_ticks(&exec.faults, gi as u32, reg, clock.model(), out_dims);
             let prog: f64 = g
                 .members
                 .iter()
@@ -237,27 +355,128 @@ pub fn run_engine_traced<S: TraceSink>(
                 est_ticks: audit.est_ticks,
                 weights: weights.clone(),
             });
+            // One estimator-fault record per *scheduled* region (never per
+            // scored candidate — that would flood the trace).
+            let est_factor = exec.faults.estimator_factor(gi as u32, rid.0);
+            if est_factor != 1.0 {
+                sink.record(TraceEvent::FaultInjected {
+                    tick: sched_tick,
+                    group: gi as u32,
+                    region: rid.0,
+                    kind: "estimator",
+                    factor: est_factor,
+                });
+            }
         }
 
-        // --- Tuple-level processing of the chosen region (§6). ---
+        // --- Tuple-level processing of the chosen region (§6), isolated
+        // against worker panics — injected by the fault plan or genuine. ---
         clock.charge_region_overhead();
+        let attempt = health[gi].attempts[rid.index()] + 1;
+        let arena_before = groups[gi].arena.len();
+        let inject = exec.faults.panics(gi as u32, rid.0, attempt);
+        if inject && S::ENABLED {
+            sink.record(TraceEvent::FaultInjected {
+                tick: clock.ticks(),
+                group: gi as u32,
+                region: rid.0,
+                kind: "panic",
+                factor: 1.0,
+            });
+        }
+        let unit = catch_unwind(AssertUnwindSafe(|| {
+            if inject {
+                panic_any(InjectedPanic {
+                    group: gi as u32,
+                    region: rid.0,
+                    attempt,
+                });
+            }
+            process_region_tuples(
+                &mut groups[gi],
+                r,
+                t,
+                &part_r,
+                &part_t,
+                rid,
+                &mut pendings[gi],
+                engine.progressive_emission,
+                threads,
+                &mut clock,
+                &mut stats,
+            )
+        }));
+        let new_by_query = match unit {
+            Ok(out) => out,
+            Err(payload) => {
+                drop(payload);
+                health[gi].attempts[rid.index()] = attempt;
+                // A unit that mutated shared state before dying cannot be
+                // re-run (its tuples would double-insert), so it skips the
+                // retry budget and is quarantined at once. Injected panics
+                // fire at unit entry and therefore always retry cleanly.
+                let dirty = groups[gi].arena.len() != arena_before;
+                if dirty || attempt >= exec.recovery.max_attempts {
+                    stats.regions_quarantined += 1;
+                    if S::ENABLED {
+                        sink.record(TraceEvent::RegionQuarantined {
+                            tick: clock.ticks(),
+                            group: gi as u32,
+                            region: rid.0,
+                            attempts: attempt,
+                        });
+                    }
+                    let mut recheck = retire_region(&mut groups[gi], rid);
+                    if engine.progressive_emission {
+                        recheck.sort_unstable();
+                        recheck.dedup();
+                        emit_safe(
+                            &mut groups[gi],
+                            &mut pendings[gi],
+                            &recheck,
+                            &mut scores,
+                            &mut emissions,
+                            &mut results,
+                            &mut clock,
+                            &mut stats,
+                            sink,
+                        );
+                    }
+                } else {
+                    stats.region_retries += 1;
+                    let backoff = exec.recovery.backoff_ticks(attempt);
+                    health[gi].not_before[rid.index()] = clock.ticks() + backoff;
+                    if S::ENABLED {
+                        sink.record(TraceEvent::RegionRetry {
+                            tick: clock.ticks(),
+                            group: gi as u32,
+                            region: rid.0,
+                            attempt,
+                            backoff_ticks: backoff,
+                        });
+                    }
+                }
+                continue;
+            }
+        };
         stats.regions_processed += 1;
-
-        let new_by_query = process_region_tuples(
-            &mut groups[gi],
-            r,
-            t,
-            &part_r,
-            &part_t,
-            rid,
-            &mut pendings[gi],
-            engine.progressive_emission,
-            threads,
-            &mut clock,
-            &mut stats,
-        );
-
         groups[gi].regions.region_mut(rid).processed = true;
+
+        // --- Injected cost spike: actual ticks blow past the estimate. ---
+        if let Some(factor) = exec.faults.cost_spike(gi as u32, rid.0) {
+            let elapsed = clock.ticks() - sched_tick;
+            let extra = (elapsed as f64 * (factor - 1.0)).max(0.0).round() as u64;
+            clock.advance(extra);
+            if S::ENABLED {
+                sink.record(TraceEvent::FaultInjected {
+                    tick: clock.ticks(),
+                    group: gi as u32,
+                    region: rid.0,
+                    kind: "cost_spike",
+                    factor,
+                });
+            }
+        }
 
         if S::ENABLED {
             let completed_tick = clock.ticks();
@@ -395,18 +614,146 @@ pub fn run_engine_traced<S: TraceSink>(
         })
         .collect();
 
-    RunOutcome {
+    Ok(RunOutcome {
         strategy: name.to_string(),
         per_query,
         stats,
         virtual_seconds: clock.now(),
         wall_seconds: wall_start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Per-region recovery bookkeeping for one join group.
+struct RegionHealth {
+    /// Failed processing attempts so far (0 = never failed).
+    attempts: Vec<u32>,
+    /// Earliest virtual tick the region may be rescheduled at.
+    not_before: Vec<u64>,
+}
+
+impl RegionHealth {
+    fn new(n: usize) -> Self {
+        RegionHealth {
+            attempts: vec![0; n],
+            not_before: vec![0; n],
+        }
     }
+
+    /// Whether the region is serving a backoff penalty at `now`.
+    fn blocked(&self, rid: RegionId, now: u64) -> bool {
+        self.not_before[rid.index()] > now
+    }
+}
+
+/// The engine-side cost projection for a region, with any estimator
+/// perturbation fault applied (DESIGN.md §13). A factor of exactly 1.0 —
+/// the no-fault case — takes the untouched estimate, keeping the golden
+/// path bit-identical.
+fn perturbed_est_ticks(
+    faults: &FaultPlan,
+    gi: u32,
+    reg: &OutputRegion,
+    model: &caqe_types::CostModel,
+    out_dims: usize,
+) -> u64 {
+    let base = estimate_ticks(reg, model, out_dims);
+    let factor = faults.estimator_factor(gi, reg.id.0);
+    if factor == 1.0 {
+        base
+    } else {
+        ((base as f64 * factor).ceil() as u64).max(1)
+    }
+}
+
+/// The earliest backoff expiry among alive-but-blocked regions, if any
+/// region is still alive and every alive region is blocked at `now`.
+fn earliest_wakeup(groups: &[JoinGroup], health: &[RegionHealth], now: u64) -> Option<u64> {
+    let mut wake: Option<u64> = None;
+    for (gi, g) in groups.iter().enumerate() {
+        for reg in g.regions.regions() {
+            if !reg.is_alive() {
+                continue;
+            }
+            let nb = health[gi].not_before[reg.id.index()];
+            if nb > now && wake.map_or(true, |w| nb < w) {
+                wake = Some(nb);
+            }
+        }
+    }
+    wake
+}
+
+/// Picks the load-shedding victim: the alive dependency-graph root with the
+/// lowest CSM (the Alg. 1 ranking inverted, under the live Eq. 11 weights),
+/// skipping any region that is the *sole* remaining provider for some query
+/// it serves — shedding it would silently zero that query's result.
+fn pick_shed_victim(
+    groups: &[JoinGroup],
+    scores: &[QueryScore],
+    weights: &[f64],
+    clock: &SimClock,
+) -> Option<(usize, RegionId)> {
+    let mut victim: Option<(usize, RegionId, f64)> = None;
+    for (gi, g) in groups.iter().enumerate() {
+        let out_dims = g.mapping.output_dims();
+        for reg in g.regions.regions() {
+            if !reg.is_alive() || !g.dg.is_root(reg.id) {
+                continue;
+            }
+            // Sole-provider guard: every query this region serves must have
+            // at least one other alive region serving it.
+            let sole = g.members.iter().any(|&q| {
+                reg.serving.contains(q)
+                    && !g
+                        .regions
+                        .regions()
+                        .iter()
+                        .any(|o| o.id != reg.id && o.is_alive() && o.serving.contains(q))
+            });
+            if sole {
+                continue;
+            }
+            let csm = region_csm(&g.regions, &g.dg, reg, scores, weights, clock, out_dims);
+            if victim.map_or(true, |(_, _, best)| csm < best) {
+                victim = Some((gi, reg.id, csm));
+            }
+        }
+    }
+    victim.map(|(gi, rid, _)| (gi, rid))
+}
+
+/// Retires a region that will never produce tuples (quarantined after
+/// repeated failures, or shed under degradation): empties its serving set,
+/// removes it from the dependency graph and invalidates the progressiveness
+/// caches it touched. Returns the origins whose pending tuples must be
+/// rechecked — the retired region itself plus everything it statically
+/// threatened (a retired region never materializes tuples, so its targets
+/// may now be safe).
+fn retire_region(g: &mut JoinGroup, rid: RegionId) -> Vec<u32> {
+    let serving = g.regions.region(rid).serving;
+    {
+        let reg = g.regions.region_mut(rid);
+        for q in serving.iter() {
+            reg.kill_query(q);
+        }
+    }
+    let out_peers: Vec<RegionId> = g.dg.threats_out(rid).iter().map(|e| e.peer).collect();
+    g.dg.remove(rid);
+    for p in &out_peers {
+        g.prog_cache[p.index()] = None;
+    }
+    g.prog_cache[rid.index()] = None;
+    let mut recheck: Vec<u32> = vec![rid.0];
+    recheck.extend(g.static_threats_out[rid.index()].iter().map(|e| e.peer.0));
+    recheck
 }
 
 /// Picks the next region per the scheduling policy: among dependency-graph
 /// roots when any exist (falling back to all alive regions on cycles), the
-/// one with the highest score. Returns the winner and its score.
+/// one with the highest score. Regions serving a backoff penalty are
+/// skipped; the caller advances the clock to the earliest wake-up when
+/// nothing else is schedulable. Returns the winner and its score.
+#[allow(clippy::too_many_arguments)]
 fn select_region(
     groups: &[JoinGroup],
     pendings: &[PendingState],
@@ -415,10 +762,15 @@ fn select_region(
     weights: &[f64],
     clock: &SimClock,
     fifo_cursors: &mut [usize],
+    health: &[RegionHealth],
+    faults: &FaultPlan,
 ) -> Option<(usize, RegionId, f64)> {
+    let now = clock.ticks();
     if policy == SchedulingPolicy::Fifo {
         // Amortized O(1): advance each group's cursor past the dead prefix
-        // once instead of rescanning every region on every pick.
+        // once instead of rescanning every region on every pick. Backoff is
+        // temporary, so blocked regions are handled by the forward scan and
+        // never absorbed into the cursor.
         for (gi, g) in groups.iter().enumerate() {
             let regions = g.regions.regions();
             let mut cursor = fifo_cursors[gi];
@@ -426,8 +778,10 @@ fn select_region(
                 cursor += 1;
             }
             fifo_cursors[gi] = cursor;
-            if cursor < regions.len() {
-                return Some((gi, regions[cursor].id, 0.0));
+            for reg in &regions[cursor..] {
+                if reg.is_alive() && !health[gi].blocked(reg.id, now) {
+                    return Some((gi, reg.id, 0.0));
+                }
             }
         }
         return None;
@@ -472,6 +826,9 @@ fn select_region(
                     continue;
                 }
                 any_alive = true;
+                if health[gi].blocked(reg.id, now) {
+                    continue;
+                }
                 if roots_only && !g.dg.is_root(reg.id) {
                     continue;
                 }
@@ -479,7 +836,9 @@ fn select_region(
                     .get(gi)
                     .map(|m| m[reg.id.index()].as_slice())
                     .filter(|w| !w.is_empty());
-                let score = candidate_score(g, reg.id, policy, scores, weights, clock, witnessed);
+                let score = candidate_score(
+                    g, gi as u32, reg.id, policy, scores, weights, clock, witnessed, faults,
+                );
                 if best.map_or(true, |(_, _, s)| score > s) {
                     best = Some((gi, reg.id, score));
                 }
@@ -497,14 +856,17 @@ fn select_region(
 ///
 /// `witnessed` — for the contract-driven policy: per query, the number of
 /// pending tuples currently naming this region as their emission blocker.
+#[allow(clippy::too_many_arguments)]
 fn candidate_score(
     g: &JoinGroup,
+    gi: u32,
     rid: RegionId,
     policy: SchedulingPolicy,
     scores: &[QueryScore],
     weights: &[f64],
     clock: &SimClock,
     witnessed: Option<&[u32]>,
+    faults: &FaultPlan,
 ) -> f64 {
     let reg = g.regions.region(rid);
     // Dominance-potential tiebreaker: heavily overlapping regions can drive
@@ -532,7 +894,8 @@ fn candidate_score(
             // discards or unblocks) the bulk of the landscape, and dividing
             // by their — systematically underestimated — cost starves
             // exactly those regions in favour of cheap peripheral ones.
-            let ticks = estimate_ticks(reg, clock.model(), g.mapping.output_dims());
+            let ticks =
+                perturbed_est_ticks(faults, gi, reg, clock.model(), g.mapping.output_dims());
             let t_done = clock.projected(ticks);
             // Unblocking benefit: tuples already materialized and waiting on
             // exactly this region earn their utility the moment it completes
@@ -564,7 +927,8 @@ fn candidate_score(
         }
         SchedulingPolicy::CountDriven => {
             // ProgXe+: estimated progressive output per tick, contract-blind.
-            let ticks = estimate_ticks(reg, clock.model(), g.mapping.output_dims());
+            let ticks =
+                perturbed_est_ticks(faults, gi, reg, clock.model(), g.mapping.output_dims());
             let total: f64 = g
                 .members
                 .iter()

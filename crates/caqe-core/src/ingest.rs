@@ -1,0 +1,160 @@
+//! Input preparation: fault-plan corruption followed by ingestion
+//! validation (DESIGN.md §13).
+//!
+//! Every execution strategy funnels its base tables through
+//! [`prepare_inputs`] before touching them, so corrupt input is handled
+//! identically — and deterministically — across CAQE and the baselines.
+
+use crate::config::ExecConfig;
+use caqe_data::{validate_table, Table, ValidationReport};
+use caqe_trace::{TraceEvent, TraceSink};
+use caqe_types::{EngineError, Ticks};
+
+/// The outcome of preparing one pair of base tables.
+#[derive(Debug, Clone)]
+pub struct PreparedInputs {
+    /// Replacement R table, or `None` when the original is usable as-is
+    /// (clean input, no corruption fault) — the golden-path fast case.
+    pub r: Option<Table>,
+    /// Replacement T table, likewise.
+    pub t: Option<Table>,
+    /// Validation findings for R.
+    pub r_report: ValidationReport,
+    /// Validation findings for T.
+    pub t_report: ValidationReport,
+}
+
+impl PreparedInputs {
+    /// The R table to execute against.
+    pub fn r_table<'a>(&'a self, original: &'a Table) -> &'a Table {
+        self.r.as_ref().unwrap_or(original)
+    }
+
+    /// The T table to execute against.
+    pub fn t_table<'a>(&'a self, original: &'a Table) -> &'a Table {
+        self.t.as_ref().unwrap_or(original)
+    }
+
+    /// Records quarantined plus values clamped, across both tables.
+    pub fn quarantined(&self) -> u64 {
+        self.r_report.quarantined + self.t_report.quarantined
+    }
+
+    /// Values clamped across both tables.
+    pub fn clamped(&self) -> u64 {
+        self.r_report.clamped + self.t_report.clamped
+    }
+}
+
+fn prepare_one<S: TraceSink>(
+    table: &Table,
+    exec: &ExecConfig,
+    tick: Ticks,
+    sink: &mut S,
+) -> Result<(Option<Table>, ValidationReport), EngineError> {
+    // Fault-plan corruption is applied *before* validation: the chaos
+    // harness models a broken upstream producer, and validation is the
+    // engine's defense against it.
+    let corrupted = if exec.faults.corrupt_rate > 0.0 {
+        Some(exec.faults.corrupt_table(table))
+    } else {
+        None
+    };
+    let validated = validate_table(corrupted.as_ref().unwrap_or(table), exec.validation)?;
+    if S::ENABLED && (exec.faults.is_active() || !validated.report.is_clean()) {
+        sink.record(TraceEvent::IngestAudit {
+            tick,
+            table: table.name().to_string(),
+            policy: exec.validation.name(),
+            quarantined: validated.report.quarantined,
+            clamped: validated.report.clamped,
+        });
+    }
+    // The cleaned table wins; otherwise keep the corrupted copy (it passed
+    // validation untouched); otherwise the original is usable as-is.
+    Ok((validated.table.or(corrupted), validated.report))
+}
+
+/// Applies the fault plan's ingestion corruption (if any) and validates
+/// both tables under `exec.validation`. Emits one `IngestAudit` trace
+/// event per table when a fault plan is active or violations were found —
+/// never on the clean no-fault path, preserving golden traces.
+pub fn prepare_inputs<S: TraceSink>(
+    r: &Table,
+    t: &Table,
+    exec: &ExecConfig,
+    tick: Ticks,
+    sink: &mut S,
+) -> Result<PreparedInputs, EngineError> {
+    let (r_new, r_report) = prepare_one(r, exec, tick, sink)?;
+    let (t_new, t_report) = prepare_one(t, exec, tick, sink)?;
+    Ok(PreparedInputs {
+        r: r_new,
+        t: t_new,
+        r_report,
+        t_report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caqe_data::{Record, ValidationPolicy};
+    use caqe_faults::FaultPlan;
+    use caqe_trace::{NoopSink, RecordingSink};
+
+    fn clean_tables() -> (Table, Table) {
+        let recs = |n: u64| {
+            (0..n)
+                .map(|i| Record::new(i, vec![1.0 + i as f64, 2.0], vec![(i % 3) as u32]))
+                .collect::<Vec<_>>()
+        };
+        (
+            Table::new("R", 2, 1, recs(20)),
+            Table::new("T", 2, 1, recs(20)),
+        )
+    }
+
+    #[test]
+    fn clean_no_fault_path_is_a_no_op() {
+        let (r, t) = clean_tables();
+        let mut sink = RecordingSink::default();
+        let prep =
+            prepare_inputs(&r, &t, &ExecConfig::default(), 0, &mut sink).expect("clean input");
+        assert!(prep.r.is_none() && prep.t.is_none());
+        assert!(sink.events().is_empty(), "no events on the golden path");
+        assert!(std::ptr::eq(prep.r_table(&r), &r));
+    }
+
+    #[test]
+    fn corruption_with_reject_is_a_typed_error() {
+        let (r, t) = clean_tables();
+        let exec = ExecConfig::default().with_faults(FaultPlan::seeded(3).with_corruption(0.5));
+        let err = prepare_inputs(&r, &t, &exec, 0, &mut NoopSink).expect_err("must reject");
+        assert!(matches!(err, EngineError::CorruptInput { .. }));
+    }
+
+    #[test]
+    fn corruption_with_quarantine_cleans_and_audits() {
+        let (r, t) = clean_tables();
+        let exec = ExecConfig::default()
+            .with_faults(FaultPlan::seeded(3).with_corruption(0.5))
+            .with_validation(ValidationPolicy::Quarantine);
+        let mut sink = RecordingSink::default();
+        let prep = prepare_inputs(&r, &t, &exec, 7, &mut sink).expect("quarantine never fails");
+        assert!(prep.quarantined() > 0);
+        let audits: Vec<_> = sink
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::IngestAudit { .. }))
+            .collect();
+        assert_eq!(audits.len(), 2);
+        // Every surviving record is finite with unique ids.
+        for table in [prep.r_table(&r), prep.t_table(&t)] {
+            assert!(table
+                .records()
+                .iter()
+                .all(|rec| rec.vals.iter().all(|v| v.is_finite())));
+        }
+    }
+}

@@ -21,15 +21,20 @@
 //! (count-driven scheduling, single-query workloads) — see
 //! `caqe-baselines`.
 
+// Library code must degrade, not abort (DESIGN.md §13).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod config;
 pub mod engine;
 pub mod group;
+pub mod ingest;
 pub mod outcome;
 pub mod strategy;
 pub mod workload;
 
-pub use config::{EngineConfig, ExecConfig, SchedulingPolicy};
-pub use engine::{run_engine, run_engine_traced};
+pub use config::{DegradationPolicy, EngineConfig, ExecConfig, RecoveryPolicy, SchedulingPolicy};
+pub use engine::{run_engine, run_engine_traced, try_run_engine, try_run_engine_traced};
+pub use ingest::{prepare_inputs, PreparedInputs};
 pub use outcome::{QueryOutcome, RunOutcome};
 pub use strategy::{CaqeStrategy, ExecutionStrategy};
 pub use workload::{QuerySpec, Workload, WorkloadBuilder};

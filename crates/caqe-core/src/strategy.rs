@@ -1,11 +1,12 @@
 //! The execution-strategy abstraction the experiment harness compares.
 
 use crate::config::{EngineConfig, ExecConfig};
-use crate::engine::{run_engine, run_engine_traced};
+use crate::engine::{try_run_engine, try_run_engine_traced};
 use crate::outcome::RunOutcome;
 use crate::workload::Workload;
 use caqe_data::Table;
 use caqe_trace::{RecordingSink, TraceEvent, TraceSink};
+use caqe_types::EngineError;
 
 /// A technique that executes a whole workload over a pair of base tables —
 /// CAQE itself or any of the paper's competitors (§7.1).
@@ -13,16 +14,52 @@ pub trait ExecutionStrategy {
     /// Display name used in experiment output ("CAQE", "JFSL", …).
     fn name(&self) -> &'static str;
 
-    /// Executes the workload and reports the outcome.
-    fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome;
+    /// Executes the workload and reports the outcome, or a typed error —
+    /// e.g. corrupt input under the `Reject` validation policy.
+    fn try_run(
+        &self,
+        r: &Table,
+        t: &Table,
+        workload: &Workload,
+        exec: &ExecConfig,
+    ) -> Result<RunOutcome, EngineError>;
 
-    /// Executes the workload while recording a deterministic trace.
+    /// [`ExecutionStrategy::try_run`] while recording a deterministic trace.
     ///
     /// Takes the concrete [`RecordingSink`] (rather than a generic
     /// `impl TraceSink`) so the trait stays object-safe — the harness
     /// compares strategies through `Box<dyn ExecutionStrategy>`. The
     /// default implementation runs untraced and records only the run
     /// header, for strategies that predate the tracing layer.
+    fn try_run_traced(
+        &self,
+        r: &Table,
+        t: &Table,
+        workload: &Workload,
+        exec: &ExecConfig,
+        sink: &mut RecordingSink,
+    ) -> Result<RunOutcome, EngineError> {
+        sink.record(TraceEvent::Meta {
+            strategy: self.name().to_string(),
+            queries: workload.len(),
+            ticks_per_second: exec.cost_model.ticks_per_second,
+            start_tick: 0,
+        });
+        self.try_run(r, t, workload, exec)
+    }
+
+    /// Infallible [`ExecutionStrategy::try_run`], panicking on ingestion
+    /// failure — the historical interface, kept for harness call sites
+    /// that never enable fault plans.
+    fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome {
+        match self.try_run(r, t, workload, exec) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("strategy {} failed: {e}", self.name()),
+        }
+    }
+
+    /// Infallible [`ExecutionStrategy::try_run_traced`]; see
+    /// [`ExecutionStrategy::run`].
     fn run_traced(
         &self,
         r: &Table,
@@ -31,13 +68,10 @@ pub trait ExecutionStrategy {
         exec: &ExecConfig,
         sink: &mut RecordingSink,
     ) -> RunOutcome {
-        sink.record(TraceEvent::Meta {
-            strategy: self.name().to_string(),
-            queries: workload.len(),
-            ticks_per_second: exec.cost_model.ticks_per_second,
-            start_tick: 0,
-        });
-        self.run(r, t, workload, exec)
+        match self.try_run_traced(r, t, workload, exec, sink) {
+            Ok(outcome) => outcome,
+            Err(e) => panic!("strategy {} failed: {e}", self.name()),
+        }
     }
 }
 
@@ -50,19 +84,25 @@ impl ExecutionStrategy for CaqeStrategy {
         "CAQE"
     }
 
-    fn run(&self, r: &Table, t: &Table, workload: &Workload, exec: &ExecConfig) -> RunOutcome {
-        run_engine(self.name(), r, t, workload, exec, &EngineConfig::caqe(), 0)
+    fn try_run(
+        &self,
+        r: &Table,
+        t: &Table,
+        workload: &Workload,
+        exec: &ExecConfig,
+    ) -> Result<RunOutcome, EngineError> {
+        try_run_engine(self.name(), r, t, workload, exec, &EngineConfig::caqe(), 0)
     }
 
-    fn run_traced(
+    fn try_run_traced(
         &self,
         r: &Table,
         t: &Table,
         workload: &Workload,
         exec: &ExecConfig,
         sink: &mut RecordingSink,
-    ) -> RunOutcome {
-        run_engine_traced(
+    ) -> Result<RunOutcome, EngineError> {
+        try_run_engine_traced(
             self.name(),
             r,
             t,

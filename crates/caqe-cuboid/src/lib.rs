@@ -13,6 +13,9 @@
 //! point non-dominated in a child subspace is non-dominated in any parent,
 //! under the Distinct Value Attributes assumption) to skip comparisons.
 
+// Library code must degrade, not abort (DESIGN.md §13).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod lattice;
 pub mod minmax;
 pub mod shared;

@@ -97,6 +97,9 @@ impl MinMaxCuboid {
                     .collect()
             })
             .collect();
+        // Allowed survivor: construction condition 3 (every query subspace is
+        // retained in `subspaces`) makes the position lookup infallible.
+        #[allow(clippy::expect_used)]
         let query_subspace: Vec<usize> = prefs
             .iter()
             .map(|&p| {

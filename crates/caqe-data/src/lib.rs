@@ -7,10 +7,15 @@
 //! table cardinalities `N ∈ [10K, 500K]`, and a join selectivity
 //! `σ ∈ [10⁻⁴, 10⁻¹]` controlled here through the join-key domain size.
 
+// Library code must degrade, not abort (DESIGN.md §13).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod generator;
 pub mod record;
 pub mod table;
+pub mod validate;
 
 pub use generator::{Distribution, TableGenerator};
 pub use record::{JoinKey, Record};
 pub use table::Table;
+pub use validate::{validate_table, Validated, ValidationPolicy, ValidationReport};

@@ -1,0 +1,312 @@
+//! Ingestion validation (DESIGN.md §13).
+//!
+//! Dominance is undefined for NaN and degenerate for ±Inf preference
+//! values, and duplicate record ids break result provenance. The engine
+//! therefore validates base tables at ingestion under a configurable
+//! [`ValidationPolicy`]. Property-tested guarantees
+//! (`tests/chaos_ingestion.rs`): `Quarantine` reproduces the skyline over
+//! the *clean* subset of records exactly; `Clamp` never promotes a clean
+//! pair into the result that the clean-subset skyline excludes (the
+//! sentinel is strictly worse per column, though a clamped tuple may still
+//! shadow clean ones through mixed mapping dims); `Reject` errors iff a
+//! table is corrupt.
+
+use crate::record::Record;
+use crate::table::Table;
+use caqe_types::EngineError;
+
+/// What to do with records carrying non-finite preference values or
+/// duplicate ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValidationPolicy {
+    /// Fail ingestion with [`EngineError::CorruptInput`] — the safe
+    /// default for batch workloads where corrupt input means a broken
+    /// upstream pipeline.
+    #[default]
+    Reject,
+    /// Drop offending records and continue with the clean subset.
+    Quarantine,
+    /// Replace each non-finite value with a finite sentinel *strictly
+    /// worse* than every clean value in its column (smaller-is-preferred,
+    /// §2.1), so a clamped tuple can never dominate a clean one. Duplicate
+    /// ids cannot be clamped and are quarantined.
+    Clamp,
+}
+
+impl ValidationPolicy {
+    /// Stable lowercase name used in traces and `--validate` flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            ValidationPolicy::Reject => "reject",
+            ValidationPolicy::Quarantine => "quarantine",
+            ValidationPolicy::Clamp => "clamp",
+        }
+    }
+
+    /// Parses a policy name as accepted by bench `--validate` flags.
+    pub fn parse(s: &str) -> Result<Self, EngineError> {
+        match s {
+            "reject" => Ok(ValidationPolicy::Reject),
+            "quarantine" => Ok(ValidationPolicy::Quarantine),
+            "clamp" => Ok(ValidationPolicy::Clamp),
+            other => Err(EngineError::BadFaultSpec {
+                fragment: other.to_string(),
+                reason: "expected reject|quarantine|clamp".to_string(),
+            }),
+        }
+    }
+}
+
+/// What validation found and did to one table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValidationReport {
+    /// Records with at least one NaN/±Inf preference value.
+    pub non_finite: usize,
+    /// Records whose id duplicates an earlier record's.
+    pub duplicates: usize,
+    /// Records dropped (quarantined) from the table.
+    pub quarantined: u64,
+    /// Individual values replaced by the clamp sentinel.
+    pub clamped: u64,
+}
+
+impl ValidationReport {
+    /// Whether the table was clean.
+    pub fn is_clean(&self) -> bool {
+        self.non_finite == 0 && self.duplicates == 0
+    }
+}
+
+/// Outcome of validating one table.
+#[derive(Debug, Clone)]
+pub struct Validated {
+    /// Cleaned replacement table, or `None` when the input was already
+    /// clean and can be used as-is (no copy made).
+    pub table: Option<Table>,
+    /// Violation counts and actions taken.
+    pub report: ValidationReport,
+}
+
+/// Later records whose id duplicates an earlier one, found without hashing
+/// (HashMap/HashSet are banned workspace-wide; see clippy.toml): sort
+/// `(id, index)` pairs and mark every run member except the smallest index.
+fn duplicate_flags(records: &[Record]) -> Vec<bool> {
+    let mut by_id: Vec<(u64, usize)> = records.iter().enumerate().map(|(i, r)| (r.id, i)).collect();
+    by_id.sort_unstable();
+    let mut dup = vec![false; records.len()];
+    for w in by_id.windows(2) {
+        if w[0].0 == w[1].0 {
+            dup[w[1].1] = true;
+        }
+    }
+    dup
+}
+
+/// Validates `table` under `policy`.
+///
+/// Returns the (possibly cleaned) table and a report; under
+/// [`ValidationPolicy::Reject`] any violation is a typed error instead.
+/// Clean inputs take a scan-only fast path with no copy, so validation is
+/// a strict no-op on the golden-trace workloads.
+pub fn validate_table(table: &Table, policy: ValidationPolicy) -> Result<Validated, EngineError> {
+    let records = table.records();
+    let dup = duplicate_flags(records);
+    let non_finite = records
+        .iter()
+        .filter(|r| r.vals.iter().any(|v| !v.is_finite()))
+        .count();
+    let duplicates = dup.iter().filter(|&&d| d).count();
+    let report = ValidationReport {
+        non_finite,
+        duplicates,
+        ..ValidationReport::default()
+    };
+    if report.is_clean() {
+        return Ok(Validated {
+            table: None,
+            report,
+        });
+    }
+    match policy {
+        ValidationPolicy::Reject => Err(EngineError::CorruptInput {
+            table: table.name().to_string(),
+            non_finite,
+            duplicates,
+        }),
+        ValidationPolicy::Quarantine => {
+            let kept: Vec<Record> = records
+                .iter()
+                .zip(&dup)
+                .filter(|(r, &d)| !d && r.vals.iter().all(|v| v.is_finite()))
+                .map(|(r, _)| r.clone())
+                .collect();
+            let quarantined = (records.len() - kept.len()) as u64;
+            Ok(Validated {
+                table: Some(Table::new(
+                    table.name(),
+                    table.dims(),
+                    table.join_cols(),
+                    kept,
+                )),
+                report: ValidationReport {
+                    quarantined,
+                    ..report
+                },
+            })
+        }
+        ValidationPolicy::Clamp => {
+            // Per-column sentinel: one above the max finite value, so the
+            // clamped value is strictly worse than every clean value.
+            let sentinel: Vec<f64> = (0..table.dims())
+                .map(|k| {
+                    records
+                        .iter()
+                        .map(|r| r.vals[k])
+                        .filter(|v| v.is_finite())
+                        .fold(0.0_f64, f64::max)
+                        + 1.0
+                })
+                .collect();
+            let mut clamped = 0u64;
+            let kept: Vec<Record> = records
+                .iter()
+                .zip(&dup)
+                .filter(|(_, &d)| !d)
+                .map(|(r, _)| {
+                    let mut rec = r.clone();
+                    for (k, v) in rec.vals.iter_mut().enumerate() {
+                        if !v.is_finite() {
+                            *v = sentinel[k];
+                            clamped += 1;
+                        }
+                    }
+                    rec
+                })
+                .collect();
+            let quarantined = (records.len() - kept.len()) as u64;
+            Ok(Validated {
+                table: Some(Table::new(
+                    table.name(),
+                    table.dims(),
+                    table.join_cols(),
+                    kept,
+                )),
+                report: ValidationReport {
+                    quarantined,
+                    clamped,
+                    ..report
+                },
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corrupt_table() -> Table {
+        Table::new(
+            "R",
+            2,
+            1,
+            vec![
+                Record::new(0, vec![1.0, 9.0], vec![0]),
+                Record::new(1, vec![f64::NAN, 2.0], vec![1]),
+                Record::new(2, vec![2.0, f64::INFINITY], vec![0]),
+                Record::new(0, vec![3.0, 3.0], vec![1]), // duplicate id
+                Record::new(4, vec![4.0, 1.0], vec![0]),
+                Record::new(5, vec![f64::NEG_INFINITY, 5.0], vec![1]),
+            ],
+        )
+    }
+
+    #[test]
+    fn clean_table_is_untouched() {
+        let t = Table::new(
+            "R",
+            1,
+            0,
+            vec![
+                Record::new(0, vec![1.0], vec![]),
+                Record::new(1, vec![2.0], vec![]),
+            ],
+        );
+        let v = validate_table(&t, ValidationPolicy::Reject).expect("clean");
+        assert!(v.table.is_none());
+        assert!(v.report.is_clean());
+    }
+
+    #[test]
+    fn reject_surfaces_counts() {
+        match validate_table(&corrupt_table(), ValidationPolicy::Reject) {
+            Err(EngineError::CorruptInput {
+                table,
+                non_finite,
+                duplicates,
+            }) => {
+                assert_eq!(table, "R");
+                assert_eq!(non_finite, 3);
+                assert_eq!(duplicates, 1);
+            }
+            other => panic!("expected CorruptInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn quarantine_drops_offenders_only() {
+        let v = validate_table(&corrupt_table(), ValidationPolicy::Quarantine).expect("cleaned");
+        let t = v.table.expect("rebuilt");
+        let ids: Vec<u64> = t.records().iter().map(|r| r.id).collect();
+        assert_eq!(ids, vec![0, 4]);
+        assert_eq!(v.report.quarantined, 4);
+        assert_eq!(v.report.clamped, 0);
+    }
+
+    #[test]
+    fn clamp_produces_strictly_worse_finite_values() {
+        let v = validate_table(&corrupt_table(), ValidationPolicy::Clamp).expect("cleaned");
+        let t = v.table.expect("rebuilt");
+        assert_eq!(t.len(), 5); // only the duplicate id is dropped
+        assert_eq!(v.report.quarantined, 1);
+        assert_eq!(v.report.clamped, 3);
+        // Max finite values: col 0 → 4.0, col 1 → 9.0.
+        for r in t.records() {
+            assert!(r.vals.iter().all(|v| v.is_finite()));
+        }
+        assert_eq!(t.record(1).vals[0], 5.0); // NaN → 4.0 + 1
+        assert_eq!(t.record(2).vals[1], 10.0); // +Inf → 9.0 + 1
+        assert_eq!(t.record(4).vals[0], 5.0); // -Inf → 4.0 + 1
+    }
+
+    #[test]
+    fn first_occurrence_wins_for_duplicates() {
+        let t = Table::new(
+            "T",
+            1,
+            0,
+            vec![
+                Record::new(7, vec![1.0], vec![]),
+                Record::new(7, vec![2.0], vec![]),
+                Record::new(7, vec![3.0], vec![]),
+            ],
+        );
+        let v = validate_table(&t, ValidationPolicy::Quarantine).expect("cleaned");
+        let t = v.table.expect("rebuilt");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.record(0).vals[0], 1.0);
+        assert_eq!(v.report.duplicates, 2);
+    }
+
+    #[test]
+    fn policy_names_parse() {
+        for p in [
+            ValidationPolicy::Reject,
+            ValidationPolicy::Quarantine,
+            ValidationPolicy::Clamp,
+        ] {
+            assert_eq!(ValidationPolicy::parse(p.name()).expect("round trip"), p);
+        }
+        assert!(ValidationPolicy::parse("drop").is_err());
+    }
+}

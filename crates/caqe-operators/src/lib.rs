@@ -11,6 +11,9 @@
 //!   (SFS [6]) and an incremental skyline maintenance structure used by the
 //!   progressive executors.
 
+// Library code must degrade, not abort (DESIGN.md §13).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod join;
 pub mod mapping;
 pub mod skyline;

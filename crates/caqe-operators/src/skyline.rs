@@ -268,6 +268,9 @@ impl IncrementalSkyline {
         // Split field borrows: the kernel stays immutably borrowed while the
         // member table is edited (no per-insert kernel clone).
         let stride = self.stride;
+        // Allowed survivor: `ensure_kernel` on the line above guarantees the
+        // kernel is populated — this cannot fire.
+        #[allow(clippy::expect_used)]
         let (kernel, tags, data) = (
             self.kernel.as_ref().expect("just initialized"),
             &mut self.tags,

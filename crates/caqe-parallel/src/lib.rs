@@ -11,6 +11,9 @@
 //! `parallelism: Option<usize>` knob (`None` = serial, `Some(0)` = all host
 //! cores, `Some(n)` = exactly `n` workers).
 
+// Library code must degrade, not abort (DESIGN.md §13).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use std::num::NonZeroUsize;
 
 /// Resolved worker-count policy.
@@ -30,12 +33,12 @@ impl Threads {
                 .unwrap_or(1),
             Some(n) => n,
         };
-        Threads(NonZeroUsize::new(n.max(1)).unwrap())
+        Threads(NonZeroUsize::new(n.max(1)).unwrap_or(NonZeroUsize::MIN))
     }
 
     /// Exactly `n` workers (saturating at 1).
     pub fn exact(n: usize) -> Self {
-        Threads(NonZeroUsize::new(n.max(1)).unwrap())
+        Threads(NonZeroUsize::new(n.max(1)).unwrap_or(NonZeroUsize::MIN))
     }
 
     /// The worker count.
@@ -98,6 +101,10 @@ where
             }
         }
     });
+    // Allowed survivor: every slot was written by exactly one worker above,
+    // and worker panics were already re-raised — a `None` here is
+    // unreachable, not a recoverable condition.
+    #[allow(clippy::expect_used)]
     out.into_iter()
         .map(|o| o.expect("worker filled every slot"))
         .collect()
@@ -121,7 +128,17 @@ where
     let cells: Vec<std::sync::Mutex<Option<T>>> =
         slots.into_iter().map(std::sync::Mutex::new).collect();
     map_indexed(threads, cells.len(), |i| {
-        let item = cells[i].lock().unwrap().take().expect("item taken once");
+        // Poisoning recovery: the value is still intact (the panic happened
+        // in another cell's closure and is re-raised by map_indexed anyway).
+        let mut guard = match cells[i].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        // Allowed survivor: each index is visited exactly once by
+        // construction, so the slot cannot already be empty.
+        #[allow(clippy::expect_used)]
+        let item = guard.take().expect("item taken once");
+        drop(guard);
         f(i, item)
     })
 }

@@ -26,6 +26,9 @@ impl LeafCell {
     /// partitioning, never materialized.
     pub fn build(id: CellId, table: &Table, rows: Vec<usize>) -> Self {
         assert!(!rows.is_empty(), "leaf cells must be non-empty");
+        // Allowed survivor: guarded by the assert above — documented panic
+        // contract, not a recoverable condition.
+        #[allow(clippy::expect_used)]
         let bounds = Rect::bounding(rows.iter().map(|&i| table.record(i).vals.as_slice()))
             .expect("non-empty rows");
         let signatures = (0..table.join_cols())

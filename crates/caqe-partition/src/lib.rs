@@ -12,6 +12,9 @@
 //! whether a pair of cells can produce even a single join result for a given
 //! predicate — without touching tuples.
 
+// Library code must degrade, not abort (DESIGN.md §13).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod cell;
 pub mod quadtree;
 pub mod signature;

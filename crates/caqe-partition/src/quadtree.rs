@@ -96,6 +96,8 @@ impl Partitioning {
         let mut heap: BinaryHeap<PendingNode> = BinaryHeap::new();
 
         if !table.is_empty() {
+            // Allowed survivor: guarded by the emptiness check one line up.
+            #[allow(clippy::expect_used)]
             heap.push(PendingNode {
                 bounds: table.value_bounds().expect("non-empty table"),
                 rows: (0..table.len()).collect(),

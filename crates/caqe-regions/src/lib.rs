@@ -19,6 +19,9 @@
 //!   (Definition 11), `ProgEst` (Equation 10) and the Cumulative
 //!   Satisfaction Metric (Equation 8).
 
+// Library code must degrade, not abort (DESIGN.md §13).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod build;
 pub mod depgraph;
 pub mod estimate;

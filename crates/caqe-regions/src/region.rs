@@ -201,6 +201,7 @@ impl RegionSet {
     ///
     /// # Panics
     /// Panics if the query is not part of this region set's group.
+    #[allow(clippy::expect_used)] // documented panic contract above
     pub fn pref(&self, q: QueryId) -> DimMask {
         self.queries
             .iter()

@@ -105,6 +105,59 @@ pub enum TraceEvent {
         region: u32,
         estimate: ReconciledEstimate,
     },
+    /// A deterministic fault fired at an injection point (DESIGN.md §13).
+    /// Only emitted when a fault plan is active.
+    FaultInjected {
+        tick: Ticks,
+        group: u32,
+        region: u32,
+        /// Which injection point fired: `"cost_spike"`, `"estimator"`,
+        /// `"panic"` or `"corrupt"`.
+        kind: &'static str,
+        /// Spike/perturbation factor where applicable, else 1.0.
+        factor: f64,
+    },
+    /// A region's processing unit panicked and was requeued with backoff.
+    RegionRetry {
+        tick: Ticks,
+        group: u32,
+        region: u32,
+        /// 1-based attempt number that just failed.
+        attempt: u32,
+        /// Virtual ticks the region must wait before becoming eligible again.
+        backoff_ticks: Ticks,
+    },
+    /// A region exhausted its retry budget and was removed from the
+    /// schedule; its dependents were unblocked as if it had been pruned.
+    RegionQuarantined {
+        tick: Ticks,
+        group: u32,
+        region: u32,
+        /// Total processing attempts made (all failed).
+        attempts: u32,
+    },
+    /// The degradation policy shed a low-CSM root region because running
+    /// satisfaction slipped below the configured floor.
+    RegionShed {
+        tick: Ticks,
+        group: u32,
+        region: u32,
+        /// Mean running satisfaction that triggered the shed.
+        satisfaction: f64,
+    },
+    /// Ingestion validation summary for one input table. Only emitted when
+    /// a fault plan is active or violations were found.
+    IngestAudit {
+        tick: Ticks,
+        /// Table name ("R"/"T").
+        table: String,
+        /// Validation policy applied: `"reject"`, `"quarantine"`, `"clamp"`.
+        policy: &'static str,
+        /// Records dropped or quarantined.
+        quarantined: u64,
+        /// Non-finite values clamped in place.
+        clamped: u64,
+    },
 }
 
 impl TraceEvent {
@@ -131,6 +184,11 @@ impl TraceEvent {
                 *scheduled_tick += base;
                 *completed_tick += base;
             }
+            TraceEvent::FaultInjected { tick, .. } => *tick += base,
+            TraceEvent::RegionRetry { tick, .. } => *tick += base,
+            TraceEvent::RegionQuarantined { tick, .. } => *tick += base,
+            TraceEvent::RegionShed { tick, .. } => *tick += base,
+            TraceEvent::IngestAudit { tick, .. } => *tick += base,
         }
     }
 
@@ -142,6 +200,11 @@ impl TraceEvent {
             TraceEvent::Decision { tick, .. } => *tick,
             TraceEvent::Emission { tick, .. } => *tick,
             TraceEvent::EstimateAudit { scheduled_tick, .. } => *scheduled_tick,
+            TraceEvent::FaultInjected { tick, .. } => *tick,
+            TraceEvent::RegionRetry { tick, .. } => *tick,
+            TraceEvent::RegionQuarantined { tick, .. } => *tick,
+            TraceEvent::RegionShed { tick, .. } => *tick,
+            TraceEvent::IngestAudit { tick, .. } => *tick,
         }
     }
 }

@@ -138,6 +138,63 @@ pub fn event_json(ev: &TraceEvent) -> String {
             num(estimate.skyline_rel_error()),
             num(estimate.ticks_rel_error())
         ),
+        TraceEvent::FaultInjected {
+            tick,
+            group,
+            region,
+            kind,
+            factor,
+        } => format!(
+            "{{\"ev\":\"fault\",\"tick\":{},\"group\":{},\"region\":{},\"kind\":{},\"factor\":{}}}",
+            tick,
+            group,
+            region,
+            json_str(kind),
+            num(*factor)
+        ),
+        TraceEvent::RegionRetry {
+            tick,
+            group,
+            region,
+            attempt,
+            backoff_ticks,
+        } => format!(
+            "{{\"ev\":\"retry\",\"tick\":{tick},\"group\":{group},\"region\":{region},\"attempt\":{attempt},\"backoff_ticks\":{backoff_ticks}}}"
+        ),
+        TraceEvent::RegionQuarantined {
+            tick,
+            group,
+            region,
+            attempts,
+        } => format!(
+            "{{\"ev\":\"quarantine\",\"tick\":{tick},\"group\":{group},\"region\":{region},\"attempts\":{attempts}}}"
+        ),
+        TraceEvent::RegionShed {
+            tick,
+            group,
+            region,
+            satisfaction,
+        } => format!(
+            "{{\"ev\":\"shed\",\"tick\":{},\"group\":{},\"region\":{},\"satisfaction\":{}}}",
+            tick,
+            group,
+            region,
+            num(*satisfaction)
+        ),
+        TraceEvent::IngestAudit {
+            tick,
+            table,
+            policy,
+            quarantined,
+            clamped,
+        } => format!(
+            "{{\"ev\":\"ingest\",\"tick\":{},\"table\":{},\"policy\":{},\"quarantined\":{},\"clamped\":{}}}",
+            tick,
+            json_str(table),
+            json_str(policy),
+            quarantined,
+            clamped
+        ),
     }
 }
 
@@ -441,5 +498,66 @@ mod tests {
     #[test]
     fn json_strings_are_escaped() {
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn fault_events_serialize_with_stable_kinds() {
+        let lines = [
+            (
+                event_json(&TraceEvent::FaultInjected {
+                    tick: 5,
+                    group: 0,
+                    region: 2,
+                    kind: "cost_spike",
+                    factor: 8.0,
+                }),
+                "\"ev\":\"fault\"",
+            ),
+            (
+                event_json(&TraceEvent::RegionRetry {
+                    tick: 6,
+                    group: 0,
+                    region: 2,
+                    attempt: 1,
+                    backoff_ticks: 64,
+                }),
+                "\"ev\":\"retry\"",
+            ),
+            (
+                event_json(&TraceEvent::RegionQuarantined {
+                    tick: 7,
+                    group: 0,
+                    region: 2,
+                    attempts: 3,
+                }),
+                "\"ev\":\"quarantine\"",
+            ),
+            (
+                event_json(&TraceEvent::RegionShed {
+                    tick: 8,
+                    group: 1,
+                    region: 4,
+                    satisfaction: 0.25,
+                }),
+                "\"ev\":\"shed\"",
+            ),
+            (
+                event_json(&TraceEvent::IngestAudit {
+                    tick: 0,
+                    table: "R".to_string(),
+                    policy: "clamp",
+                    quarantined: 2,
+                    clamped: 5,
+                }),
+                "\"ev\":\"ingest\"",
+            ),
+        ];
+        for (line, kind) in &lines {
+            assert!(line.contains(kind), "{line} should contain {kind}");
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines[0].0.contains("\"factor\":8"));
+        assert!(lines[1].0.contains("\"backoff_ticks\":64"));
+        assert!(lines[4].0.contains("\"policy\":\"clamp\""));
     }
 }

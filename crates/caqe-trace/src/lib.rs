@@ -35,6 +35,9 @@
 //! [`NoopSink`] the whole layer monomorphizes away — no branch, no
 //! allocation, no event construction in the hot path.
 
+// Library code must degrade, not abort (DESIGN.md §13).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod event;
 pub mod export;
 pub mod sink;

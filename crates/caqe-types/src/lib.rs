@@ -17,9 +17,15 @@
 //!   copy-cheap handles, plus [`dominance::DomKernel`]s specialized per
 //!   subspace (DESIGN.md §12).
 
+// Library code must degrade, not abort (DESIGN.md §13): unwraps are banned
+// outside tests; documented invariants use `expect`-free patterns or a
+// scoped `#[allow]` with a justification.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod bounds;
 pub mod clock;
 pub mod dominance;
+pub mod error;
 pub mod ids;
 pub mod stats;
 pub mod store;
@@ -29,6 +35,7 @@ pub use bounds::Rect;
 pub use bounds::RegionRelation;
 pub use clock::{CostModel, SimClock, Ticks, VirtualSeconds};
 pub use dominance::{dominates, dominates_in, relate, relate_in, DomKernel, DomRelation};
+pub use error::EngineError;
 pub use ids::{CellId, QueryId, QuerySet, RegionId};
 pub use stats::{PerQueryStats, Stats};
 pub use store::{PointId, PointStore, SwapStore};

@@ -50,6 +50,18 @@ pub struct Stats {
     pub regions_pruned: u64,
     /// Join results discarded because their output cell was dominated.
     pub tuples_discarded: u64,
+    /// Region processing attempts that failed (panicked) and were requeued
+    /// with backoff. Zero unless fault injection is active.
+    pub region_retries: u64,
+    /// Regions quarantined after exhausting their retry budget.
+    pub regions_quarantined: u64,
+    /// Root regions shed by the contract-aware degradation policy.
+    pub regions_shed: u64,
+    /// Records dropped or quarantined by ingestion validation (non-finite
+    /// values or duplicate identifiers).
+    pub ingest_quarantined: u64,
+    /// Non-finite preference values clamped by ingestion validation.
+    pub ingest_clamped: u64,
     /// Per-query breakdown of emissions and utility, indexed by `QueryId`.
     /// Empty until an executor sizes it to the workload; worker-thread stat
     /// deltas carry it empty, so merges never misattribute across indices.
@@ -91,6 +103,11 @@ impl AddAssign for Stats {
         self.regions_processed += rhs.regions_processed;
         self.regions_pruned += rhs.regions_pruned;
         self.tuples_discarded += rhs.tuples_discarded;
+        self.region_retries += rhs.region_retries;
+        self.regions_quarantined += rhs.regions_quarantined;
+        self.regions_shed += rhs.regions_shed;
+        self.ingest_quarantined += rhs.ingest_quarantined;
+        self.ingest_clamped += rhs.ingest_clamped;
         self.ensure_queries(rhs.per_query.len());
         for (mine, theirs) in self.per_query.iter_mut().zip(rhs.per_query) {
             *mine += theirs;
@@ -114,6 +131,11 @@ mod tests {
             regions_processed: 6,
             regions_pruned: 7,
             tuples_discarded: 8,
+            region_retries: 10,
+            regions_quarantined: 11,
+            regions_shed: 12,
+            ingest_quarantined: 13,
+            ingest_clamped: 14,
             per_query: vec![PerQueryStats {
                 tuples_emitted: 5,
                 utility_sum: 2.5,
@@ -123,6 +145,11 @@ mod tests {
         assert_eq!(a.join_probes, 2);
         assert_eq!(a.region_comparisons, 18);
         assert_eq!(a.tuples_discarded, 16);
+        assert_eq!(a.region_retries, 20);
+        assert_eq!(a.regions_quarantined, 22);
+        assert_eq!(a.regions_shed, 24);
+        assert_eq!(a.ingest_quarantined, 26);
+        assert_eq!(a.ingest_clamped, 28);
         assert_eq!(a.per_query[0].tuples_emitted, 10);
         assert!((a.per_query[0].utility_sum - 5.0).abs() < 1e-12);
     }

@@ -38,6 +38,10 @@ pub use caqe_regions as regions;
 /// timelines, estimator audits and phase spans over virtual time.
 pub use caqe_trace as trace;
 
+/// Deterministic fault injection: seeded chaos plans for cost spikes,
+/// estimator noise, worker panics and input corruption.
+pub use caqe_faults as faults;
+
 /// The CAQE framework: workload model, optimizer and contract-aware executor.
 pub use caqe_core as core;
 
