@@ -85,6 +85,7 @@ fn bench_region_build(c: &mut Criterion) {
                         mapping: &mapping,
                         queries: &queries,
                         coarse_pruning: prune,
+                        keep_empty: false,
                     };
                     let mut clock = SimClock::default();
                     let mut stats = Stats::new();

@@ -1,0 +1,194 @@
+//! Churn benchmark for the online session layer: the cost of *incremental*
+//! shared-plan maintenance on admission (Def. 7 lattice patch + history
+//! backfill) versus rebuilding the whole min-max-cuboid plan from the
+//! materialized history — the comparison arm behind
+//! `ExecConfig::rebuild_on_admit`. Both arms execute the identical event
+//! stream; final result sets of every non-departed query are asserted
+//! identical before anything is reported. Results land in `BENCH_PR5.json`.
+//!
+//! ```text
+//! cargo run --release -p caqe-bench --bin bench_pr5 -- [--n <rows>]
+//!     [--cells <per-table>] [--threads <k>] [--reps <r>] [--out <path>]
+//!     [--events <spec>]
+//! ```
+//!
+//! The default stream admits the two held-back pool queries mid-run and
+//! retires one initial query: `admit@200000=6,admit@600000=7,depart@1000000=2`.
+
+use caqe_bench::json::ObjectWriter;
+use caqe_bench::report::cli_arg;
+use caqe_contract::Contract;
+use caqe_core::{
+    try_run_engine_online_traced, EngineConfig, EventStream, ExecConfig, QuerySpec, RunOutcome,
+    SessionEvent, Workload,
+};
+use caqe_data::{Distribution, TableGenerator};
+use caqe_operators::{MappingFn, MappingSet};
+use caqe_trace::NoopSink;
+use caqe_types::DimMask;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// The `par_speedup` workload shape: four join groups of two queries each.
+fn mapping_variant(v: usize) -> MappingSet {
+    let fns = (0..4)
+        .map(|j| {
+            let mut wr = vec![0.0; 2];
+            let mut wt = vec![0.0; 2];
+            wr[j % 2] = 1.0 + 0.05 * v as f64;
+            wt[(j + v) % 2] = 1.0 + 0.1 * j as f64;
+            MappingFn::new(wr, wt, 0.0)
+        })
+        .collect();
+    MappingSet::new(fns)
+}
+
+fn query_pool() -> Vec<QuerySpec> {
+    let mut queries = Vec::new();
+    for v in 0..4 {
+        let mapping = mapping_variant(v);
+        for (pref, priority) in [
+            (DimMask::from_dims([0, 1]), 0.8),
+            (DimMask::from_dims([2, 3]), 0.4),
+        ] {
+            queries.push(QuerySpec {
+                join_col: v % 2,
+                mapping: mapping.clone(),
+                pref,
+                priority,
+                contract: Contract::LogDecay,
+            });
+        }
+    }
+    queries
+}
+
+fn run_arm(
+    r: &caqe_data::Table,
+    t: &caqe_data::Table,
+    w: &Workload,
+    events: &EventStream,
+    exec: &ExecConfig,
+    reps: usize,
+) -> (f64, RunOutcome) {
+    let mut best = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let o = try_run_engine_online_traced(
+            "CAQE",
+            r,
+            t,
+            w,
+            events,
+            exec,
+            &EngineConfig::caqe(),
+            0,
+            &mut NoopSink,
+        )
+        .expect("bench inputs are clean");
+        best = best.min(start.elapsed().as_secs_f64());
+        outcome = Some(o);
+    }
+    (best, outcome.expect("reps >= 1"))
+}
+
+fn sorted_results(out: &RunOutcome, q: usize) -> Vec<(u64, u64)> {
+    let mut v = out.per_query[q].results.clone();
+    v.sort_unstable();
+    v
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = cli_arg(&args, "--n").map_or(2500, |s| s.parse().expect("--n"));
+    let cells: usize = cli_arg(&args, "--cells").map_or(22, |s| s.parse().expect("--cells"));
+    let threads: Option<usize> = cli_arg(&args, "--threads").map(|s| s.parse().expect("--threads"));
+    let reps: usize = cli_arg(&args, "--reps").map_or(3, |s| s.parse().expect("--reps"));
+    let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let spec = cli_arg(&args, "--events")
+        .unwrap_or_else(|| "admit@200000=6,admit@600000=7,depart@1000000=2".to_string());
+
+    let pool = query_pool();
+    // The initial workload holds back the last two pool queries so the
+    // default stream has genuinely new arrivals to admit.
+    let w = Workload::new(pool[..6].to_vec());
+    let events = EventStream::parse(&spec, &pool).expect("--events");
+    assert!(!events.is_empty(), "bench_pr5 needs a non-empty stream");
+    let departed: BTreeSet<usize> = events
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            SessionEvent::Depart { query, .. } => Some(query.index()),
+            _ => None,
+        })
+        .collect();
+    let admissions = events.len() - departed.len();
+
+    let gen = TableGenerator::new(n, 2, Distribution::Independent)
+        .with_selectivities(&[0.02, 0.03])
+        .with_seed(0xBE11C);
+    let (r, t) = (gen.generate("R"), gen.generate("T"));
+    let exec = ExecConfig::default()
+        .with_target_cells(n, cells)
+        .with_parallelism(threads);
+
+    let (inc_secs, inc) = run_arm(&r, &t, &w, &events, &exec, reps);
+    let (reb_secs, reb) = run_arm(&r, &t, &w, &events, &exec.with_rebuild_on_admit(true), reps);
+
+    // Identity gate: both maintenance strategies must land on exactly the
+    // same final result set for every query still active at the end. (A
+    // departed query's truncation point depends on how far the clock had
+    // advanced, which the rebuild cost legitimately shifts.)
+    assert_eq!(inc.per_query.len(), reb.per_query.len(), "query count");
+    for q in 0..inc.per_query.len() {
+        if departed.contains(&q) {
+            continue;
+        }
+        assert_eq!(
+            sorted_results(&inc, q),
+            sorted_results(&reb, q),
+            "query {q}: incremental and rebuild arms disagree on results"
+        );
+    }
+
+    let mut obj = ObjectWriter::new();
+    obj.string("bench", "bench_pr5_churn")
+        .uint("n", n as u64)
+        .uint("cells_per_table", cells as u64)
+        .uint("initial_queries", w.len() as u64)
+        .uint("admissions", admissions as u64)
+        .uint("departures", departed.len() as u64)
+        .string("events", &spec)
+        .uint("reps", reps as u64)
+        .number("incremental_wall_seconds", inc_secs)
+        .number("rebuild_wall_seconds", reb_secs)
+        .number("incremental_virtual_seconds", inc.virtual_seconds)
+        .number("rebuild_virtual_seconds", reb.virtual_seconds)
+        .number(
+            "rebuild_virtual_overhead",
+            reb.virtual_seconds / inc.virtual_seconds.max(1e-12),
+        )
+        .uint("incremental_dom_comparisons", inc.stats.dom_comparisons)
+        .uint("rebuild_dom_comparisons", reb.stats.dom_comparisons)
+        .uint("incremental_join_results", inc.stats.join_results)
+        .uint("rebuild_join_results", reb.stats.join_results)
+        .uint("incremental_results", inc.total_results() as u64)
+        .uint("rebuild_results", reb.total_results() as u64)
+        .bool("results_identical", true);
+    let json = obj.finish();
+    std::fs::write(&out_path, format!("{json}\n")).expect("write bench json");
+    println!(
+        "churn: {} admissions, {} departures over {} initial queries; \
+         incremental {:.4}s virtual / rebuild {:.4}s virtual (x{:.2} \
+         maintenance overhead), dom cmps {} vs {} ({out_path})",
+        admissions,
+        departed.len(),
+        w.len(),
+        inc.virtual_seconds,
+        reb.virtual_seconds,
+        reb.virtual_seconds / inc.virtual_seconds.max(1e-12),
+        inc.stats.dom_comparisons,
+        reb.stats.dom_comparisons,
+    );
+}

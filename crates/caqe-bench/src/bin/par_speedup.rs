@@ -9,20 +9,26 @@
 //! ```text
 //! cargo run --release -p caqe-bench --bin par_speedup -- [--n <rows>]
 //!     [--threads <k>] [--cells <per-table>] [--reps <r>] [--out <path>]
-//!     [--trace <dir>] [--faults <spec>]
+//!     [--trace <dir>] [--faults <spec>] [--events <spec>]
 //!     [--validation reject|quarantine|clamp]
 //! ```
 //!
 //! With `--trace`, the traced parallel run exports under the label
-//! `parallel` — CI byte-diffs that JSONL across thread counts.
+//! `parallel` — CI byte-diffs that JSONL across thread counts. With
+//! `--events` (e.g. `admit@500000=0,depart@900000=1`) the run becomes an
+//! online session: admissions draw from the workload's own query pool by
+//! index, and the bit-identity assertions then cover the churn path too.
 
 use caqe_bench::json::ObjectWriter;
 use caqe_bench::report::{cli_arg, cli_chaos, cli_trace};
 use caqe_contract::Contract;
-use caqe_core::{CaqeStrategy, ExecConfig, ExecutionStrategy, QuerySpec, RunOutcome, Workload};
+use caqe_core::{
+    try_run_engine_online_traced, EngineConfig, EventStream, ExecConfig, QuerySpec, RunOutcome,
+    Workload,
+};
 use caqe_data::{Distribution, TableGenerator};
 use caqe_operators::{MappingFn, MappingSet};
-use caqe_trace::RecordingSink;
+use caqe_trace::{NoopSink, RecordingSink};
 use caqe_types::DimMask;
 use std::num::NonZeroUsize;
 use std::time::Instant;
@@ -68,6 +74,7 @@ fn measure(
     r: &caqe_data::Table,
     t: &caqe_data::Table,
     w: &Workload,
+    events: &EventStream,
     exec: &ExecConfig,
     reps: usize,
 ) -> (f64, RunOutcome) {
@@ -75,7 +82,18 @@ fn measure(
     let mut outcome = None;
     for _ in 0..reps {
         let start = Instant::now();
-        let o = CaqeStrategy.run(r, t, w, exec);
+        let o = try_run_engine_online_traced(
+            "CAQE",
+            r,
+            t,
+            w,
+            events,
+            exec,
+            &EngineConfig::caqe(),
+            0,
+            &mut NoopSink,
+        )
+        .expect("bench inputs are clean");
         best = best.min(start.elapsed().as_secs_f64());
         outcome = Some(o);
     }
@@ -88,24 +106,36 @@ fn measure_traced(
     r: &caqe_data::Table,
     t: &caqe_data::Table,
     w: &Workload,
+    events: &EventStream,
     exec: &ExecConfig,
     reps: usize,
 ) -> (f64, RunOutcome, RecordingSink) {
     let mut best = f64::INFINITY;
     let mut outcome = None;
-    let mut events = None;
+    let mut recorded = None;
     for _ in 0..reps {
         let mut sink = RecordingSink::new();
         let start = Instant::now();
-        let o = CaqeStrategy.run_traced(r, t, w, exec, &mut sink);
+        let o = try_run_engine_online_traced(
+            "CAQE",
+            r,
+            t,
+            w,
+            events,
+            exec,
+            &EngineConfig::caqe(),
+            0,
+            &mut sink,
+        )
+        .expect("bench inputs are clean");
         best = best.min(start.elapsed().as_secs_f64());
         outcome = Some(o);
-        events = Some(sink);
+        recorded = Some(sink);
     }
     (
         best,
         outcome.expect("reps >= 1"),
-        events.expect("reps >= 1"),
+        recorded.expect("reps >= 1"),
     )
 }
 
@@ -123,6 +153,10 @@ fn main() {
         .with_seed(0xBE11C);
     let (r, t) = (gen.generate("R"), gen.generate("T"));
     let w = workload();
+    let events = match cli_arg(&args, "--events") {
+        Some(spec) => EventStream::parse(&spec, w.queries()).expect("--events"),
+        None => EventStream::empty(),
+    };
     let (faults, validation) = cli_chaos(&args);
     let serial_exec = ExecConfig::default()
         .with_target_cells(n, cells)
@@ -130,9 +164,9 @@ fn main() {
         .with_validation(validation);
     let par_exec = serial_exec.with_parallelism(Some(threads));
 
-    let (serial_secs, serial_out) = measure(&r, &t, &w, &serial_exec, reps);
-    let (par_secs, par_out) = measure(&r, &t, &w, &par_exec, reps);
-    let (traced_secs, traced_out, sink) = measure_traced(&r, &t, &w, &par_exec, reps);
+    let (serial_secs, serial_out) = measure(&r, &t, &w, &events, &serial_exec, reps);
+    let (par_secs, par_out) = measure(&r, &t, &w, &events, &par_exec, reps);
+    let (traced_secs, traced_out, sink) = measure_traced(&r, &t, &w, &events, &par_exec, reps);
 
     // Parallelism must not change a single observable number.
     assert_eq!(serial_out.stats, par_out.stats, "stats diverged");
@@ -192,6 +226,7 @@ fn main() {
         .number("traced_wall_seconds", traced_secs)
         .number("trace_overhead", trace_overhead)
         .uint("trace_events", sink.events().len() as u64)
+        .uint("session_events", events.len() as u64)
         .number("virtual_seconds", serial_out.virtual_seconds)
         .uint("join_results", serial_out.stats.join_results)
         .bool("bit_identical", true);

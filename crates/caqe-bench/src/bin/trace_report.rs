@@ -53,6 +53,12 @@ struct Digest {
     /// (group, region) -> tick it was shed at; shed regions must never be
     /// scheduled again.
     shed: BTreeMap<(u64, u64), u64>,
+    /// Queries declared by the run's `meta` line (the initial workload).
+    initial_queries: u64,
+    /// query -> admission tick, for queries added by session events.
+    admitted: BTreeMap<u64, u64>,
+    /// query -> departure tick; a departed query must never emit again.
+    departed: BTreeMap<u64, u64>,
     problems: Vec<String>,
 }
 
@@ -90,6 +96,7 @@ fn digest(path: &Path) -> Digest {
                         d.strategy = s.to_string();
                     }
                 }
+                d.initial_queries = v["queries"].as_f64().unwrap_or(0.0) as u64;
             }
             "emit" => {
                 let tick = v["tick"].as_f64().unwrap_or(-1.0) as u64;
@@ -101,6 +108,24 @@ fn digest(path: &Path) -> Digest {
                 }
                 last_emit_tick = tick;
                 let q = v["query"].as_f64().unwrap_or(-1.0) as u64;
+                // Session lifetime rules: a query only emits between its
+                // admission (birth at tick 0 for the initial workload) and
+                // its departure.
+                if q >= d.initial_queries && !d.admitted.contains_key(&q) {
+                    d.problems.push(format!(
+                        "line {}: emission for query {q} before its admission",
+                        lineno + 1
+                    ));
+                }
+                if let Some(depart_tick) = d.departed.get(&q) {
+                    if tick > *depart_tick {
+                        d.problems.push(format!(
+                            "line {}: query {q} emitted at tick {tick} after departing \
+                             at tick {depart_tick}",
+                            lineno + 1
+                        ));
+                    }
+                }
                 let seq = v["seq"].as_f64().unwrap_or(0.0) as u64;
                 let sat = v["satisfaction"].as_f64().unwrap_or(f64::NAN);
                 let entry = d.queries.entry(q).or_insert((0, 0.0));
@@ -168,6 +193,34 @@ fn digest(path: &Path) -> Digest {
             "shed" => {
                 let tick = v["tick"].as_f64().unwrap_or(-1.0) as u64;
                 d.shed.insert(group_region(&v), tick);
+            }
+            "admit" => {
+                let q = v["query"].as_f64().unwrap_or(-1.0) as u64;
+                let tick = v["tick"].as_f64().unwrap_or(-1.0) as u64;
+                // Global query slots are never reused: an admission must
+                // name a fresh id past the initial workload.
+                if q < d.initial_queries || d.admitted.contains_key(&q) {
+                    d.problems.push(format!(
+                        "line {}: admission reuses query slot {q}",
+                        lineno + 1
+                    ));
+                }
+                d.admitted.insert(q, tick);
+            }
+            "depart" => {
+                let q = v["query"].as_f64().unwrap_or(-1.0) as u64;
+                let tick = v["tick"].as_f64().unwrap_or(-1.0) as u64;
+                if q >= d.initial_queries && !d.admitted.contains_key(&q) {
+                    d.problems.push(format!(
+                        "line {}: departure of never-admitted query {q}",
+                        lineno + 1
+                    ));
+                }
+                if d.departed.contains_key(&q) {
+                    d.problems
+                        .push(format!("line {}: query {q} departed twice", lineno + 1));
+                }
+                d.departed.insert(q, tick);
             }
             other => {
                 d.problems
@@ -239,6 +292,13 @@ fn main() -> ExitCode {
         println!("  events: {}", counts.join("  "));
         for (q, (n, sat)) in &d.queries {
             println!("  query {q}: {n} emissions, final satisfaction {sat:.3}");
+        }
+        if !d.admitted.is_empty() || !d.departed.is_empty() {
+            println!(
+                "  session: {} admission(s), {} departure(s)",
+                d.admitted.len(),
+                d.departed.len()
+            );
         }
         if d.estimator.0 > 0 {
             println!(

@@ -20,4 +20,4 @@ pub mod weights;
 
 pub use model::{Contract, EmissionCtx};
 pub use tracker::{QueryScore, SatisfactionSnapshot};
-pub use weights::update_weights;
+pub use weights::{update_weights, update_weights_masked};

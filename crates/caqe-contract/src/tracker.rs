@@ -24,6 +24,11 @@ pub struct QueryScore {
     contract: Contract,
     /// Best current estimate of the query's final result count.
     est_total: f64,
+    /// Virtual time the query entered the system; contracts are evaluated
+    /// on time *since admission*, so a query admitted mid-run is not judged
+    /// against deadlines that expired before it existed. 0 for the initial
+    /// workload — the historical behavior, bit-for-bit.
+    start: VirtualSeconds,
     emissions: Vec<(VirtualSeconds, f64)>,
     sum_utility: f64,
 }
@@ -32,12 +37,25 @@ impl QueryScore {
     /// A fresh tracker for a query under `contract`, with an initial
     /// estimate of the final result cardinality.
     pub fn new(contract: Contract, est_total: f64) -> Self {
+        QueryScore::new_at(contract, est_total, 0.0)
+    }
+
+    /// [`QueryScore::new`] for a query admitted at virtual time `start`:
+    /// every utility evaluation shifts timestamps by `-start` first.
+    pub fn new_at(contract: Contract, est_total: f64, start: VirtualSeconds) -> Self {
         QueryScore {
             contract,
             est_total: est_total.max(1.0),
+            start,
             emissions: Vec::new(),
             sum_utility: 0.0,
         }
+    }
+
+    /// The virtual time this query was admitted at (0 for the initial
+    /// workload).
+    pub fn start(&self) -> VirtualSeconds {
+        self.start
     }
 
     /// The contract being tracked.
@@ -64,7 +82,9 @@ impl QueryScore {
         let seq = self.emissions.len() as u64 + 1;
         let u = self
             .contract
-            .utility(&EmissionCtx::new(ts, seq, self.est_total));
+            .utility(&EmissionCtx::new(ts - self.start, seq, self.est_total));
+        // Stored timestamps stay absolute — the trace layer reports the
+        // global timeline; only the utility evaluation is admission-relative.
         self.emissions.push((ts, u));
         self.sum_utility += u;
         u
@@ -76,7 +96,7 @@ impl QueryScore {
     pub fn hypothetical_utility(&self, ts: VirtualSeconds, ahead: u64) -> f64 {
         let seq = self.emissions.len() as u64 + ahead;
         self.contract
-            .utility(&EmissionCtx::new(ts, seq, self.est_total))
+            .utility(&EmissionCtx::new(ts - self.start, seq, self.est_total))
     }
 
     /// Number of results emitted so far.
@@ -216,6 +236,23 @@ mod tests {
         assert_eq!(snap.count, 0);
         assert_eq!(snap.sum_utility, 0.0);
         assert_eq!(snap.satisfaction, 0.0);
+    }
+
+    #[test]
+    fn late_admission_shifts_contract_time() {
+        // A query admitted at t=100 under a 10s deadline earns full utility
+        // for emissions before t=110 and nothing after, while a start-0 twin
+        // judges the same absolute timestamps as long expired.
+        let mut late = QueryScore::new_at(Contract::Deadline { t_hard: 10.0 }, 100.0, 100.0);
+        let mut early = QueryScore::new(Contract::Deadline { t_hard: 10.0 }, 100.0);
+        assert_eq!(late.start(), 100.0);
+        assert_eq!(late.hypothetical_utility(105.0, 1), 1.0);
+        assert_eq!(early.hypothetical_utility(105.0, 1), 0.0);
+        assert_eq!(late.record(105.0), 1.0);
+        assert_eq!(late.record(111.0), 0.0);
+        assert_eq!(early.record(105.0), 0.0);
+        // Emission timestamps stay absolute for the trace layer.
+        assert_eq!(late.emissions()[0].0, 105.0);
     }
 
     #[test]

@@ -7,28 +7,99 @@
 //! ```text
 //! w'_i = w_i + (v_max − v_i) / Σ_j (v_max − v_j)
 //! ```
+//!
+//! The raw recurrence grows the total weight mass by one unit per round, so
+//! after many rounds a fresh boost is diluted to noise relative to the
+//! accumulated mass and a newly starved query can never climb back above an
+//! old one. We therefore renormalize after each boost so the *mean* active
+//! weight is 1: CSM (Equation 8) and every weight-linear tie-breaker are
+//! scale-invariant, so renormalization changes no scheduling decision in a
+//! single round while keeping the feedback responsive over long horizons.
 
-/// Applies Equation 11 in place.
+/// A non-finite satisfaction (NaN from a zero-emission query under
+/// `ValidationPolicy::Clamp`, or an infinity from a poisoned utility) is
+/// treated as maximally unsatisfied: the query keeps participating in the
+/// rebalance instead of poisoning `v_max` and every boost downstream.
+fn sanitize(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
+    }
+}
+
+/// Core of Equation 11 over the index set selected by `active`. Inactive
+/// slots are never read and never written — their weights pass through
+/// byte-identical.
+fn apply(weights: &mut [f64], satisfactions: &[f64], active: impl Fn(usize) -> bool) {
+    assert_eq!(weights.len(), satisfactions.len());
+    let mut n_active = 0usize;
+    let mut v_max = f64::NEG_INFINITY;
+    for (i, &v) in satisfactions.iter().enumerate() {
+        if active(i) {
+            n_active += 1;
+            v_max = v_max.max(sanitize(v));
+        }
+    }
+    if n_active == 0 {
+        return;
+    }
+    let denom: f64 = satisfactions
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| active(i))
+        .map(|(_, &v)| v_max - sanitize(v))
+        .sum();
+    if denom <= f64::EPSILON {
+        // Everyone equally satisfied: Equation 11 is an exact no-op, and we
+        // deliberately skip renormalization too so idle rounds leave the
+        // weight vector untouched bit-for-bit.
+        return;
+    }
+    let mut total = 0.0;
+    for (i, (w, &v)) in weights.iter_mut().zip(satisfactions).enumerate() {
+        if !active(i) {
+            continue;
+        }
+        *w += (v_max - sanitize(v)) / denom;
+        total += *w;
+    }
+    // Rescale so the mean active weight is 1. Guard degenerate totals (all
+    // weights zero or non-finite) by leaving the boosted vector as-is.
+    if total.is_finite() && total > 0.0 {
+        let scale = n_active as f64 / total;
+        for (i, w) in weights.iter_mut().enumerate() {
+            if active(i) {
+                *w *= scale;
+            }
+        }
+    }
+}
+
+/// Applies Equation 11 in place, then renormalizes the weights to mean 1.
 ///
 /// `satisfactions[i]` is the run-time satisfaction metric `v(Q_i)` of query
-/// `i`. When every query is equally satisfied the denominator vanishes and
-/// the weights are left unchanged.
+/// `i`. When every query is equally satisfied the update is an exact no-op.
+/// Non-finite satisfactions are treated as 0 (maximally unsatisfied) so one
+/// NaN cannot poison the whole vector.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn update_weights(weights: &mut [f64], satisfactions: &[f64]) {
-    assert_eq!(weights.len(), satisfactions.len());
-    if weights.is_empty() {
-        return;
-    }
-    let v_max = satisfactions.iter().copied().fold(f64::MIN, f64::max);
-    let denom: f64 = satisfactions.iter().map(|&v| v_max - v).sum();
-    if denom <= f64::EPSILON {
-        return;
-    }
-    for (w, &v) in weights.iter_mut().zip(satisfactions) {
-        *w += (v_max - v) / denom;
-    }
+    apply(weights, satisfactions, |_| true);
+}
+
+/// [`update_weights`] restricted to the queries flagged in `active` — the
+/// online session layer's view of a changing query set. Inactive slots
+/// (departed or not-yet-admitted queries) are ignored entirely: they do not
+/// contribute to `v_max`, receive no boost, and keep their stored weight
+/// byte-identical so a later re-admission starts from a known value.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn update_weights_masked(weights: &mut [f64], satisfactions: &[f64], active: &[bool]) {
+    assert_eq!(weights.len(), active.len());
+    apply(weights, satisfactions, |i| active[i]);
 }
 
 #[cfg(test)]
@@ -37,14 +108,19 @@ mod tests {
 
     #[test]
     fn example20_weights() {
-        // Paper Example 20: v = {0, 1, 0.7, 0}, all w_i = 1
-        // → w' = {1.43, 1, 1.13, 1.43}.
+        // Paper Example 20: v = {0, 1, 0.7, 0}, all w_i = 1 → raw boosts
+        // {0.435, 0, 0.130, 0.435}. After mean-1 renormalization (sum 5 over
+        // 4 queries → scale 0.8) the paper's ratios survive intact.
         let mut w = vec![1.0; 4];
         update_weights(&mut w, &[0.0, 1.0, 0.7, 0.0]);
-        let expect = [1.43, 1.0, 1.13, 1.43];
+        let expect = [1.43 * 0.8, 1.0 * 0.8, 1.13 * 0.8, 1.43 * 0.8];
         for (got, want) in w.iter().zip(expect) {
             assert!((got - want).abs() < 0.005, "{got} vs {want}");
         }
+        // Paper ratio check, independent of the normalization constant.
+        assert!((w[0] / w[1] - 1.43).abs() < 0.005);
+        let mean: f64 = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -55,11 +131,11 @@ mod tests {
     }
 
     #[test]
-    fn boosts_sum_to_one() {
+    fn mean_weight_is_one_after_update() {
         let mut w = vec![1.0; 5];
         update_weights(&mut w, &[0.1, 0.9, 0.3, 0.9, 0.0]);
-        let total: f64 = w.iter().sum();
-        assert!((total - 6.0).abs() < 1e-12);
+        let mean: f64 = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -67,7 +143,6 @@ mod tests {
         let mut w = vec![1.0; 3];
         update_weights(&mut w, &[0.0, 0.5, 1.0]);
         assert!(w[0] > w[1] && w[1] > w[2]);
-        assert_eq!(w[2], 1.0);
     }
 
     #[test]
@@ -99,16 +174,18 @@ mod tests {
     #[test]
     fn single_lagging_query_absorbs_the_whole_boost() {
         // One query lags, the rest are tied at v_max: the lagger receives
-        // the entire unit boost and the satisfied queries receive exactly
-        // nothing.
+        // the entire unit boost. Pre-renorm weights are {1, 1, 2, 1} (sum 5
+        // over 4) → scale 0.8 → {0.8, 0.8, 1.6, 0.8}.
         let mut w = vec![1.0; 4];
         update_weights(&mut w, &[0.9, 0.9, 0.2, 0.9]);
-        assert!((w[2] - 2.0).abs() < 1e-12, "lagging weight: {}", w[2]);
+        assert!((w[2] - 1.6).abs() < 1e-12, "lagging weight: {}", w[2]);
         for (i, &wi) in w.iter().enumerate() {
             if i != 2 {
-                assert_eq!(wi, 1.0, "satisfied query {i} was boosted");
+                assert!((wi - 0.8).abs() < 1e-12, "satisfied query {i}: {wi}");
             }
         }
+        // The lagger's weight is exactly 2× the satisfied queries'.
+        assert!((w[2] / w[0] - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -120,5 +197,73 @@ mod tests {
             update_weights(&mut w, &[v]);
             assert_eq!(w, vec![0.42], "v = {v}");
         }
+    }
+
+    #[test]
+    fn nan_satisfaction_does_not_poison_weights() {
+        // A NaN satisfaction used to propagate through v_max and the
+        // denominator, turning every weight into NaN. Now it is treated as
+        // maximally unsatisfied.
+        let mut w = vec![1.0; 3];
+        update_weights(&mut w, &[f64::NAN, 0.8, 0.5]);
+        assert!(w.iter().all(|x| x.is_finite()), "weights: {w:?}");
+        // The NaN query is the most unsatisfied → the largest boost.
+        assert!(w[0] > w[2] && w[2] > w[1], "weights: {w:?}");
+
+        // Infinities are likewise sanitized.
+        let mut w = vec![1.0; 3];
+        update_weights(&mut w, &[f64::INFINITY, 0.8, f64::NEG_INFINITY]);
+        assert!(w.iter().all(|x| x.is_finite()), "weights: {w:?}");
+
+        // All-NaN: every sanitized value is equal → exact no-op.
+        let mut w = vec![0.3, 1.7];
+        update_weights(&mut w, &[f64::NAN, f64::NAN]);
+        assert_eq!(w, vec![0.3, 1.7]);
+    }
+
+    #[test]
+    fn long_horizon_starved_query_rank_flips() {
+        // Regression for unbounded weight growth. Phase 1: query B starves
+        // for many rounds, accumulating weight mass. Phase 2: B is fully
+        // satisfied and A starves for a few rounds. Under the renormalized
+        // update A's weight overtakes B's quickly; under the old unbounded
+        // recurrence B's accumulated mass drowned A's boosts for thousands
+        // of rounds.
+        let mut w = vec![1.0, 1.0];
+        for _ in 0..1000 {
+            update_weights(&mut w, &[1.0, 0.0]); // B starved
+        }
+        assert!(w[1] > w[0]);
+        for _ in 0..50 {
+            update_weights(&mut w, &[0.0, 1.0]); // A starved
+        }
+        assert!(w[0] > w[1], "starved query never regained rank: w = {w:?}");
+        let mean: f64 = w.iter().sum::<f64>() / 2.0;
+        assert!((mean - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn masked_update_ignores_inactive_slots() {
+        let mut w = vec![1.0, 7.25, 1.0, 0.123];
+        // Slots 1 and 3 are inactive (departed queries): their weights must
+        // pass through bit-identical and their satisfactions — including a
+        // poisonous NaN — must not influence the active pair.
+        update_weights_masked(
+            &mut w,
+            &[0.0, f64::NAN, 1.0, 0.9],
+            &[true, false, true, false],
+        );
+        assert_eq!(w[1], 7.25);
+        assert_eq!(w[3], 0.123);
+        assert!(w[0] > w[2], "starved active query not boosted: {w:?}");
+        let active_mean = (w[0] + w[2]) / 2.0;
+        assert!((active_mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn masked_all_inactive_is_noop() {
+        let mut w = vec![0.5, 1.5];
+        update_weights_masked(&mut w, &[0.0, 1.0], &[false, false]);
+        assert_eq!(w, vec![0.5, 1.5]);
     }
 }

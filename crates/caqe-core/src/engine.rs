@@ -15,22 +15,25 @@
 //!    query's final skyline has been emitted.
 
 use crate::config::{EngineConfig, ExecConfig, SchedulingPolicy};
-use crate::group::{build_groups, ArenaTuple, JoinGroup};
+use crate::group::{build_groups, build_one_group, ArenaTuple, JoinGroup};
 use crate::ingest::prepare_inputs;
 use crate::outcome::{QueryOutcome, RunOutcome};
-use crate::workload::Workload;
-use caqe_contract::{update_weights, QueryScore};
+use crate::session::{EventStream, SessionEvent};
+use crate::workload::{QuerySpec, Workload};
+use caqe_contract::{update_weights_masked, QueryScore};
+use caqe_cuboid::{MinMaxCuboid, SharedSkylinePlan};
 use caqe_data::Table;
 use caqe_faults::{FaultPlan, InjectedPanic};
 use caqe_operators::SortedJoinIndex;
 use caqe_parallel::Threads;
 use caqe_partition::Partitioning;
+use caqe_regions::depgraph::Edge;
 use caqe_regions::{
     buchta_estimate, estimate_ticks, prog_est, region_csm, OutputRegion, ReconciledEstimate,
 };
-use caqe_trace::{NoopSink, SpanKind, TraceEvent, TraceSink};
+use caqe_trace::{NoopSink, SpanKind, TraceBuffer, TraceEvent, TraceSink};
 use caqe_types::ids::QuerySet;
-use caqe_types::{EngineError, PointId, QueryId, RegionId, SimClock, Stats, Value};
+use caqe_types::{DimMask, EngineError, PointId, QueryId, RegionId, SimClock, Stats, Value};
 use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
 use std::time::Instant;
 
@@ -151,7 +154,98 @@ pub fn try_run_engine_traced<S: TraceSink>(
     start_ticks: u64,
     sink: &mut S,
 ) -> Result<RunOutcome, EngineError> {
+    try_run_engine_online_traced(
+        name,
+        r,
+        t,
+        workload,
+        &EventStream::empty(),
+        exec,
+        engine,
+        start_ticks,
+        sink,
+    )
+}
+
+/// Runs the engine over an online session: the initial `workload` plus a
+/// deterministic [`EventStream`] of admissions and departures, panicking on
+/// failure. With an empty stream this is exactly [`run_engine`],
+/// byte-for-byte (including the recorded trace).
+#[allow(clippy::too_many_arguments)]
+pub fn run_engine_online(
+    name: &str,
+    r: &Table,
+    t: &Table,
+    workload: &Workload,
+    events: &EventStream,
+    exec: &ExecConfig,
+    engine: &EngineConfig,
+    start_ticks: u64,
+) -> RunOutcome {
+    match try_run_engine_online_traced(
+        name,
+        r,
+        t,
+        workload,
+        events,
+        exec,
+        engine,
+        start_ticks,
+        &mut NoopSink,
+    ) {
+        Ok(outcome) => outcome,
+        Err(e) => panic!("engine run failed: {e}"),
+    }
+}
+
+/// Fallible [`run_engine_online`] without tracing.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_engine_online(
+    name: &str,
+    r: &Table,
+    t: &Table,
+    workload: &Workload,
+    events: &EventStream,
+    exec: &ExecConfig,
+    engine: &EngineConfig,
+    start_ticks: u64,
+) -> Result<RunOutcome, EngineError> {
+    try_run_engine_online_traced(
+        name,
+        r,
+        t,
+        workload,
+        events,
+        exec,
+        engine,
+        start_ticks,
+        &mut NoopSink,
+    )
+}
+
+/// The event-aware engine core (see the module doc of [`crate::session`]).
+///
+/// A non-empty stream switches the engine into *session mode*: every join
+/// tuple is materialized into the group arena (so a later admission can
+/// backfill its subspace from the complete history), fully pruned regions
+/// are kept as revivable husks, and events are applied sequentially on the
+/// main scheduling thread at the first loop iteration whose virtual clock
+/// has reached their scheduled tick — the trace therefore stays
+/// bit-identical at every `parallelism` setting.
+#[allow(clippy::too_many_arguments)]
+pub fn try_run_engine_online_traced<S: TraceSink>(
+    name: &str,
+    r: &Table,
+    t: &Table,
+    workload: &Workload,
+    events: &EventStream,
+    exec: &ExecConfig,
+    engine: &EngineConfig,
+    start_ticks: u64,
+    sink: &mut S,
+) -> Result<RunOutcome, EngineError> {
     let wall_start = Instant::now();
+    let session_mode = !events.is_empty();
     let threads = Threads::from_config(exec.parallelism);
     let mut clock = SimClock::new(exec.cost_model);
     clock.advance(start_ticks);
@@ -205,6 +299,7 @@ pub fn try_run_engine_traced<S: TraceSink>(
         exec,
         engine.coarse_pruning,
         needs_dg,
+        session_mode,
         threads,
         &mut clock,
         &mut stats,
@@ -227,6 +322,10 @@ pub fn try_run_engine_traced<S: TraceSink>(
         scores.push(QueryScore::new(spec.contract.clone(), est));
     }
     let mut weights = workload.initial_weights();
+    // Liveness of every query slot ever seen: initial queries start active,
+    // admitted ones are appended active, departures flip their slot off
+    // (slots are never reused — global ids stay stable).
+    let mut active: Vec<bool> = vec![true; nq];
 
     let mut pendings: Vec<PendingState> = groups
         .iter()
@@ -249,8 +348,56 @@ pub fn try_run_engine_traced<S: TraceSink>(
     // Degradation: the earliest tick the satisfaction floor is enforced
     // (and, after each shed, re-enforced) at.
     let mut next_shed_check = start_ticks.saturating_add(exec.degradation.grace_ticks);
+    // Online session cursor: events are applied in stream order, each at
+    // the first loop iteration whose clock has reached its scheduled tick.
+    let event_list = events.events();
+    let mut next_ev = 0usize;
 
     loop {
+        // --- Online session events (admission / departure). Processed
+        // sequentially on the main scheduling thread, so application ticks
+        // are thread-invariant. ---
+        while next_ev < event_list.len() && event_list[next_ev].at() <= clock.ticks() {
+            let ev_idx = next_ev as u64;
+            match event_list[next_ev].clone() {
+                SessionEvent::Admit { spec, .. } => apply_admit(
+                    spec,
+                    ev_idx,
+                    &part_r,
+                    &part_t,
+                    exec,
+                    engine,
+                    needs_dg,
+                    &mut groups,
+                    &mut pendings,
+                    &mut fifo_cursors,
+                    &mut health,
+                    &mut scores,
+                    &mut weights,
+                    &mut active,
+                    &mut emissions,
+                    &mut results,
+                    &mut clock,
+                    &mut stats,
+                    sink,
+                )?,
+                SessionEvent::Depart { query, .. } => apply_depart(
+                    query,
+                    engine,
+                    &mut groups,
+                    &mut pendings,
+                    &mut scores,
+                    &mut active,
+                    &mut emissions,
+                    &mut results,
+                    &mut clock,
+                    &mut stats,
+                    sink,
+                )?,
+            }
+            next_ev += 1;
+        }
+
         // --- Contract-aware degradation (DESIGN.md §13): when the mean
         // running satisfaction slips below the configured floor, shed the
         // lowest-CSM root region (Alg. 1 ranking, live Eq. 11 weights)
@@ -259,9 +406,12 @@ pub fn try_run_engine_traced<S: TraceSink>(
             && exec.degradation.enabled()
             && clock.ticks() >= next_shed_check
         {
-            let mean_sat: f64 =
-                scores.iter().map(|s| s.runtime_satisfaction()).sum::<f64>() / (nq.max(1)) as f64;
-            if mean_sat < exec.degradation.sat_floor {
+            // Restricted to active *unfinished* queries: a query whose every
+            // serving region is processed or dead is as satisfied as it will
+            // ever be, and its (typically high) score must not mask a
+            // starving peer. `None` — nothing unfinished — skips the check.
+            let mean_sat = shed_mean_satisfaction(&groups, &scores, &active);
+            if let Some(mean_sat) = mean_sat.filter(|m| *m < exec.degradation.sat_floor) {
                 if let Some((sgi, srid)) = pick_shed_victim(&groups, &scores, &weights, &clock) {
                     stats.regions_shed += 1;
                     if S::ENABLED {
@@ -305,13 +455,21 @@ pub fn try_run_engine_traced<S: TraceSink>(
         let (gi, rid, score) = match picked {
             Some(pick) => pick,
             None => {
-                // All alive regions (if any) are backing off after failed
-                // attempts: advance the virtual clock to the earliest
-                // wake-up and rescan, so pending emissions are never
-                // stranded by a premature exit.
-                match earliest_wakeup(&groups, &health, clock.ticks()) {
-                    Some(wake) => {
-                        clock.advance(wake - clock.ticks());
+                // Nothing schedulable right now: either all alive regions
+                // are backing off after failed attempts, or the engine is
+                // idle waiting for a future session event. Advance the
+                // virtual clock to the earliest of the two wake-ups and
+                // rescan; exit only when neither exists.
+                let wake = earliest_wakeup(&groups, &health, clock.ticks());
+                let next_event = event_list.get(next_ev).map(|e| e.at());
+                let target = match (wake, next_event) {
+                    (Some(w), Some(e)) => Some(w.min(e)),
+                    (Some(w), None) => Some(w),
+                    (None, other) => other,
+                };
+                match target {
+                    Some(tick) => {
+                        clock.advance(tick.saturating_sub(clock.ticks()));
                         continue;
                     }
                     None => break,
@@ -401,6 +559,7 @@ pub fn try_run_engine_traced<S: TraceSink>(
                 rid,
                 &mut pendings[gi],
                 engine.progressive_emission,
+                session_mode,
                 threads,
                 &mut clock,
                 &mut stats,
@@ -549,10 +708,12 @@ pub fn try_run_engine_traced<S: TraceSink>(
             );
         }
 
-        // --- Satisfaction feedback (Equation 11). ---
+        // --- Satisfaction feedback (Equation 11), over the active query
+        // set. With every slot active this is exactly the historical
+        // `update_weights`, bit-for-bit. ---
         if engine.feedback {
             let sats: Vec<f64> = scores.iter().map(|s| s.runtime_satisfaction()).collect();
-            update_weights(&mut weights, &sats);
+            update_weights_masked(&mut weights, &sats, &active);
         }
     }
 
@@ -600,7 +761,7 @@ pub fn try_run_engine_traced<S: TraceSink>(
         }
     }
 
-    let per_query = (0..nq)
+    let per_query = (0..scores.len())
         .map(|qi| {
             let qid = QueryId(qi as u16);
             let score = &scores[qi];
@@ -681,6 +842,386 @@ fn earliest_wakeup(groups: &[JoinGroup], health: &[RegionHealth], now: u64) -> O
         }
     }
     wake
+}
+
+/// Mean running satisfaction over the active queries that are still
+/// *unfinished* — served by at least one alive region. Returns `None` when
+/// no such query exists, which disables the shed check entirely: a finished
+/// query's (typically high) satisfaction must never mask a starving peer,
+/// and with nothing unfinished there is nothing shedding could help.
+fn shed_mean_satisfaction(
+    groups: &[JoinGroup],
+    scores: &[QueryScore],
+    active: &[bool],
+) -> Option<f64> {
+    let mut n = 0usize;
+    let mut sum = 0.0f64;
+    for (qi, score) in scores.iter().enumerate() {
+        if !active.get(qi).copied().unwrap_or(false) {
+            continue;
+        }
+        let qid = QueryId(qi as u16);
+        let unfinished = groups.iter().any(|g| {
+            g.regions
+                .regions()
+                .iter()
+                .any(|reg| reg.is_alive() && reg.serving.contains(qid))
+        });
+        if unfinished {
+            n += 1;
+            sum += score.runtime_satisfaction();
+        }
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+/// Inserts `q` into the static-snapshot edge toward `peer`, creating the
+/// edge if absent (the snapshot twin of the dependency graph's patch rule).
+fn add_query_to_static_edge(edges: &mut Vec<Edge>, peer: RegionId, q: QueryId) {
+    match edges.iter_mut().find(|e| e.peer == peer) {
+        Some(e) => {
+            e.queries.insert(q);
+        }
+        None => edges.push(Edge {
+            peer,
+            queries: QuerySet::singleton(q),
+        }),
+    }
+}
+
+/// Extends the immutable threat snapshots for a newly admitted query: the
+/// same geometric rule as `DependencyGraph::build`, evaluated over *all*
+/// ordered region pairs regardless of liveness — a husk that is dead today
+/// may be revived by a later admission, and the emission-safety test reads
+/// these snapshots long after the scheduling graph has shed its nodes.
+fn patch_static_threats(g: &mut JoinGroup, q: QueryId, clock: &mut SimClock, stats: &mut Stats) {
+    let m = g.regions.pref(q).0;
+    let n = g.regions.len();
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            clock.charge_dom_cmps(1);
+            stats.region_comparisons += 1;
+            let (ri, rj) = (&g.regions.regions()[i], &g.regions.regions()[j]);
+            let d = ri.bounds.dims();
+            let (mut weak, mut strict) = (0u32, 0u32);
+            for k in 0..d {
+                let (a, b) = (ri.bounds.lo()[k], rj.bounds.hi()[k]);
+                if a <= b {
+                    weak |= 1 << k;
+                }
+                if a < b {
+                    strict |= 1 << k;
+                }
+            }
+            if weak & m == m && strict & m != 0 {
+                add_query_to_static_edge(&mut g.static_threats_out[i], RegionId(j as u32), q);
+                add_query_to_static_edge(&mut g.static_threats_in[j], RegionId(i as u32), q);
+            }
+        }
+    }
+}
+
+/// Applies one admission event: assigns the next global query slot, patches
+/// (or, on the comparison arm, rebuilds) the owning group's shared state,
+/// backfills the arrival's skyline from the materialized history, and
+/// registers the backfilled results for progressive emission.
+#[allow(clippy::too_many_arguments)]
+fn apply_admit<S: TraceSink>(
+    spec: QuerySpec,
+    ev_idx: u64,
+    part_r: &Partitioning,
+    part_t: &Partitioning,
+    exec: &ExecConfig,
+    engine: &EngineConfig,
+    needs_dg: bool,
+    groups: &mut Vec<JoinGroup>,
+    pendings: &mut Vec<PendingState>,
+    fifo_cursors: &mut Vec<usize>,
+    health: &mut Vec<RegionHealth>,
+    scores: &mut Vec<QueryScore>,
+    weights: &mut Vec<f64>,
+    active: &mut Vec<bool>,
+    emissions: &mut Vec<Vec<(f64, f64)>>,
+    results: &mut Vec<Vec<(u64, u64)>>,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+    sink: &mut S,
+) -> Result<(), EngineError> {
+    // Injected admission panics fire *before* any state mutation, so every
+    // failed attempt is a clean retry after a deterministic virtual backoff.
+    let mut attempt = 1u32;
+    while attempt <= exec.recovery.max_attempts && exec.faults.admit_panics(ev_idx, attempt) {
+        if S::ENABLED {
+            sink.record(TraceEvent::FaultInjected {
+                tick: clock.ticks(),
+                group: u32::MAX,
+                region: u32::MAX,
+                kind: "admit_panic",
+                factor: 1.0,
+            });
+        }
+        clock.advance(exec.recovery.backoff_ticks(attempt));
+        attempt += 1;
+    }
+
+    if scores.len() >= 64 {
+        return Err(EngineError::BadEventSpec {
+            fragment: format!("admit event #{ev_idx}"),
+            reason: "session exceeds the 64-query capacity".to_string(),
+        });
+    }
+    let q = QueryId(scores.len() as u16);
+
+    let slot = groups
+        .iter()
+        .position(|g| g.join_col == spec.join_col && g.mapping == spec.mapping);
+    match slot {
+        Some(gi) => {
+            // Patch the existing group in place: Def. 7 admission is purely
+            // additive on the lattice, Def. 9 edges gain the new query's
+            // bits, and unprocessed husks are revived with every cell alive
+            // (conservative lineage — dominated extras never reach a final
+            // skyline).
+            let g = &mut groups[gi];
+            g.members.push(q);
+            g.regions.admit_query(q, spec.pref);
+            if needs_dg {
+                g.dg.admit_query(&g.regions, q, clock, stats);
+                patch_static_threats(g, q, clock, stats);
+            }
+            if exec.rebuild_on_admit {
+                // Comparison arm: rebuild the whole plan from the complete
+                // materialized history instead of patching the lattice.
+                let prefs: Vec<DimMask> = g.members.iter().map(|&m| g.regions.pref(m)).collect();
+                let act: Vec<bool> = g
+                    .members
+                    .iter()
+                    .map(|&m| m == q || active.get(m.index()).copied().unwrap_or(false))
+                    .collect();
+                let mut plan = SharedSkylinePlan::new(
+                    MinMaxCuboid::build_masked(&prefs, &act),
+                    exec.assume_dva,
+                );
+                for tag in 0..g.points.len() {
+                    plan.insert(tag as u64, g.points.at(tag), clock, stats);
+                }
+                g.plan = plan;
+            } else {
+                g.plan.admit_query(spec.pref, &g.points, clock, stats);
+            }
+            // Serving sets changed everywhere: every cached progressiveness
+            // estimate and the FIFO liveness cursor are stale (revived
+            // husks break the cursor's monotone-death assumption).
+            g.prog_cache = vec![None; g.regions.len()];
+            fifo_cursors[gi] = 0;
+        }
+        None => {
+            // The arrival opens a brand-new join group, built sequentially
+            // on the main scheduling thread against the shared clock.
+            let gi = groups.len() as u32;
+            let mut wclock = SimClock::new(*clock.model());
+            let mut wstats = Stats::new();
+            let mut buf = TraceBuffer::new(S::ENABLED);
+            let group = build_one_group(
+                part_r,
+                part_t,
+                exec,
+                engine.coarse_pruning,
+                needs_dg,
+                true,
+                gi,
+                spec.join_col,
+                spec.mapping.clone(),
+                vec![(q, spec.pref)],
+                &mut wclock,
+                &mut wstats,
+                &mut buf,
+            );
+            buf.record(TraceEvent::Span {
+                kind: SpanKind::GroupBuild,
+                group: Some(gi),
+                region: None,
+                start_tick: 0,
+                end_tick: wclock.ticks(),
+            });
+            buf.merge_into(sink, clock.ticks());
+            clock.advance(wclock.ticks());
+            *stats += wstats;
+            pendings.push(PendingState {
+                by_origin: vec![Vec::new(); group.regions.len()],
+            });
+            fifo_cursors.push(0);
+            health.push(RegionHealth::new(group.regions.len()));
+            groups.push(group);
+        }
+    }
+    let (gi, group_label) = match slot {
+        Some(gi) => (gi, gi as u32),
+        None => (groups.len() - 1, u32::MAX),
+    };
+
+    // Cardinality estimate over the regions now serving the arrival, with
+    // any injected estimator perturbation applied on top.
+    let join_est: f64 = groups
+        .iter()
+        .flat_map(|g| g.regions.regions())
+        .filter(|reg| reg.serving.contains(q))
+        .map(|reg| reg.est_join)
+        .sum();
+    let mut est = buchta_estimate(join_est.max(1.0), spec.pref.len());
+    let est_factor = exec.faults.admit_est_factor(ev_idx);
+    if est_factor != 1.0 {
+        est *= est_factor;
+        if S::ENABLED {
+            sink.record(TraceEvent::FaultInjected {
+                tick: clock.ticks(),
+                group: group_label,
+                region: u32::MAX,
+                kind: "admit_est",
+                factor: est_factor,
+            });
+        }
+    }
+    // Contracts judge the arrival on time since *its* admission, never
+    // against deadlines that expired before it existed.
+    scores.push(QueryScore::new_at(spec.contract.clone(), est, clock.now()));
+    weights.push(spec.priority);
+    active.push(true);
+    emissions.push(Vec::new());
+    results.push(Vec::new());
+    stats.ensure_queries(scores.len());
+
+    if S::ENABLED {
+        sink.record(TraceEvent::Admit {
+            tick: clock.ticks(),
+            query: q.0,
+            contract: spec.contract.label().to_string(),
+            group: group_label,
+            incremental: !exec.rebuild_on_admit,
+        });
+    }
+
+    // Results already in the arrival's (backfilled) skyline become pending
+    // emissions immediately; any with no alive threat are emitted now.
+    if engine.progressive_emission {
+        let local = groups[gi].members.len() - 1;
+        let tags = groups[gi].plan.query_skyline_tags(QueryId(local as u16));
+        let mut recheck: Vec<u32> = Vec::new();
+        for tag in tags {
+            let origin = groups[gi].arena[tag as usize].origin;
+            pendings[gi].by_origin[origin.index()].push(PendingTuple {
+                tag,
+                entries: vec![(q, None)],
+            });
+            recheck.push(origin.0);
+        }
+        recheck.sort_unstable();
+        recheck.dedup();
+        if !recheck.is_empty() {
+            emit_safe(
+                &mut groups[gi],
+                &mut pendings[gi],
+                &recheck,
+                scores,
+                emissions,
+                results,
+                clock,
+                stats,
+                sink,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Applies one departure event: drops the query from every pending tuple,
+/// retires its sole-provider regions the way shedding does, strips its bits
+/// from the dependency graph and prunes its lattice slot (Def. 7 departure
+/// is purely subtractive).
+#[allow(clippy::too_many_arguments)]
+fn apply_depart<S: TraceSink>(
+    q: QueryId,
+    engine: &EngineConfig,
+    groups: &mut [JoinGroup],
+    pendings: &mut [PendingState],
+    scores: &mut [QueryScore],
+    active: &mut [bool],
+    emissions: &mut [Vec<(f64, f64)>],
+    results: &mut [Vec<(u64, u64)>],
+    clock: &mut SimClock,
+    stats: &mut Stats,
+    sink: &mut S,
+) -> Result<(), EngineError> {
+    if !active.get(q.index()).copied().unwrap_or(false) {
+        return Err(EngineError::BadEventSpec {
+            fragment: format!("depart={}", q.0),
+            reason: "query is not active".to_string(),
+        });
+    }
+    let Some((gi, local)) = groups
+        .iter()
+        .enumerate()
+        .find_map(|(gi, g)| g.local_of(q).map(|l| (gi, l)))
+    else {
+        return Err(EngineError::BadEventSpec {
+            fragment: format!("depart={}", q.0),
+            reason: "query belongs to no join group".to_string(),
+        });
+    };
+    active[q.index()] = false;
+
+    // The departing query's provisional results must stop at this tick:
+    // purge its entries from every pending tuple first.
+    for list in pendings[gi].by_origin.iter_mut() {
+        for p in list.iter_mut() {
+            p.entries.retain(|(qq, _)| *qq != q);
+        }
+        list.retain(|p| !p.entries.is_empty());
+    }
+
+    // Regions whose serving set empties are retired exactly the way
+    // shedding retires regions; survivors merely lose the query's bit.
+    let newly_dead = groups[gi].regions.depart_query(q);
+    let mut recheck: Vec<u32> = Vec::new();
+    for &rid in &newly_dead {
+        recheck.extend(retire_region(&mut groups[gi], rid));
+    }
+    groups[gi].dg.depart_query(q);
+    {
+        let g = &mut groups[gi];
+        g.plan.depart_query(QueryId(local as u16));
+        g.prog_cache = vec![None; g.regions.len()];
+    }
+
+    if S::ENABLED {
+        sink.record(TraceEvent::Depart {
+            tick: clock.ticks(),
+            query: q.0,
+            regions_retired: newly_dead.len() as u32,
+        });
+    }
+
+    // Retired regions can no longer dominate anything: other queries'
+    // pending tuples they threatened may be safe now.
+    if engine.progressive_emission && !recheck.is_empty() {
+        recheck.sort_unstable();
+        recheck.dedup();
+        emit_safe(
+            &mut groups[gi],
+            &mut pendings[gi],
+            &recheck,
+            scores,
+            emissions,
+            results,
+            clock,
+            stats,
+            sink,
+        );
+    }
+    Ok(())
 }
 
 /// Picks the load-shedding victim: the alive dependency-graph root with the
@@ -973,6 +1514,7 @@ fn process_region_tuples(
     rid: RegionId,
     pending: &mut PendingState,
     progressive: bool,
+    materialize_all: bool,
     threads: Threads,
     clock: &mut SimClock,
     stats: &mut Stats,
@@ -1037,7 +1579,13 @@ fn process_region_tuples(
                         Some(c) => reg.cell_lineage(c).intersect(serving),
                         None => serving,
                     };
-                    if lineage.is_empty() {
+                    // Session mode keeps even serving-nobody tuples: the
+                    // group arena must be the *complete* tag-ordered join
+                    // history so a later admission can backfill its fresh
+                    // subspaces from it. Such tuples are dominated in every
+                    // query subspace, so they never reach a skyline — the
+                    // result sets are unchanged, only the history is.
+                    if lineage.is_empty() && !materialize_all {
                         wstats.tuples_discarded += 1;
                         found.vals.truncate(vstart);
                         continue;

@@ -96,6 +96,7 @@ pub fn build_groups<S: TraceSink>(
     exec: &ExecConfig,
     coarse_pruning: bool,
     build_dg: bool,
+    keep_empty: bool,
     threads: Threads,
     clock: &mut SimClock,
     stats: &mut Stats,
@@ -119,17 +120,21 @@ pub fn build_groups<S: TraceSink>(
         let mut wclock = SimClock::new(model);
         let mut wstats = Stats::new();
         let mut buf = TraceBuffer::new(S::ENABLED);
+        let queries: Vec<(QueryId, DimMask)> = members
+            .iter()
+            .map(|&q| (q, workload.query(q).pref))
+            .collect();
         let group = build_one_group(
-            workload,
             part_r,
             part_t,
             exec,
             coarse_pruning,
             build_dg,
+            keep_empty,
             gi as u32,
             join_col,
             mapping,
-            members,
+            queries,
             &mut wclock,
             &mut wstats,
             &mut buf,
@@ -159,26 +164,26 @@ pub fn build_groups<S: TraceSink>(
 }
 
 /// Builds one join group's shared state (regions, dependency graph, plan).
+/// `queries` carries the `(global id, preference)` pairs directly so the
+/// online session layer can open a group for a query the initial workload
+/// never contained.
 #[allow(clippy::too_many_arguments)]
-fn build_one_group(
-    workload: &Workload,
+pub(crate) fn build_one_group(
     part_r: &Partitioning,
     part_t: &Partitioning,
     exec: &ExecConfig,
     coarse_pruning: bool,
     build_dg: bool,
+    keep_empty: bool,
     gi: u32,
     join_col: usize,
     mapping: MappingSet,
-    members: Vec<QueryId>,
+    queries: Vec<(QueryId, DimMask)>,
     clock: &mut SimClock,
     stats: &mut Stats,
     buf: &mut TraceBuffer,
 ) -> JoinGroup {
-    let queries: Vec<(QueryId, DimMask)> = members
-        .iter()
-        .map(|&q| (q, workload.query(q).pref))
-        .collect();
+    let members: Vec<QueryId> = queries.iter().map(|(q, _)| *q).collect();
     let input = RegionBuildInput {
         part_r,
         part_t,
@@ -186,6 +191,7 @@ fn build_one_group(
         mapping: &mapping,
         queries: &queries,
         coarse_pruning,
+        keep_empty,
     };
     let la_start = clock.ticks();
     let regions = build_regions(&input, clock, stats);
@@ -272,6 +278,7 @@ mod tests {
             &exec,
             true,
             true,
+            false,
             Threads::default(),
             &mut clock,
             &mut stats,

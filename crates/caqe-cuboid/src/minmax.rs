@@ -39,11 +39,18 @@ pub struct MinMaxCuboid {
     /// `children[i]` = indices of kept subspaces strictly contained in
     /// `subspaces[i]`.
     children: Vec<Vec<usize>>,
-    /// `query_subspace[q]` = index of query `q`'s full preference subspace.
+    /// `query_subspace[q]` = index of query `q`'s full preference subspace
+    /// ([`INACTIVE_SUBSPACE`] for a departed slot).
     query_subspace: Vec<usize>,
-    /// The queries' preference subspaces, as given.
+    /// The queries' preference subspaces, as given. Departed queries keep
+    /// their slot so global ids stay stable across churn.
     prefs: Vec<DimMask>,
+    /// `active[q]` = whether slot `q` currently participates in Def. 7.
+    active: Vec<bool>,
 }
+
+/// Sentinel `query_subspace` entry for an inactive (departed) query slot.
+pub const INACTIVE_SUBSPACE: usize = usize::MAX;
 
 impl MinMaxCuboid {
     /// Builds the min-max cuboid for a workload given each query's
@@ -53,16 +60,62 @@ impl MinMaxCuboid {
     /// Panics if `prefs` is empty, any preference is empty, or the union of
     /// dimensions exceeds 16.
     pub fn build(prefs: &[DimMask]) -> Self {
+        Self::build_masked(prefs, &vec![true; prefs.len()])
+    }
+
+    /// [`MinMaxCuboid::build`] over the *active* subset of a query universe:
+    /// inactive slots contribute nothing to Definition 7 but keep their
+    /// global index (their `query_subspace` entry is [`INACTIVE_SUBSPACE`]).
+    /// This is the from-scratch reference the incremental
+    /// [`MinMaxCuboid::admit_query`] / [`MinMaxCuboid::depart_query`] paths
+    /// are checked against.
+    ///
+    /// # Panics
+    /// Panics if no slot is active, lengths differ, any active preference is
+    /// empty, or the active dimension union exceeds 16.
+    pub fn build_masked(prefs: &[DimMask], active: &[bool]) -> Self {
+        assert_eq!(prefs.len(), active.len());
         assert!(
-            !prefs.is_empty(),
-            "workload must contain at least one query"
+            active.iter().any(|&a| a),
+            "workload must contain at least one active query"
         );
         assert!(
-            prefs.iter().all(|p| !p.is_empty()),
-            "every query needs at least one skyline dimension"
+            prefs.iter().zip(active).all(|(p, &a)| !a || !p.is_empty()),
+            "every active query needs at least one skyline dimension"
         );
-        let all = skycube_subspaces(prefs);
-        let serve_of = |u: DimMask| q_serve(u, prefs);
+        let (subspaces, serves, children, query_subspace) = Self::construct(prefs, active);
+        MinMaxCuboid {
+            subspaces,
+            serves,
+            children,
+            query_subspace,
+            prefs: prefs.to_vec(),
+            active: active.to_vec(),
+        }
+    }
+
+    /// Computes the Definition 7 keep-set over the active slots. Serve sets
+    /// are indexed by *global* slot id so they stay meaningful across churn.
+    fn construct(
+        prefs: &[DimMask],
+        active: &[bool],
+    ) -> (Vec<DimMask>, Vec<QuerySet>, Vec<Vec<usize>>, Vec<usize>) {
+        let active_prefs: Vec<DimMask> = prefs
+            .iter()
+            .zip(active)
+            .filter(|(_, &a)| a)
+            .map(|(&p, _)| p)
+            .collect();
+        let all = skycube_subspaces(&active_prefs);
+        let serve_of = |u: DimMask| {
+            let mut s = q_serve(u, prefs);
+            for (i, &a) in active.iter().enumerate() {
+                if !a {
+                    s.remove(QueryId(i as u16));
+                }
+            }
+            s
+        };
 
         let mut kept: Vec<(DimMask, QuerySet)> = Vec::new();
         for &u in &all {
@@ -77,7 +130,7 @@ impl MinMaxCuboid {
             let cond2 = !all
                 .iter()
                 .any(|&v| u.is_strict_subset_of(v) && s.is_subset_of(serve_of(v)));
-            let cond3 = prefs.contains(&u);
+            let cond3 = active_prefs.contains(&u);
             if cond1 || cond2 || cond3 {
                 kept.push((u, s));
             }
@@ -97,25 +150,112 @@ impl MinMaxCuboid {
                     .collect()
             })
             .collect();
-        // Allowed survivor: construction condition 3 (every query subspace is
-        // retained in `subspaces`) makes the position lookup infallible.
+        // Allowed survivor: construction condition 3 (every active query's
+        // subspace is retained in `subspaces`) makes the lookup infallible.
         #[allow(clippy::expect_used)]
         let query_subspace: Vec<usize> = prefs
             .iter()
-            .map(|&p| {
+            .zip(active)
+            .map(|(&p, &a)| {
+                if !a {
+                    return INACTIVE_SUBSPACE;
+                }
                 subspaces
                     .iter()
                     .position(|&u| u == p)
                     .expect("condition 3 guarantees each query's subspace is kept")
             })
             .collect();
-        MinMaxCuboid {
-            subspaces,
-            serves,
-            children,
-            query_subspace,
-            prefs: prefs.to_vec(),
+        (subspaces, serves, children, query_subspace)
+    }
+
+    /// Admits a new query with preference subspace `pref` into the next free
+    /// slot, extending the lattice per Definition 7. Admission is purely
+    /// *additive*: every previously kept subspace stays kept (its serve set
+    /// can only grow, and a strict superset introduced by new dimensions
+    /// serves only the new query, so it cannot newly absorb an old node's
+    /// lineage). Returns, for each subspace index of the *new* lattice, the
+    /// index it had in the old lattice (`None` for freshly added nodes) so
+    /// callers can splice per-subspace state instead of rebuilding it.
+    ///
+    /// # Panics
+    /// Panics if `pref` is empty or the dimension union exceeds 16.
+    pub fn admit_query(&mut self, pref: DimMask) -> Vec<Option<usize>> {
+        assert!(!pref.is_empty(), "admitted query needs skyline dimensions");
+        let old_subspaces = std::mem::take(&mut self.subspaces);
+        self.prefs.push(pref);
+        self.active.push(true);
+        let (subspaces, serves, children, query_subspace) =
+            Self::construct(&self.prefs, &self.active);
+        let mapping: Vec<Option<usize>> = subspaces
+            .iter()
+            .map(|&u| {
+                old_subspaces
+                    .binary_search_by_key(&(u.len(), u.0), |m| (m.len(), m.0))
+                    .ok()
+            })
+            .collect();
+        debug_assert_eq!(
+            mapping.iter().filter(|m| m.is_some()).count(),
+            old_subspaces.len(),
+            "admit must be additive: every old subspace stays kept"
+        );
+        self.subspaces = subspaces;
+        self.serves = serves;
+        self.children = children;
+        self.query_subspace = query_subspace;
+        mapping
+    }
+
+    /// Retires query `q` from the lattice, pruning subspaces that no longer
+    /// satisfy Definition 7. Departure is purely *subtractive*: no new
+    /// subspace can appear (subset relations between serve sets are
+    /// preserved when a query bit is dropped from both sides). Returns the
+    /// same new-index → old-index mapping as [`MinMaxCuboid::admit_query`];
+    /// every entry is `Some`.
+    ///
+    /// If `q` is the last active query the lattice shape is left untouched
+    /// (there is nothing to rank the keep-conditions against); only `q`'s
+    /// serve bits are cleared.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range or already inactive.
+    pub fn depart_query(&mut self, q: QueryId) -> Vec<Option<usize>> {
+        assert!(self.active[q.index()], "query departed twice");
+        self.active[q.index()] = false;
+        if !self.active.iter().any(|&a| a) {
+            for s in &mut self.serves {
+                s.remove(q);
+            }
+            self.query_subspace[q.index()] = INACTIVE_SUBSPACE;
+            return (0..self.subspaces.len()).map(Some).collect();
         }
+        let old_subspaces = std::mem::take(&mut self.subspaces);
+        let (subspaces, serves, children, query_subspace) =
+            Self::construct(&self.prefs, &self.active);
+        let mapping: Vec<Option<usize>> = subspaces
+            .iter()
+            .map(|&u| {
+                old_subspaces
+                    .binary_search_by_key(&(u.len(), u.0), |m| (m.len(), m.0))
+                    .ok()
+            })
+            .collect();
+        debug_assert!(
+            mapping.iter().all(|m| m.is_some()),
+            "depart must be subtractive: no new subspace may appear"
+        );
+        self.subspaces = subspaces;
+        self.serves = serves;
+        self.children = children;
+        self.query_subspace = query_subspace;
+        mapping
+    }
+
+    /// Whether query slot `q` is currently active (admitted, not departed).
+    /// Slots beyond the universe read as inactive.
+    pub fn is_active(&self, q: QueryId) -> bool {
+        self.active.get(q.index()).copied().unwrap_or(false)
     }
 
     /// The kept subspaces, ascending by level.
@@ -312,5 +452,129 @@ mod tests {
     #[should_panic]
     fn empty_pref_rejected() {
         let _ = MinMaxCuboid::build(&[DimMask::EMPTY]);
+    }
+
+    /// Structural equality modulo the serve/children/query_subspace views.
+    fn assert_same_lattice(a: &MinMaxCuboid, b: &MinMaxCuboid) {
+        assert_eq!(a.subspaces(), b.subspaces());
+        for i in 0..a.len() {
+            assert_eq!(a.serves(i), b.serves(i), "serve set differs at {i}");
+            assert_eq!(a.children(i), b.children(i), "children differ at {i}");
+        }
+        assert_eq!(a.num_queries(), b.num_queries());
+        for q in 0..a.num_queries() {
+            let qid = QueryId(q as u16);
+            assert_eq!(a.is_active(qid), b.is_active(qid));
+            if a.is_active(qid) {
+                assert_eq!(a.query_subspace(qid), b.query_subspace(qid));
+            }
+        }
+    }
+
+    #[test]
+    fn admit_matches_masked_rebuild() {
+        // Start from the first Figure 1 query and admit the rest one at a
+        // time; after each admit the incremental lattice must be identical
+        // to a from-scratch build over the grown workload.
+        let prefs = figure1_prefs();
+        let mut c = MinMaxCuboid::build(&prefs[..1]);
+        for k in 1..prefs.len() {
+            let mapping = c.admit_query(prefs[k]);
+            let reference = MinMaxCuboid::build(&prefs[..=k]);
+            assert_same_lattice(&c, &reference);
+            // Mapping entries point at the right old subspaces.
+            assert_eq!(mapping.len(), c.len());
+        }
+    }
+
+    #[test]
+    fn admit_is_additive() {
+        let prefs = figure1_prefs();
+        let mut c = MinMaxCuboid::build(&prefs[..2]);
+        let before: Vec<DimMask> = c.subspaces().to_vec();
+        let mapping = c.admit_query(prefs[3]);
+        for (new_i, &u) in c.subspaces().iter().enumerate() {
+            match mapping[new_i] {
+                Some(old_i) => assert_eq!(before[old_i], u),
+                None => assert!(!before.contains(&u), "node {u} wrongly marked new"),
+            }
+        }
+        // Every old subspace survived.
+        for &u in &before {
+            assert!(c.contains(u), "admit dropped {u}");
+        }
+    }
+
+    #[test]
+    fn depart_matches_masked_rebuild() {
+        let prefs = figure1_prefs();
+        let mut c = MinMaxCuboid::build(&prefs);
+        let mapping = c.depart_query(QueryId(3));
+        assert!(mapping.iter().all(|m| m.is_some()));
+        let reference = MinMaxCuboid::build_masked(&prefs, &[true, true, true, false]);
+        assert_same_lattice(&c, &reference);
+        // Q4's private subspace {d2,d3,d4} is gone, shared ones remain.
+        assert!(!c.contains(DimMask::from_dims([1, 2, 3])));
+        assert!(c.contains(DimMask::from_dims([1, 2])));
+        assert!(!c.is_active(QueryId(3)));
+    }
+
+    #[test]
+    fn depart_then_admit_round_trip() {
+        // Departing a query and admitting an identical one restores the
+        // lattice shape; the new query lives in a fresh slot.
+        let prefs = figure1_prefs();
+        let mut c = MinMaxCuboid::build(&prefs);
+        let shape_before: Vec<DimMask> = c.subspaces().to_vec();
+        c.depart_query(QueryId(1));
+        c.admit_query(prefs[1]);
+        assert_eq!(c.subspaces(), shape_before.as_slice());
+        assert_eq!(c.num_queries(), 5);
+        assert!(!c.is_active(QueryId(1)));
+        assert!(c.is_active(QueryId(4)));
+        assert_eq!(c.pref(QueryId(4)), prefs[1]);
+        // The fresh slot's serve bits replace the departed one's.
+        let i = c.query_subspace(QueryId(4));
+        assert!(c.serves(i).contains(QueryId(4)));
+        assert!(!c.serves(i).contains(QueryId(1)));
+    }
+
+    #[test]
+    fn last_query_departing_keeps_lattice_shape() {
+        let mut c = MinMaxCuboid::build(&[DimMask::from_dims([0, 1])]);
+        let shape: Vec<DimMask> = c.subspaces().to_vec();
+        let mapping = c.depart_query(QueryId(0));
+        assert_eq!(mapping.len(), shape.len());
+        assert_eq!(c.subspaces(), shape.as_slice());
+        for i in 0..c.len() {
+            assert!(c.serves(i).is_empty());
+        }
+        assert!(!c.is_active(QueryId(0)));
+        // A later admit works from the empty active set.
+        c.admit_query(DimMask::from_dims([0, 1]));
+        assert!(c.is_active(QueryId(1)));
+    }
+
+    #[test]
+    fn admit_with_new_dimensions_extends_lattice() {
+        // Admitting a query over an entirely new dimension pair adds its
+        // singletons and subspace without disturbing the old region of the
+        // lattice.
+        let mut c = MinMaxCuboid::build(&[DimMask::from_dims([0, 1])]);
+        let mapping = c.admit_query(DimMask::from_dims([2, 3]));
+        assert!(c.contains(DimMask::singleton(2)));
+        assert!(c.contains(DimMask::from_dims([2, 3])));
+        assert!(c.contains(DimMask::from_dims([0, 1])));
+        // New nodes are flagged None in the mapping.
+        let new_nodes = mapping.iter().filter(|m| m.is_none()).count();
+        assert!(new_nodes >= 3, "expected ≥3 fresh nodes, got {new_nodes}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_depart_rejected() {
+        let mut c = MinMaxCuboid::build(&figure1_prefs());
+        c.depart_query(QueryId(0));
+        c.depart_query(QueryId(0));
     }
 }

@@ -104,15 +104,21 @@ impl SharedSkylinePlan {
         self.cuboid.num_queries()
     }
 
-    /// Tags currently in query `q`'s skyline.
+    /// Tags currently in query `q`'s skyline (empty for an inactive slot).
     pub fn query_skyline_tags(&self, q: QueryId) -> Vec<u64> {
+        if !self.cuboid.is_active(q) {
+            return Vec::new();
+        }
         let i = self.cuboid.query_subspace(q);
         self.skylines[i].entries.iter().map(|e| e.tag).collect()
     }
 
     /// `(tag, point)` members of query `q`'s skyline (sorted by monotone
-    /// score, best first).
+    /// score, best first; empty for an inactive slot).
     pub fn query_skyline_entries(&self, q: QueryId) -> Vec<(u64, Vec<Value>)> {
+        if !self.cuboid.is_active(q) {
+            return Vec::new();
+        }
         let i = self.cuboid.query_subspace(q);
         self.skylines[i]
             .entries
@@ -121,9 +127,171 @@ impl SharedSkylinePlan {
             .collect()
     }
 
-    /// Size of query `q`'s current skyline.
+    /// Size of query `q`'s current skyline (0 for an inactive slot).
     pub fn query_skyline_len(&self, q: QueryId) -> usize {
+        if !self.cuboid.is_active(q) {
+            return 0;
+        }
         self.skylines[self.cuboid.query_subspace(q)].entries.len()
+    }
+
+    /// Admits a new query into the plan: extends the cuboid per Definition 7
+    /// ([`MinMaxCuboid::admit_query`]), splices the surviving per-subspace
+    /// skylines into the new index layout without touching them, and
+    /// backfills each *freshly added* subspace from `history` — the complete
+    /// tag-ordered join output seen so far (row index == insertion tag).
+    /// Points already interned for surviving subspaces are reused as-is;
+    /// only tuples admitted into a new subspace are interned afresh. The
+    /// backfill's dominance tests are charged to `clock`/`stats` like any
+    /// other maintenance work (Theorem 1 sharing does not apply: a new
+    /// subspace's kept children may not exist yet, so full
+    /// Sort-Filter-Skyline scans are used).
+    ///
+    /// # Panics
+    /// Panics if the grown cuboid exceeds 64 subspaces or `pref` is empty.
+    pub fn admit_query(
+        &mut self,
+        pref: DimMask,
+        history: &PointStore,
+        clock: &mut SimClock,
+        stats: &mut Stats,
+    ) {
+        let mapping = self.cuboid.admit_query(pref);
+        assert!(
+            self.cuboid.len() <= 64,
+            "cuboid too large for added-mask bits"
+        );
+        let had_kernels = !self.kernels.is_empty();
+        let stride = self.points.stride();
+        let mut old_sky: Vec<Option<SubspaceSky>> = std::mem::take(&mut self.skylines)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut old_ker: Vec<Option<DomKernel>> = std::mem::take(&mut self.kernels)
+            .into_iter()
+            .map(Some)
+            .collect();
+
+        let mut fresh: Vec<usize> = Vec::new();
+        for (i, m) in mapping.iter().enumerate() {
+            let sub = self.cuboid.subspaces()[i];
+            match m {
+                Some(old) => {
+                    self.skylines.push(old_sky[*old].take().unwrap_or_default());
+                    if had_kernels {
+                        self.kernels.push(
+                            old_ker[*old]
+                                .take()
+                                .unwrap_or_else(|| DomKernel::new(sub, stride)),
+                        );
+                    }
+                }
+                None => {
+                    self.skylines.push(SubspaceSky::default());
+                    if had_kernels {
+                        self.kernels.push(DomKernel::new(sub, stride));
+                    }
+                    fresh.push(i);
+                }
+            }
+        }
+        // Before the first insert the plan has no layout yet: the lazy init
+        // in `insert` will build kernels from the grown cuboid, and there is
+        // no history to backfill.
+        if !had_kernels || history.is_empty() || fresh.is_empty() {
+            return;
+        }
+        // Tuples admitted into several new subspaces are interned once.
+        let mut interned: Vec<Option<PointId>> = vec![None; history.len()];
+        for &i in &fresh {
+            #[allow(clippy::needless_range_loop)] // t indexes history AND interned
+            for t in 0..history.len() {
+                let point = history.at(t);
+                let score: Value = self.kernels[i].score(point);
+                let boundary = self.skylines[i]
+                    .entries
+                    .partition_point(|e| e.score <= score);
+                let pos = self.skylines[i].position(score);
+                let mut rejected = false;
+                for k in 0..boundary {
+                    clock.charge_dom_cmps(1);
+                    stats.dom_comparisons += 1;
+                    let member = self.skylines[i].entries[k].point;
+                    if self.kernels[i].relate(self.points.get(member), point)
+                        == DomRelation::Dominates
+                    {
+                        rejected = true;
+                        break;
+                    }
+                }
+                if rejected {
+                    continue;
+                }
+                let mut k = pos;
+                while k < self.skylines[i].entries.len() {
+                    clock.charge_dom_cmps(1);
+                    stats.dom_comparisons += 1;
+                    let member = self.skylines[i].entries[k].point;
+                    if self.kernels[i].relate(point, self.points.get(member))
+                        == DomRelation::Dominates
+                    {
+                        self.skylines[i].entries.remove(k);
+                    } else {
+                        k += 1;
+                    }
+                }
+                let pid = match interned[t] {
+                    Some(p) => p,
+                    None => {
+                        let p = self.points.push(point);
+                        interned[t] = Some(p);
+                        p
+                    }
+                };
+                self.skylines[i].entries.insert(
+                    pos,
+                    Entry {
+                        score,
+                        tag: t as u64,
+                        point: pid,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Retires query `q` from the plan: prunes the cuboid per Definition 7
+    /// ([`MinMaxCuboid::depart_query`]) and splices the surviving subspace
+    /// skylines down to the new layout. Skylines of dropped subspaces are
+    /// discarded; their interned points stay in the arena (it is append-only
+    /// by design) and simply become unreferenced.
+    ///
+    /// # Panics
+    /// Panics if `q` is out of range or already departed.
+    pub fn depart_query(&mut self, q: QueryId) {
+        let mapping = self.cuboid.depart_query(q);
+        let had_kernels = !self.kernels.is_empty();
+        let stride = self.points.stride();
+        let mut old_sky: Vec<Option<SubspaceSky>> = std::mem::take(&mut self.skylines)
+            .into_iter()
+            .map(Some)
+            .collect();
+        let mut old_ker: Vec<Option<DomKernel>> = std::mem::take(&mut self.kernels)
+            .into_iter()
+            .map(Some)
+            .collect();
+        for (i, m) in mapping.iter().enumerate() {
+            let sub = self.cuboid.subspaces()[i];
+            // Depart is subtractive, so every entry is `Some`; degrade to an
+            // empty skyline rather than abort if that invariant ever broke.
+            let old = m.and_then(|o| old_sky[o].take());
+            self.skylines.push(old.unwrap_or_default());
+            if had_kernels {
+                let ker = m.and_then(|o| old_ker[o].take());
+                self.kernels
+                    .push(ker.unwrap_or_else(|| DomKernel::new(sub, stride)));
+            }
+        }
     }
 
     /// Inserts a tuple bottom-up through every cuboid subspace.
@@ -215,7 +383,7 @@ impl SharedSkylinePlan {
             if !evicted.is_empty() {
                 for q in 0..self.cuboid.num_queries() {
                     let qid = QueryId(q as u16);
-                    if self.cuboid.query_subspace(qid) == i {
+                    if self.cuboid.is_active(qid) && self.cuboid.query_subspace(qid) == i {
                         query_evictions.push((qid, evicted.clone()));
                     }
                 }
@@ -224,7 +392,11 @@ impl SharedSkylinePlan {
 
         let in_query_sky = (0..self.cuboid.num_queries())
             .map(|q| {
-                let i = self.cuboid.query_subspace(QueryId(q as u16));
+                let qid = QueryId(q as u16);
+                if !self.cuboid.is_active(qid) {
+                    return false;
+                }
+                let i = self.cuboid.query_subspace(qid);
                 added_mask & (1u64 << i) != 0
             })
             .collect();
@@ -404,6 +576,122 @@ mod tests {
         for w in scores.windows(2) {
             assert!(w[0] <= w[1], "entries out of score order");
         }
+    }
+
+    #[test]
+    fn incremental_admit_matches_rebuild_and_replay() {
+        // Insert a prefix under 3 queries, admit the 4th, then finish the
+        // stream. Every query's final skyline — including the late
+        // arrival's — must equal the reference skyline over ALL points, and
+        // a from-scratch plan over the full query set replaying the whole
+        // stream must agree.
+        let prefs = figure1_prefs();
+        let points = random_points(300, 4, 21);
+        let split = 140;
+        let mut plan = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs[..3]), true);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        // `history` mirrors the engine's tag-ordered complete join output.
+        let mut history = PointStore::new(4);
+        for (i, p) in points[..split].iter().enumerate() {
+            plan.insert(i as u64, p, &mut clock, &mut stats);
+            history.push(p);
+        }
+        plan.admit_query(prefs[3], &history, &mut clock, &mut stats);
+        for (i, p) in points[split..].iter().enumerate() {
+            plan.insert((split + i) as u64, p, &mut clock, &mut stats);
+            history.push(p);
+        }
+        let mut rebuilt = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), true);
+        let mut c2 = SimClock::default();
+        let mut s2 = Stats::new();
+        for (i, p) in points.iter().enumerate() {
+            rebuilt.insert(i as u64, p, &mut c2, &mut s2);
+        }
+        for (q, &p) in prefs.iter().enumerate() {
+            let qid = QueryId(q as u16);
+            let mut got = plan.query_skyline_tags(qid);
+            got.sort_unstable();
+            let mut want: Vec<u64> = skyline_reference(&points, p)
+                .into_iter()
+                .map(|i| i as u64)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "query Q{} online skyline wrong", q + 1);
+            let mut alt = rebuilt.query_skyline_tags(qid);
+            alt.sort_unstable();
+            assert_eq!(got, alt, "online vs rebuilt mismatch for Q{}", q + 1);
+        }
+        // The backfill paid for its comparisons.
+        assert!(stats.dom_comparisons > 0);
+    }
+
+    #[test]
+    fn admit_into_empty_plan_then_insert() {
+        // Admission before any point has been seen: no kernels yet, nothing
+        // to backfill; the lazy init on first insert must cover the grown
+        // lattice.
+        let prefs = figure1_prefs();
+        let mut plan = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs[..1]), true);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        plan.admit_query(prefs[1], &PointStore::new(4), &mut clock, &mut stats);
+        let points = random_points(100, 4, 5);
+        for (i, p) in points.iter().enumerate() {
+            plan.insert(i as u64, p, &mut clock, &mut stats);
+        }
+        for (q, &p) in prefs[..2].iter().enumerate() {
+            let mut got = plan.query_skyline_tags(QueryId(q as u16));
+            got.sort_unstable();
+            let mut want: Vec<u64> = skyline_reference(&points, p)
+                .into_iter()
+                .map(|i| i as u64)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn depart_prunes_and_keeps_survivors_exact() {
+        let prefs = figure1_prefs();
+        let points = random_points(250, 4, 31);
+        let mut plan = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), true);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let split = 120;
+        for (i, p) in points[..split].iter().enumerate() {
+            plan.insert(i as u64, p, &mut clock, &mut stats);
+        }
+        plan.depart_query(QueryId(1));
+        for (i, p) in points[split..].iter().enumerate() {
+            plan.insert((split + i) as u64, p, &mut clock, &mut stats);
+        }
+        assert!(plan.query_skyline_tags(QueryId(1)).is_empty());
+        assert_eq!(plan.query_skyline_len(QueryId(1)), 0);
+        for q in [0usize, 2, 3] {
+            let mut got = plan.query_skyline_tags(QueryId(q as u16));
+            got.sort_unstable();
+            let mut want: Vec<u64> = skyline_reference(&points, prefs[q])
+                .into_iter()
+                .map(|i| i as u64)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "survivor Q{} skyline wrong after depart", q + 1);
+        }
+    }
+
+    #[test]
+    fn insert_reports_nothing_for_departed_query() {
+        let prefs = vec![DimMask::singleton(0), DimMask::singleton(1)];
+        let mut plan = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), true);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        plan.insert(0, &[5.0, 1.0], &mut clock, &mut stats);
+        plan.depart_query(QueryId(0));
+        let r = plan.insert(1, &[2.0, 3.0], &mut clock, &mut stats);
+        assert!(!r.in_query_sky[0], "departed query flagged in-sky");
+        assert!(r.query_evictions.iter().all(|(q, _)| *q != QueryId(0)));
     }
 
     #[test]

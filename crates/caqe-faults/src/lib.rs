@@ -29,6 +29,7 @@ const DOMAIN_PANIC: u64 = 0x50414e49; // "PANI"
 const DOMAIN_SPIKE: u64 = 0x5350494b; // "SPIK"
 const DOMAIN_EST: u64 = 0x45535449; // "ESTI"
 const DOMAIN_CORRUPT: u64 = 0x434f5252; // "CORR"
+const DOMAIN_ADMIT: u64 = 0x41444d54; // "ADMT"
 
 /// Panic payload used for injected worker panics. Carrying a dedicated
 /// type lets the engine's `catch_unwind` recovery (and the chaos suite's
@@ -88,6 +89,11 @@ pub struct FaultPlan {
     /// Probability one ingested record is corrupted (NaN/±Inf value or
     /// duplicated id).
     pub corrupt_rate: f64,
+    /// Probability one *admission attempt* of an online session event
+    /// panics before any engine state is mutated (a clean retry), or the
+    /// admitted query's cardinality estimate is perturbed. Verdicts are
+    /// per-attempt, like worker panics.
+    pub admit_rate: f64,
 }
 
 impl Default for FaultPlan {
@@ -121,6 +127,7 @@ impl FaultPlan {
             est_factor: 4.0,
             panic_rate: 0.0,
             corrupt_rate: 0.0,
+            admit_rate: 0.0,
         }
     }
 
@@ -159,12 +166,19 @@ impl FaultPlan {
         self
     }
 
+    /// Enables admission-time faults (online sessions) at `rate`.
+    pub fn with_admission_faults(mut self, rate: f64) -> Self {
+        self.admit_rate = rate;
+        self
+    }
+
     /// Whether any injection point can ever fire.
     pub fn is_active(&self) -> bool {
         self.spike_rate > 0.0
             || self.est_rate > 0.0
             || self.panic_rate > 0.0
             || self.corrupt_rate > 0.0
+            || self.admit_rate > 0.0
     }
 
     /// The plan's decision hash: position-sensitive chaining of the seed,
@@ -215,6 +229,34 @@ impl FaultPlan {
     pub fn estimator_factor(&self, group: u32, region: u32) -> f64 {
         let h = self.hash(DOMAIN_EST, group as u64, region as u64, 0);
         if Self::coin(h, self.est_rate) {
+            if h & (1 << 9) == 0 {
+                self.est_factor
+            } else {
+                1.0 / self.est_factor
+            }
+        } else {
+            1.0
+        }
+    }
+
+    /// Whether admission attempt `attempt` (1-based) of online session
+    /// event `event` is killed by an injected panic. The engine checks this
+    /// *before* mutating any state, so a failed admission retries cleanly.
+    pub fn admit_panics(&self, event: u64, attempt: u32) -> bool {
+        Self::coin(
+            self.hash(DOMAIN_ADMIT, event, attempt as u64, 0),
+            self.admit_rate,
+        )
+    }
+
+    /// The cardinality-estimate perturbation for the query admitted by
+    /// session event `event`: `1.0` when no fault fires, otherwise the
+    /// plan's estimator factor or its reciprocal (hash-chosen). Keyed on a
+    /// distinct coordinate from [`FaultPlan::admit_panics`] so the two
+    /// verdicts are independent.
+    pub fn admit_est_factor(&self, event: u64) -> f64 {
+        let h = self.hash(DOMAIN_ADMIT, event, 0, 1);
+        if Self::coin(h, self.admit_rate) {
             if h & (1 << 9) == 0 {
                 self.est_factor
             } else {
@@ -326,7 +368,8 @@ impl FaultPlan {
                 }
                 "panic" => plan.panic_rate = rate_of(value)?,
                 "corrupt" => plan.corrupt_rate = rate_of(value)?,
-                _ => return Err(bad("unknown key (seed|spike|est|panic|corrupt)")),
+                "admit" => plan.admit_rate = rate_of(value)?,
+                _ => return Err(bad("unknown key (seed|spike|est|panic|corrupt|admit)")),
             }
         }
         Ok(plan)
@@ -350,6 +393,9 @@ impl FaultPlan {
         }
         if self.corrupt_rate > 0.0 {
             parts.push(format!("corrupt={}", self.corrupt_rate));
+        }
+        if self.admit_rate > 0.0 {
+            parts.push(format!("admit={}", self.admit_rate));
         }
         parts.join(",")
     }
@@ -448,19 +494,51 @@ mod tests {
 
     #[test]
     fn spec_parsing_round_trips() {
-        let plan = FaultPlan::parse("seed=42,spike=0.2x8,est=0.3x4,panic=0.1,corrupt=0.05")
-            .expect("valid spec");
+        let plan =
+            FaultPlan::parse("seed=42,spike=0.2x8,est=0.3x4,panic=0.1,corrupt=0.05,admit=0.2")
+                .expect("valid spec");
         assert_eq!(plan.seed, 42);
         assert_eq!(plan.spike_rate, 0.2);
         assert_eq!(plan.spike_factor, 8.0);
         assert_eq!(plan.est_factor, 4.0);
         assert_eq!(plan.panic_rate, 0.1);
+        assert_eq!(plan.admit_rate, 0.2);
         assert_eq!(FaultPlan::parse(&plan.to_spec()).expect("round trip"), plan);
         assert_eq!(FaultPlan::parse("").expect("empty"), FaultPlan::none());
         assert_eq!(FaultPlan::parse("none").expect("none"), FaultPlan::none());
         // Factor defaults apply when omitted.
         let d = FaultPlan::parse("spike=0.5").expect("default factor");
         assert_eq!(d.spike_factor, 8.0);
+    }
+
+    #[test]
+    fn admission_verdicts_are_deterministic_and_per_attempt() {
+        let a = FaultPlan::seeded(7).with_admission_faults(0.5);
+        let b = FaultPlan::seeded(7).with_admission_faults(0.5);
+        let c = FaultPlan::seeded(8).with_admission_faults(0.5);
+        let mut fired = 0;
+        let mut diverged = false;
+        let mut attempt_varies = false;
+        for ev in 0..64u64 {
+            assert_eq!(a.admit_panics(ev, 1), b.admit_panics(ev, 1));
+            assert_eq!(a.admit_est_factor(ev), b.admit_est_factor(ev));
+            if a.admit_panics(ev, 1) != c.admit_panics(ev, 1) {
+                diverged = true;
+            }
+            if a.admit_panics(ev, 1) != a.admit_panics(ev, 2) {
+                attempt_varies = true;
+            }
+            if a.admit_est_factor(ev) != 1.0 {
+                fired += 1;
+            }
+        }
+        assert!(diverged, "seed must matter");
+        assert!(attempt_varies, "attempt number must matter (clean retries)");
+        assert!(fired > 0 && fired < 64, "rate 0.5 should fire sometimes");
+        // The inert plan never perturbs admissions.
+        let none = FaultPlan::none();
+        assert!(!none.admit_panics(3, 1));
+        assert_eq!(none.admit_est_factor(3), 1.0);
     }
 
     #[test]
@@ -473,6 +551,7 @@ mod tests {
             "panic=-0.1",
             "unknown=1",
             "seed=abc",
+            "admit=2",
         ] {
             match FaultPlan::parse(bad) {
                 Err(EngineError::BadFaultSpec { .. }) => {}

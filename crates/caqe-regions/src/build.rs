@@ -23,6 +23,11 @@ pub struct RegionBuildInput<'a> {
     /// Whether to run the coarse-level skyline (§5.2). CAQE and ProgXe+
     /// prune; the blind-pipelining S-JFSL baseline does not.
     pub coarse_pruning: bool,
+    /// Keep regions whose serving set becomes empty instead of dropping
+    /// them. Online sessions need this: a region pruned for today's queries
+    /// may serve a query admitted tomorrow, and stable region ids let the
+    /// session layer revive it in place.
+    pub keep_empty: bool,
 }
 
 /// Builds the output regions of one join group.
@@ -51,6 +56,7 @@ pub fn build_regions(
         mapping,
         queries,
         coarse_pruning,
+        keep_empty,
     } = input;
 
     let all_queries: QuerySet = queries.iter().map(|(q, _)| *q).collect();
@@ -87,12 +93,16 @@ pub fn build_regions(
         coarse_skyline(&mut regions, queries, clock, stats);
     }
 
-    // Drop regions serving nobody; reassign dense ids.
-    let before = regions.len();
-    regions.retain(|r| !r.serving.is_empty());
-    stats.regions_pruned += (before - regions.len()) as u64;
-    for (i, r) in regions.iter_mut().enumerate() {
-        r.id = RegionId(i as u32);
+    // Drop regions serving nobody; reassign dense ids. Online sessions keep
+    // the empty husks instead (`keep_empty`) — ids are already dense and a
+    // later admission may revive them.
+    if !*keep_empty {
+        let before = regions.len();
+        regions.retain(|r| !r.serving.is_empty());
+        stats.regions_pruned += (before - regions.len()) as u64;
+        for (i, r) in regions.iter_mut().enumerate() {
+            r.id = RegionId(i as u32);
+        }
     }
 
     RegionSet::new(regions, queries.to_vec())
@@ -217,6 +227,7 @@ mod tests {
             mapping: &m,
             queries: &qs,
             coarse_pruning: true,
+            keep_empty: false,
         };
         let mut clock = SimClock::default();
         let mut stats = Stats::new();
@@ -245,6 +256,7 @@ mod tests {
             mapping: &m,
             queries: &qs,
             coarse_pruning: true,
+            keep_empty: false,
         };
         let mut clock = SimClock::default();
         let mut stats = Stats::new();
@@ -292,6 +304,7 @@ mod tests {
             mapping: &m,
             queries: &qs,
             coarse_pruning: true,
+            keep_empty: false,
         };
         let mut clock = SimClock::default();
         let mut stats = Stats::new();
@@ -323,6 +336,60 @@ mod tests {
     }
 
     #[test]
+    fn keep_empty_retains_fully_pruned_regions() {
+        // Session mode keeps the empty husks so a later admission can
+        // revive them; ids and ordering must match the pruned build's
+        // survivors when filtered.
+        let (pr, pt, m) = setup(800, Distribution::Correlated);
+        let qs = queries4();
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let kept = build_regions(
+            &RegionBuildInput {
+                part_r: &pr,
+                part_t: &pt,
+                join_col: 0,
+                mapping: &m,
+                queries: &qs,
+                coarse_pruning: true,
+                keep_empty: true,
+            },
+            &mut clock,
+            &mut stats,
+        );
+        let pruned = build_regions(
+            &RegionBuildInput {
+                part_r: &pr,
+                part_t: &pt,
+                join_col: 0,
+                mapping: &m,
+                queries: &qs,
+                coarse_pruning: true,
+                keep_empty: false,
+            },
+            &mut SimClock::default(),
+            &mut Stats::new(),
+        );
+        assert!(kept.len() > pruned.len(), "expected empty husks retained");
+        // Ids stay dense in both modes.
+        for (i, r) in kept.regions().iter().enumerate() {
+            assert_eq!(r.id.index(), i);
+        }
+        let survivors: Vec<_> = kept
+            .regions()
+            .iter()
+            .filter(|r| !r.serving.is_empty())
+            .map(|r| (r.r_cell, r.t_cell, r.serving))
+            .collect();
+        let reference: Vec<_> = pruned
+            .regions()
+            .iter()
+            .map(|r| (r.r_cell, r.t_cell, r.serving))
+            .collect();
+        assert_eq!(survivors, reference);
+    }
+
+    #[test]
     fn empty_partitionings_yield_empty_set() {
         let t = caqe_data::Table::new("E", 2, 1, vec![]);
         let p = Partitioning::build(&t, QuadTreeConfig::default());
@@ -335,6 +402,7 @@ mod tests {
             mapping: &m,
             queries: &qs,
             coarse_pruning: true,
+            keep_empty: false,
         };
         let mut clock = SimClock::default();
         let mut stats = Stats::new();

@@ -28,6 +28,18 @@ pub struct Edge {
     pub queries: QuerySet,
 }
 
+/// Inserts `q` into the edge toward `peer`, creating the edge if absent.
+fn add_query_to_edge(edges: &mut Vec<Edge>, peer: RegionId, q: caqe_types::QueryId) {
+    if let Some(e) = edges.iter_mut().find(|e| e.peer == peer) {
+        e.queries.insert(q);
+    } else {
+        edges.push(Edge {
+            peer,
+            queries: QuerySet::singleton(q),
+        });
+    }
+}
+
 /// The dependency graph over a region set.
 #[derive(Debug, Clone)]
 pub struct DependencyGraph {
@@ -148,6 +160,90 @@ impl DependencyGraph {
         self.blockers[r.index()] == 0
     }
 
+    /// Patches the graph for a newly admitted query `q`: re-relates every
+    /// ordered pair of alive regions serving `q` in the query's subspace and
+    /// inserts `q` into the matching edges (creating edges where none
+    /// existed). Blocker counts are then recomputed wholesale — the alive
+    /// graph is small by the time churn happens, and a wholesale recompute
+    /// cannot drift from the `build` semantics. One region comparison is
+    /// charged per ordered alive pair, mirroring `build`.
+    pub fn admit_query(
+        &mut self,
+        set: &RegionSet,
+        q: caqe_types::QueryId,
+        clock: &mut SimClock,
+        stats: &mut Stats,
+    ) {
+        let m = set.pref(q).0;
+        let alive: Vec<usize> = set
+            .regions()
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.is_alive() && r.serving.contains(q))
+            .map(|(i, _)| i)
+            .collect();
+        for &i in &alive {
+            for &j in &alive {
+                if i == j {
+                    continue;
+                }
+                let (ri, rj) = (&set.regions()[i], &set.regions()[j]);
+                clock.charge_dom_cmps(1);
+                stats.region_comparisons += 1;
+                let d = ri.bounds.dims();
+                let (mut weak, mut strict) = (0u32, 0u32);
+                for k in 0..d {
+                    let (a, b) = (ri.bounds.lo()[k], rj.bounds.hi()[k]);
+                    if a <= b {
+                        weak |= 1 << k;
+                    }
+                    if a < b {
+                        strict |= 1 << k;
+                    }
+                }
+                if weak & m == m && strict & m != 0 {
+                    add_query_to_edge(&mut self.threats_out[i], RegionId(j as u32), q);
+                    add_query_to_edge(&mut self.threats_in[j], RegionId(i as u32), q);
+                }
+            }
+        }
+        self.recompute_blockers();
+    }
+
+    /// Removes a departing query's bit from every edge, dropping edges whose
+    /// query annotation becomes empty, and recomputes blocker counts. A
+    /// region whose only threats were on behalf of `q` becomes a root.
+    pub fn depart_query(&mut self, q: caqe_types::QueryId) {
+        for edges in self
+            .threats_in
+            .iter_mut()
+            .chain(self.threats_out.iter_mut())
+        {
+            for e in edges.iter_mut() {
+                e.queries.remove(q);
+            }
+            edges.retain(|e| !e.queries.is_empty());
+        }
+        self.recompute_blockers();
+    }
+
+    /// Recomputes `blockers` from scratch with the same non-mutual-in-edge
+    /// rule `build` uses.
+    fn recompute_blockers(&mut self) {
+        for j in 0..self.threats_in.len() {
+            let mut b = 0usize;
+            for e in &self.threats_in[j] {
+                let mutual = self.threats_in[e.peer.index()]
+                    .iter()
+                    .any(|back| back.peer.index() == j);
+                if !mutual {
+                    b += 1;
+                }
+            }
+            self.blockers[j] = b;
+        }
+    }
+
     /// Removes a region from the graph (processed or discarded), returning
     /// the regions that *became* roots as a result (the `DG_root'` of
     /// Algorithm 1).
@@ -262,6 +358,93 @@ mod tests {
         assert_eq!(e.len(), 1);
         assert!(e[0].queries.contains(QueryId(1)));
         assert!(!e[0].queries.contains(QueryId(0)));
+    }
+
+    #[test]
+    fn admit_patch_matches_rebuild() {
+        // Two incomparable-on-full-space regions, initially serving only
+        // query 0; admit query 1 over {d0} (where R0 can dominate R1) and
+        // check the patched graph agrees edge-for-edge with a from-scratch
+        // build over the grown query set.
+        let boxes = [([0.0, 8.0], [1.0, 9.0]), ([5.0, 0.0], [6.0, 1.0])];
+        let mk = |queries: Vec<(QueryId, DimMask)>, serving: QuerySet| {
+            let regions = boxes
+                .iter()
+                .enumerate()
+                .map(|(i, (lo, hi))| {
+                    OutputRegion::new(
+                        RegionId(i as u32),
+                        CellId(0),
+                        CellId(0),
+                        Rect::new(lo.to_vec(), hi.to_vec()),
+                        4,
+                        4,
+                        4.0,
+                        serving,
+                    )
+                })
+                .collect();
+            RegionSet::new(regions, queries)
+        };
+        let q0 = (QueryId(0), DimMask::full(2));
+        let q1 = (QueryId(1), DimMask::singleton(0));
+        let mut set = mk(vec![q0], QuerySet::all(1));
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let mut dg = DependencyGraph::build(&set, &mut clock, &mut stats);
+        assert!(dg.threats_in(RegionId(1)).is_empty());
+        assert!(dg.is_root(RegionId(1)));
+
+        set.admit_query(QueryId(1), DimMask::singleton(0));
+        let cmp_before = stats.region_comparisons;
+        dg.admit_query(&set, QueryId(1), &mut clock, &mut stats);
+        assert!(stats.region_comparisons > cmp_before, "patch must pay");
+
+        let reference = DependencyGraph::build(
+            &mk(vec![q0, q1], QuerySet::all(2)),
+            &mut SimClock::default(),
+            &mut Stats::new(),
+        );
+        for r in [RegionId(0), RegionId(1)] {
+            let mut a = dg.threats_in(r).to_vec();
+            a.sort_by_key(|e| e.peer.0);
+            let mut b = reference.threats_in(r).to_vec();
+            b.sort_by_key(|e| e.peer.0);
+            assert_eq!(a, b, "in-edges of {r:?} diverge from rebuild");
+            assert_eq!(dg.is_root(r), reference.is_root(r));
+        }
+    }
+
+    #[test]
+    fn depart_drops_query_bits_and_unblocks() {
+        // In `incomparable_regions_are_unlinked` the only edge R0 → R1 is on
+        // behalf of query 1; its departure must erase the edge and promote
+        // R1 to root.
+        let set = set_from_boxes(&[([0.0, 8.0], [1.0, 9.0]), ([5.0, 0.0], [6.0, 1.0])]);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let mut dg = DependencyGraph::build(&set, &mut clock, &mut stats);
+        assert!(!dg.is_root(RegionId(1)));
+        dg.depart_query(QueryId(1));
+        assert!(dg.threats_in(RegionId(1)).is_empty());
+        assert!(dg.threats_out(RegionId(0)).is_empty());
+        assert!(dg.is_root(RegionId(1)));
+    }
+
+    #[test]
+    fn depart_keeps_shared_edges() {
+        // A strict dominator threatens both queries; one departing must keep
+        // the edge alive for the other.
+        let set = set_from_boxes(&[([0.0, 0.0], [1.0, 1.0]), ([5.0, 5.0], [6.0, 6.0])]);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let mut dg = DependencyGraph::build(&set, &mut clock, &mut stats);
+        dg.depart_query(QueryId(1));
+        let e = dg.threats_in(RegionId(1));
+        assert_eq!(e.len(), 1);
+        assert!(e[0].queries.contains(QueryId(0)));
+        assert!(!e[0].queries.contains(QueryId(1)));
+        assert!(!dg.is_root(RegionId(1)));
     }
 
     #[test]

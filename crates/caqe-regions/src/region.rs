@@ -148,6 +148,18 @@ impl OutputRegion {
             s.remove(q);
         }
     }
+
+    /// Adds a newly admitted query to the region's lineage with *every*
+    /// output cell alive: no coarse information about the late arrival
+    /// exists yet, so the conservative lineage is "everything may still
+    /// matter". Extra materialized tuples this causes are dominated
+    /// transitively and never reach a final skyline, so results stay exact.
+    pub fn admit_query(&mut self, q: QueryId) {
+        self.serving.insert(q);
+        for s in &mut self.cell_alive {
+            s.insert(q);
+        }
+    }
 }
 
 /// A collection of output regions for one join group, with shared workload
@@ -217,6 +229,35 @@ impl RegionSet {
             .filter(|r| r.is_alive())
             .map(|r| r.id)
             .collect()
+    }
+
+    /// Registers a newly admitted query (global id `q`, preference `pref`)
+    /// with this set and revives every *unprocessed* region for it (see
+    /// [`OutputRegion::admit_query`]). Processed regions stay retired: their
+    /// already-materialized tuples reach the late arrival through the shared
+    /// plan's backfill instead.
+    pub fn admit_query(&mut self, q: QueryId, pref: DimMask) {
+        self.queries.push((q, pref));
+        for r in &mut self.regions {
+            if !r.processed {
+                r.admit_query(q);
+            }
+        }
+    }
+
+    /// Retires query `q` from every region, returning the ids of regions
+    /// that *died* as a result (the departing query was their sole remaining
+    /// consumer) — the caller retires those the same way shedding does.
+    pub fn depart_query(&mut self, q: QueryId) -> Vec<RegionId> {
+        let mut died = Vec::new();
+        for r in &mut self.regions {
+            let was_alive = r.is_alive();
+            r.kill_query(q);
+            if was_alive && !r.is_alive() {
+                died.push(r.id);
+            }
+        }
+        died
     }
 }
 
@@ -304,6 +345,39 @@ mod tests {
             QuerySet::all(1),
         );
         assert_eq!(r.locate(&[2.0, 2.0]), Some(0));
+    }
+
+    #[test]
+    fn admit_revives_dead_region_with_all_cells() {
+        let mut r = region2d(QuerySet::all(1));
+        r.kill_query(QueryId(0));
+        assert!(!r.is_alive());
+        r.admit_query(QueryId(1));
+        assert!(r.is_alive());
+        assert_eq!(r.alive_cell_count(QueryId(1)), 4);
+    }
+
+    #[test]
+    fn set_admit_and_depart_round_trip() {
+        let qs = vec![(QueryId(0), DimMask::full(2))];
+        let mut set = RegionSet::new(vec![region2d(QuerySet::all(1))], qs);
+        set.admit_query(QueryId(1), DimMask::singleton(0));
+        assert_eq!(set.pref(QueryId(1)), DimMask::singleton(0));
+        assert!(set.region(RegionId(0)).serving.contains(QueryId(1)));
+        // Query 0 departs: the region survives on query 1.
+        assert!(set.depart_query(QueryId(0)).is_empty());
+        // Query 1 departs: the region was its sole remaining provider.
+        assert_eq!(set.depart_query(QueryId(1)), vec![RegionId(0)]);
+    }
+
+    #[test]
+    fn admit_skips_processed_regions() {
+        let mut region = region2d(QuerySet::all(1));
+        region.processed = true;
+        let mut set = RegionSet::new(vec![region], vec![(QueryId(0), DimMask::full(2))]);
+        set.admit_query(QueryId(1), DimMask::full(2));
+        assert!(!set.region(RegionId(0)).serving.contains(QueryId(1)));
+        assert_eq!(set.pref(QueryId(1)), DimMask::full(2));
     }
 
     #[test]

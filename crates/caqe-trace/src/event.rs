@@ -145,6 +145,31 @@ pub enum TraceEvent {
         /// Mean running satisfaction that triggered the shed.
         satisfaction: f64,
     },
+    /// A query joined the running workload through the online session layer
+    /// (admission is processed on the main scheduling thread, so the tick is
+    /// thread-invariant).
+    Admit {
+        tick: Ticks,
+        /// Global query slot assigned to the arrival.
+        query: u16,
+        /// Contract class label (`Contract::label()`), for trace readers.
+        contract: String,
+        /// Join groups whose shared plan was patched for the arrival
+        /// (`u32::MAX` when the arrival opened a brand-new group).
+        group: u32,
+        /// Whether the plan was patched incrementally (`true`) or rebuilt
+        /// from scratch (`false`, the comparison path).
+        incremental: bool,
+    },
+    /// A query left the running workload; its sole-provider regions were
+    /// retired the same way shedding does.
+    Depart {
+        tick: Ticks,
+        query: u16,
+        /// Regions retired because the departing query was their only
+        /// remaining consumer.
+        regions_retired: u32,
+    },
     /// Ingestion validation summary for one input table. Only emitted when
     /// a fault plan is active or violations were found.
     IngestAudit {
@@ -188,6 +213,8 @@ impl TraceEvent {
             TraceEvent::RegionRetry { tick, .. } => *tick += base,
             TraceEvent::RegionQuarantined { tick, .. } => *tick += base,
             TraceEvent::RegionShed { tick, .. } => *tick += base,
+            TraceEvent::Admit { tick, .. } => *tick += base,
+            TraceEvent::Depart { tick, .. } => *tick += base,
             TraceEvent::IngestAudit { tick, .. } => *tick += base,
         }
     }
@@ -204,6 +231,8 @@ impl TraceEvent {
             TraceEvent::RegionRetry { tick, .. } => *tick,
             TraceEvent::RegionQuarantined { tick, .. } => *tick,
             TraceEvent::RegionShed { tick, .. } => *tick,
+            TraceEvent::Admit { tick, .. } => *tick,
+            TraceEvent::Depart { tick, .. } => *tick,
             TraceEvent::IngestAudit { tick, .. } => *tick,
         }
     }

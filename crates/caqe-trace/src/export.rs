@@ -181,6 +181,27 @@ pub fn event_json(ev: &TraceEvent) -> String {
             region,
             num(*satisfaction)
         ),
+        TraceEvent::Admit {
+            tick,
+            query,
+            contract,
+            group,
+            incremental,
+        } => format!(
+            "{{\"ev\":\"admit\",\"tick\":{},\"query\":{},\"contract\":{},\"group\":{},\"incremental\":{}}}",
+            tick,
+            query,
+            json_str(contract),
+            group,
+            incremental
+        ),
+        TraceEvent::Depart {
+            tick,
+            query,
+            regions_retired,
+        } => format!(
+            "{{\"ev\":\"depart\",\"tick\":{tick},\"query\":{query},\"regions_retired\":{regions_retired}}}"
+        ),
         TraceEvent::IngestAudit {
             tick,
             table,
@@ -493,6 +514,36 @@ mod tests {
         let line = event_json(&ev);
         assert!(line.contains("\"utility\":null"));
         assert!(line.contains("\"satisfaction\":null"));
+    }
+
+    #[test]
+    fn session_events_serialize_with_stable_kinds() {
+        let admit = event_json(&TraceEvent::Admit {
+            tick: 42,
+            query: 3,
+            contract: "deadline".to_string(),
+            group: 1,
+            incremental: true,
+        });
+        assert!(admit.contains("\"ev\":\"admit\""), "{admit}");
+        assert!(admit.contains("\"query\":3"));
+        assert!(admit.contains("\"incremental\":true"));
+        let depart = event_json(&TraceEvent::Depart {
+            tick: 99,
+            query: 3,
+            regions_retired: 2,
+        });
+        assert!(depart.contains("\"ev\":\"depart\""), "{depart}");
+        assert!(depart.contains("\"regions_retired\":2"));
+        let mut ev = TraceEvent::Admit {
+            tick: 10,
+            query: 0,
+            contract: "log_decay".to_string(),
+            group: 0,
+            incremental: false,
+        };
+        ev.offset_ticks(5);
+        assert_eq!(ev.tick(), 15);
     }
 
     #[test]

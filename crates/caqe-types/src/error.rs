@@ -51,6 +51,14 @@ pub enum EngineError {
         /// What was expected instead.
         reason: String,
     },
+    /// A session event specification (`--events <spec>`) failed to parse
+    /// or referenced a query/pool slot that does not exist.
+    BadEventSpec {
+        /// The offending fragment.
+        fragment: String,
+        /// What was expected instead.
+        reason: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -82,6 +90,9 @@ impl fmt::Display for EngineError {
             EngineError::BadFaultSpec { fragment, reason } => {
                 write!(f, "bad fault spec near {fragment:?}: {reason}")
             }
+            EngineError::BadEventSpec { fragment, reason } => {
+                write!(f, "bad event spec near {fragment:?}: {reason}")
+            }
         }
     }
 }
@@ -112,6 +123,11 @@ mod tests {
             reason: "missing rate".into(),
         };
         assert!(e.to_string().contains("spike"));
+        let e = EngineError::BadEventSpec {
+            fragment: "admit@x".into(),
+            reason: "tick must be an integer".into(),
+        };
+        assert!(e.to_string().contains("admit@x"));
     }
 
     #[test]

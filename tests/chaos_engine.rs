@@ -265,6 +265,65 @@ fn recovery_and_shedding_paths_actually_fire() {
     assert!(out.stats.regions_shed > 0, "forced shedding shed nothing");
 }
 
+/// Gate 2 regression, satellite of the online-session work: the shed check
+/// averages satisfaction over *unfinished* queries only. A query whose
+/// every serving region is done is as satisfied as it will ever be — under
+/// the old all-queries mean, one such completed high-satisfaction query
+/// could hold the average above the floor forever while an unfinished peer
+/// starved at satisfaction ~0, and shedding never fired.
+#[test]
+fn completed_query_cannot_mask_a_starving_one() {
+    silence_injected_panics();
+    // Query A: generous contract over the sparse join — finishes early with
+    // satisfaction ≈ 1. Query B: an already-expired hard deadline over the
+    // dense join — every emission scores 0, so B starves at satisfaction 0
+    // for the rest of the run.
+    let w = Workload::new(vec![
+        QuerySpec {
+            join_col: 0,
+            mapping: MappingSet::mixed(2, 2, 4),
+            pref: DimMask::from_dims([0, 1]),
+            priority: 0.9,
+            contract: Contract::LogDecay,
+        },
+        QuerySpec {
+            join_col: 1,
+            mapping: MappingSet::mixed(2, 2, 4),
+            pref: DimMask::from_dims([2, 3]),
+            priority: 0.5,
+            contract: Contract::Deadline { t_hard: 1e-6 },
+        },
+    ]);
+    let gen = TableGenerator::new(800, 2, Distribution::Independent)
+        .with_selectivities(&[0.02, 0.2])
+        .with_seed(42);
+    let (r, t) = (gen.generate("R"), gen.generate("T"));
+    let floor = 0.4;
+    let exec = ExecConfig::default()
+        .with_target_cells(800, 4)
+        .with_degradation(DegradationPolicy {
+            sat_floor: floor,
+            grace_ticks: 100_000,
+        });
+    let out = CaqeStrategy.try_run(&r, &t, &w, &exec).expect("clean");
+    // The masking premise: averaged over *all* queries (A included), the
+    // workload sits above the floor — the old check would never have fired.
+    assert!(
+        out.per_query[0].satisfaction > 0.8,
+        "scenario broken: the completed query is not highly satisfied ({})",
+        out.per_query[0].satisfaction
+    );
+    assert!(
+        (out.per_query[0].satisfaction + out.per_query[1].satisfaction) / 2.0 > floor,
+        "scenario broken: the all-queries mean fell below the floor anyway"
+    );
+    // The unfinished-only mean sees B starving and sheds.
+    assert!(
+        out.stats.regions_shed > 0,
+        "completed query masked the starving one: no shedding fired"
+    );
+}
+
 /// Typed errors: corrupt input under the `Reject` policy surfaces as
 /// `EngineError::CorruptInput` — never a panic, never a silent pass.
 #[test]

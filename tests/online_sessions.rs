@@ -1,0 +1,476 @@
+//! Online workload sessions: dynamic admission/departure with incremental
+//! shared-plan maintenance must (a) collapse to the batch engine when the
+//! event stream is empty — byte-for-byte against the committed golden
+//! trace; (b) stay bit-deterministic at every worker count under churn;
+//! (c) produce exactly the result sets a from-scratch batch run over the
+//! same effective query set produces, on both the incremental and the
+//! full-rebuild admission path.
+
+use caqe::contract::Contract;
+use caqe::core::{
+    try_run_engine_online_traced, EngineConfig, EventStream, ExecConfig, QuerySpec, RunOutcome,
+    SessionEvent, Workload,
+};
+use caqe::data::{Distribution, TableGenerator};
+use caqe::faults::FaultPlan;
+use caqe::operators::MappingSet;
+use caqe::trace::{to_jsonl, NoopSink, RecordingSink, TraceEvent};
+use caqe::types::{DimMask, QueryId};
+
+fn tables(n: usize, dist: Distribution, seed: u64) -> (caqe::data::Table, caqe::data::Table) {
+    let gen = TableGenerator::new(n, 2, dist)
+        .with_selectivities(&[0.05, 0.1])
+        .with_seed(seed);
+    (gen.generate("R"), gen.generate("T"))
+}
+
+fn spec(col: usize, pref: DimMask, priority: f64, contract: Contract) -> QuerySpec {
+    QuerySpec {
+        join_col: col,
+        mapping: MappingSet::mixed(2, 2, 4),
+        pref,
+        priority,
+        contract,
+    }
+}
+
+/// The golden-trace workload of `determinism_parallel.rs`.
+fn workload() -> Workload {
+    Workload::new(vec![
+        spec(
+            0,
+            DimMask::from_dims([0, 1]),
+            0.9,
+            Contract::Deadline { t_hard: 0.5 },
+        ),
+        spec(0, DimMask::from_dims([1, 2]), 0.6, Contract::LogDecay),
+        spec(
+            1,
+            DimMask::from_dims([2, 3]),
+            0.4,
+            Contract::SoftDeadline { t_soft: 0.3 },
+        ),
+    ])
+}
+
+/// A churn stream exercising every session path: an admission into an
+/// existing group, an admission that opens a brand-new group (different
+/// mapping), and a mid-run departure.
+fn churn_events() -> EventStream {
+    EventStream::new(vec![
+        SessionEvent::Admit {
+            at: 500_000,
+            spec: spec(0, DimMask::from_dims([0, 3]), 0.7, Contract::LogDecay),
+        },
+        SessionEvent::Admit {
+            at: 2_000_000,
+            spec: QuerySpec {
+                join_col: 1,
+                mapping: MappingSet::concat(2, 2),
+                pref: DimMask::from_dims([0, 1]),
+                priority: 0.5,
+                contract: Contract::SoftDeadline { t_soft: 1.0 },
+            },
+        },
+        SessionEvent::Depart {
+            at: 3_000_000,
+            query: QueryId(1),
+        },
+    ])
+}
+
+fn assert_identical(a: &RunOutcome, b: &RunOutcome, label: &str) {
+    assert_eq!(a.stats, b.stats, "{label}: stats diverged");
+    assert_eq!(
+        a.virtual_seconds.to_bits(),
+        b.virtual_seconds.to_bits(),
+        "{label}: virtual clock diverged"
+    );
+    assert_eq!(a.per_query.len(), b.per_query.len());
+    for (qa, qb) in a.per_query.iter().zip(&b.per_query) {
+        assert_eq!(
+            qa.results, qb.results,
+            "{label}: result provenance diverged"
+        );
+        for (ea, eb) in qa.emissions.iter().zip(&qb.emissions) {
+            assert_eq!(
+                (ea.0.to_bits(), ea.1.to_bits()),
+                (eb.0.to_bits(), eb.1.to_bits()),
+                "{label}: emission diverged"
+            );
+        }
+    }
+}
+
+fn sorted_results(out: &RunOutcome, q: usize) -> Vec<(u64, u64)> {
+    let mut v = out.per_query[q].results.clone();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn empty_event_stream_reproduces_committed_golden() {
+    // The online entry point with no events must be the batch engine,
+    // byte-for-byte — same trace bytes as the committed golden.
+    let w = workload();
+    let (r, t) = tables(1600, Distribution::Independent, 99);
+    let exec = ExecConfig::default().with_target_cells(1600, 2);
+    let mut sink = RecordingSink::new();
+    let out = try_run_engine_online_traced(
+        "CAQE",
+        &r,
+        &t,
+        &w,
+        &EventStream::empty(),
+        &exec,
+        &EngineConfig::caqe(),
+        0,
+        &mut sink,
+    )
+    .expect("clean input");
+    assert!(out.total_results() > 0, "degenerate workload");
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/caqe_trace.jsonl"
+    ))
+    .expect("missing golden trace");
+    assert_eq!(
+        golden,
+        to_jsonl(sink.events()),
+        "empty-event online run diverged from the batch golden"
+    );
+}
+
+#[test]
+fn churn_trace_is_bit_identical_at_every_parallelism() {
+    let w = workload();
+    let (r, t) = tables(1600, Distribution::Independent, 99);
+    let exec = ExecConfig::default().with_target_cells(1600, 2);
+    let events = churn_events();
+    let mut base_sink = RecordingSink::new();
+    let base = try_run_engine_online_traced(
+        "CAQE",
+        &r,
+        &t,
+        &w,
+        &events,
+        &exec,
+        &EngineConfig::caqe(),
+        0,
+        &mut base_sink,
+    )
+    .expect("clean input");
+    let base_jsonl = to_jsonl(base_sink.events());
+    let admits = base_sink
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Admit { .. }))
+        .count();
+    let departs = base_sink
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Depart { .. }))
+        .count();
+    assert_eq!((admits, departs), (2, 1), "session events missing in trace");
+    assert_eq!(base.per_query.len(), 5, "expected 3 initial + 2 admitted");
+    assert!(
+        base.per_query[3].count() > 0,
+        "admitted query emitted nothing"
+    );
+    for threads in [1usize, 2, 4, 8] {
+        let mut sink = RecordingSink::new();
+        let out = try_run_engine_online_traced(
+            "CAQE",
+            &r,
+            &t,
+            &w,
+            &events,
+            &exec.with_parallelism(Some(threads)),
+            &EngineConfig::caqe(),
+            0,
+            &mut sink,
+        )
+        .expect("clean input");
+        assert_identical(&base, &out, &format!("churn threads={threads}"));
+        assert_eq!(
+            base_jsonl,
+            to_jsonl(sink.events()),
+            "churn trace bytes diverged at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn departure_truncates_emissions_and_spares_other_queries() {
+    let w = workload();
+    let (r, t) = tables(1600, Distribution::Independent, 99);
+    let exec = ExecConfig::default().with_target_cells(1600, 2);
+    let depart_at = 3_000_000u64;
+    let events = EventStream::new(vec![SessionEvent::Depart {
+        at: depart_at,
+        query: QueryId(1),
+    }]);
+    let mut sink = RecordingSink::new();
+    let online = try_run_engine_online_traced(
+        "CAQE",
+        &r,
+        &t,
+        &w,
+        &events,
+        &exec,
+        &EngineConfig::caqe(),
+        0,
+        &mut sink,
+    )
+    .expect("clean input");
+    // No emission for the departed query after the departure was applied.
+    let depart_tick = sink
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::Depart { tick, query: 1, .. } => Some(*tick),
+            _ => None,
+        })
+        .expect("depart event missing from trace");
+    assert!(depart_tick >= depart_at, "departure applied too early");
+    for e in sink.events() {
+        if let TraceEvent::Emission { tick, query: 1, .. } = e {
+            assert!(
+                *tick <= depart_tick,
+                "query 1 emitted at {tick} after departing at {depart_tick}"
+            );
+        }
+    }
+    // Queries that stayed are unaffected in their final result *sets*: a
+    // departed query's sole-provider regions cannot contribute to others.
+    let batch = try_run_engine_online_traced(
+        "CAQE",
+        &r,
+        &t,
+        &w,
+        &EventStream::empty(),
+        &exec,
+        &EngineConfig::caqe(),
+        0,
+        &mut NoopSink,
+    )
+    .expect("clean input");
+    for q in [0usize, 2] {
+        assert_eq!(
+            sorted_results(&online, q),
+            sorted_results(&batch, q),
+            "query {q} results changed because a peer departed"
+        );
+    }
+}
+
+/// Satellite: incremental admission ≡ batch rebuild. In blocking mode the
+/// final per-query skylines are order-independent, so a session that admits
+/// a query mid-run must land on exactly the result sets of a from-scratch
+/// batch run whose workload already contained it — and the full-rebuild
+/// comparison arm must agree with the incremental path bit-for-bit.
+#[test]
+fn incremental_admission_equals_batch_rebuild() {
+    let initial = Workload::new(vec![
+        spec(
+            0,
+            DimMask::from_dims([0, 1]),
+            0.9,
+            Contract::Deadline { t_hard: 0.5 },
+        ),
+        spec(
+            1,
+            DimMask::from_dims([2, 3]),
+            0.4,
+            Contract::SoftDeadline { t_soft: 0.3 },
+        ),
+    ]);
+    let late = spec(0, DimMask::from_dims([1, 2]), 0.6, Contract::LogDecay);
+    let mut batch_specs: Vec<QuerySpec> = initial.queries().to_vec();
+    batch_specs.push(late.clone());
+    let batch_w = Workload::new(batch_specs);
+
+    // Both blocking profiles: the S-JFSL baseline and a blocking CAQE
+    // (coarse pruning + dominance discard exercised under admission).
+    let blocking_caqe = EngineConfig {
+        progressive_emission: false,
+        feedback: false,
+        ..EngineConfig::caqe()
+    };
+    for engine in [EngineConfig::s_jfsl(), blocking_caqe] {
+        for seed in [7u64, 41, 4242] {
+            for admit_at in [0u64, 900_000, 5_000_000] {
+                let (r, t) = tables(400, Distribution::Independent, seed);
+                let exec = ExecConfig::default().with_target_cells(400, 8);
+                let events = EventStream::new(vec![SessionEvent::Admit {
+                    at: admit_at,
+                    spec: late.clone(),
+                }]);
+                let label = format!("policy={:?} seed={seed} admit_at={admit_at}", engine.policy);
+                let online = try_run_engine_online_traced(
+                    "CAQE",
+                    &r,
+                    &t,
+                    &initial,
+                    &events,
+                    &exec,
+                    &engine,
+                    0,
+                    &mut NoopSink,
+                )
+                .expect("clean input");
+                let rebuilt = try_run_engine_online_traced(
+                    "CAQE",
+                    &r,
+                    &t,
+                    &initial,
+                    &events,
+                    &exec.with_rebuild_on_admit(true),
+                    &engine,
+                    0,
+                    &mut NoopSink,
+                )
+                .expect("clean input");
+                let batch = try_run_engine_online_traced(
+                    "CAQE",
+                    &r,
+                    &t,
+                    &batch_w,
+                    &EventStream::empty(),
+                    &exec,
+                    &engine,
+                    0,
+                    &mut NoopSink,
+                )
+                .expect("clean input");
+                assert_eq!(online.per_query.len(), 3, "{label}");
+                assert!(batch.total_results() > 0, "{label}: degenerate");
+                for q in 0..3 {
+                    assert_eq!(
+                        sorted_results(&online, q),
+                        sorted_results(&batch, q),
+                        "{label}: query {q} incremental != batch"
+                    );
+                    assert_eq!(
+                        sorted_results(&online, q),
+                        sorted_results(&rebuilt, q),
+                        "{label}: query {q} incremental != full-rebuild arm"
+                    );
+                    assert_eq!(
+                        online.stats.per_query[q].tuples_emitted,
+                        batch.stats.per_query[q].tuples_emitted,
+                        "{label}: query {q} per-query emission count diverged"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn admission_faults_delay_but_never_desync() {
+    let w = workload();
+    let (r, t) = tables(1600, Distribution::Independent, 99);
+    let exec = ExecConfig::default()
+        .with_target_cells(1600, 2)
+        .with_faults(FaultPlan::seeded(11).with_admission_faults(1.0));
+    let events = churn_events();
+    let mut base_sink = RecordingSink::new();
+    let base = try_run_engine_online_traced(
+        "CAQE",
+        &r,
+        &t,
+        &w,
+        &events,
+        &exec,
+        &EngineConfig::caqe(),
+        0,
+        &mut base_sink,
+    )
+    .expect("clean input");
+    let admit_faults = base_sink
+        .events()
+        .iter()
+        .filter(
+            |e| matches!(e, TraceEvent::FaultInjected { kind, .. } if kind.starts_with("admit")),
+        )
+        .count();
+    assert!(admit_faults > 0, "admission fault hooks never fired");
+    // A panicked admission retries with backoff *before* mutating state:
+    // the recorded admit tick must sit past the scheduled tick.
+    let first_admit = base_sink
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::Admit { tick, .. } => Some(*tick),
+            _ => None,
+        })
+        .expect("no admit event");
+    assert!(
+        first_admit > 500_000,
+        "admit panic backoff did not delay admission (tick {first_admit})"
+    );
+    let base_jsonl = to_jsonl(base_sink.events());
+    for threads in [2usize, 4] {
+        let mut sink = RecordingSink::new();
+        let out = try_run_engine_online_traced(
+            "CAQE",
+            &r,
+            &t,
+            &w,
+            &events,
+            &exec.with_parallelism(Some(threads)),
+            &EngineConfig::caqe(),
+            0,
+            &mut sink,
+        )
+        .expect("clean input");
+        assert_identical(&base, &out, &format!("admit-faults threads={threads}"));
+        assert_eq!(
+            base_jsonl,
+            to_jsonl(sink.events()),
+            "faulted churn trace diverged at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn bad_departures_surface_typed_errors() {
+    let w = workload();
+    let (r, t) = tables(400, Distribution::Independent, 7);
+    let exec = ExecConfig::default().with_target_cells(400, 8);
+    for events in [
+        // Unknown query id.
+        EventStream::new(vec![SessionEvent::Depart {
+            at: 0,
+            query: QueryId(40),
+        }]),
+        // Double departure of the same query.
+        EventStream::new(vec![
+            SessionEvent::Depart {
+                at: 0,
+                query: QueryId(0),
+            },
+            SessionEvent::Depart {
+                at: 1,
+                query: QueryId(0),
+            },
+        ]),
+    ] {
+        let res = try_run_engine_online_traced(
+            "CAQE",
+            &r,
+            &t,
+            &w,
+            &events,
+            &exec,
+            &EngineConfig::caqe(),
+            0,
+            &mut NoopSink,
+        );
+        match res {
+            Err(caqe::types::EngineError::BadEventSpec { .. }) => {}
+            other => panic!("expected BadEventSpec, got {other:?}"),
+        }
+    }
+}

@@ -93,24 +93,32 @@ proptest! {
     }
 
     #[test]
-    fn weight_update_preserves_total_plus_one(
+    fn weight_update_renormalizes_to_mean_one(
         sats in proptest::collection::vec(0.0f64..1.0, 2..12),
     ) {
-        // Equation 11 distributes exactly one unit of boost (unless all
-        // satisfactions are equal, in which case nothing changes).
+        // Equation 11 distributes one unit of boost, then the vector is
+        // rescaled to mean 1 so absolute weight magnitudes cannot drift
+        // across feedback rounds. When all satisfactions are equal the
+        // update is an exact no-op (no renormalization either).
         let mut w = vec![1.0; sats.len()];
-        let before: f64 = w.iter().sum();
         update_weights(&mut w, &sats);
-        let after: f64 = w.iter().sum();
         let vmax = sats.iter().copied().fold(f64::MIN, f64::max);
         let spread: f64 = sats.iter().map(|v| vmax - v).sum();
         if spread <= f64::EPSILON {
-            prop_assert!((after - before).abs() < 1e-9);
+            prop_assert!(w.iter().all(|&x| (x - 1.0).abs() < 1e-12));
         } else {
-            prop_assert!((after - before - 1.0).abs() < 1e-9);
+            let mean: f64 = w.iter().sum::<f64>() / w.len() as f64;
+            prop_assert!((mean - 1.0).abs() < 1e-9, "mean {mean} drifted");
         }
-        // Weights never decrease.
-        prop_assert!(w.iter().all(|&x| x >= 1.0 - 1e-12));
+        // Less-satisfied queries never end up with smaller weights.
+        for (i, vi) in sats.iter().enumerate() {
+            for (j, vj) in sats.iter().enumerate() {
+                if vi < vj {
+                    prop_assert!(w[i] >= w[j] - 1e-12, "ranking inverted at {i},{j}");
+                }
+            }
+        }
+        prop_assert!(w.iter().all(|&x| x.is_finite() && x > 0.0));
     }
 
     #[test]
