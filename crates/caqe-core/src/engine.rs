@@ -245,6 +245,9 @@ pub fn try_run_engine_online_traced<S: TraceSink>(
     sink: &mut S,
 ) -> Result<RunOutcome, EngineError> {
     let wall_start = Instant::now();
+    // Reject streams whose tie-break semantics are unsatisfiable (a
+    // departure applying before its query's admission) before any work.
+    events.validate(workload.len())?;
     let session_mode = !events.is_empty();
     let threads = Threads::from_config(exec.parallelism);
     let mut clock = SimClock::new(exec.cost_model);
@@ -1005,8 +1008,15 @@ fn apply_admit<S: TraceSink>(
                     MinMaxCuboid::build_masked(&prefs, &act),
                     exec.assume_dva,
                 );
-                for tag in 0..g.points.len() {
-                    plan.insert(tag as u64, g.points.at(tag), clock, stats);
+                if !g.points.is_empty() {
+                    plan.insert_batch(
+                        0,
+                        g.points.as_flat(),
+                        g.points.stride(),
+                        Threads::from_config(exec.parallelism),
+                        clock,
+                        stats,
+                    );
                 }
                 g.plan = plan;
             } else {
@@ -1608,18 +1618,42 @@ fn process_region_tuples(
         (cand_meta, cand_vals)
     };
 
-    // --- Phase 2: sequential shared-plan insertion in candidate order. ---
-    for (ci, (r_row, t_row, lineage)) in cand_meta.into_iter().enumerate() {
+    // --- Phase 2: shared-plan insertion, deterministically sharded. ---
+    // The arena/point-store rows are appended first (tags stay dense, in
+    // candidate order), then the whole candidate batch goes through
+    // `SharedSkylinePlan::insert_batch`, which shards the per-subspace
+    // skyline maintenance across `threads` and merges in fixed subspace
+    // order — bit-identical to inserting the candidates one at a time.
+    // The per-candidate emission/eviction bookkeeping below never touches
+    // the clock, so replaying it after the batch leaves every observable
+    // unchanged from the serial interleaving.
+    if cand_meta.is_empty() {
+        return new_by_query;
+    }
+    let first_tag = g.arena.len() as u64;
+    let mut pids: Vec<PointId> = Vec::with_capacity(cand_meta.len());
+    for (ci, (r_row, t_row, _)) in cand_meta.iter().enumerate() {
         let vals = &cand_vals[ci * stride..(ci + 1) * stride];
-        let tag = g.arena.len() as u64;
         g.arena.push(ArenaTuple {
-            rid: r.record(r_row).id,
-            tid: t.record(t_row).id,
+            rid: r.record(*r_row).id,
+            tid: t.record(*t_row).id,
             origin: rid,
         });
         let pid = g.points.push(vals);
-        debug_assert_eq!(pid.index() as u64, tag, "arena/point-store desync");
-        let ins = g.plan.insert(tag, vals, clock, stats);
+        debug_assert_eq!(
+            pid.index() as u64,
+            first_tag + ci as u64,
+            "arena/point-store desync"
+        );
+        pids.push(pid);
+    }
+    let inserts = g
+        .plan
+        .insert_batch(first_tag, &cand_vals, stride, threads, clock, stats);
+    debug_assert_eq!(inserts.len(), cand_meta.len());
+    for (ci, ((_, _, lineage), ins)) in cand_meta.into_iter().zip(inserts).enumerate() {
+        let tag = first_tag + ci as u64;
+        let pid = pids[ci];
 
         // Register newly admitted skyline tuples as pending emissions.
         let mut pend_entries: Vec<(QueryId, Option<RegionId>)> = Vec::new();

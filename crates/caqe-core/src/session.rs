@@ -43,11 +43,33 @@ impl SessionEvent {
             SessionEvent::Depart { at, .. } => *at,
         }
     }
+
+    /// Secondary sort key at equal ticks: departures apply before
+    /// admissions (rank 0 vs 1), departures among themselves by ascending
+    /// query id. Admissions share one key and keep textual order through
+    /// the stable sort.
+    fn tie_key(&self) -> (u8, u64) {
+        match self {
+            SessionEvent::Depart { query, .. } => (0, u64::from(query.0)),
+            SessionEvent::Admit { .. } => (1, 0),
+        }
+    }
 }
 
 /// An ordered stream of [`SessionEvent`]s. Construction sorts stably by
-/// scheduled tick, so ties keep their textual order — part of the
-/// determinism contract.
+/// scheduled tick with a *defined* tie-break — part of the determinism
+/// contract:
+///
+/// 1. ascending scheduled tick;
+/// 2. at equal ticks, **departures before admissions** (a slot freed by a
+///    departure is available to a same-tick admission, never the reverse);
+/// 3. departures at one tick by ascending query id;
+/// 4. admissions at one tick in textual order (stable sort).
+///
+/// A consequence of rule 2: a departure naming a query that is only
+/// admitted at the same (or a later) tick would apply before that query
+/// exists. [`EventStream::validate`] rejects such streams up front as
+/// [`EngineError::BadEventSpec`].
 #[derive(Debug, Clone, Default)]
 pub struct EventStream {
     events: Vec<SessionEvent>,
@@ -60,10 +82,51 @@ impl EventStream {
         EventStream::default()
     }
 
-    /// Builds a stream, stably sorting by scheduled tick.
+    /// Builds a stream, stably sorting into application order (see the
+    /// type-level tie-break rules).
     pub fn new(mut events: Vec<SessionEvent>) -> Self {
-        events.sort_by_key(|e| e.at());
+        events.sort_by_key(|e| {
+            let (rank, id) = e.tie_key();
+            (e.at(), rank, id)
+        });
         EventStream { events }
+    }
+
+    /// Checks the stream against the engine's id-assignment rule (an
+    /// admission receives global id `initial_queries + admission order`)
+    /// and rejects any departure that would apply before its query is
+    /// admitted: departures sort before admissions at equal ticks, so a
+    /// depart-at-tick-T of a query admitted at tick ≥ T can never name a
+    /// live query. The engine calls this once before the run loop.
+    pub fn validate(&self, initial_queries: usize) -> Result<(), EngineError> {
+        let admit_ticks: Vec<Ticks> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                SessionEvent::Admit { at, .. } => Some(*at),
+                SessionEvent::Depart { .. } => None,
+            })
+            .collect();
+        for e in &self.events {
+            if let SessionEvent::Depart { at, query } = e {
+                let admitted_at = (query.0 as usize)
+                    .checked_sub(initial_queries)
+                    .and_then(|i| admit_ticks.get(i).copied());
+                if let Some(t) = admitted_at {
+                    if t >= *at {
+                        return Err(EngineError::BadEventSpec {
+                            fragment: format!("depart@{at}={}", query.0),
+                            reason: format!(
+                                "query {} is only admitted at tick {t}; departures apply \
+                                 before admissions at equal ticks",
+                                query.0
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     /// The events in application order.
@@ -181,6 +244,55 @@ mod tests {
             SessionEvent::Depart { query, .. } => assert_eq!(*query, QueryId(0)),
             other => panic!("expected depart, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn equal_tick_departs_sort_before_admits_and_by_id() {
+        let s = EventStream::parse("admit@100=0,depart@100=1,admit@100=1,depart@100=0", &pool())
+            .expect("valid");
+        let kinds: Vec<(Ticks, Option<u16>)> = s
+            .events()
+            .iter()
+            .map(|e| match e {
+                SessionEvent::Depart { at, query } => (*at, Some(query.0)),
+                SessionEvent::Admit { at, .. } => (*at, None),
+            })
+            .collect();
+        // Departs first (ascending id), then admits in textual order.
+        assert_eq!(
+            kinds,
+            vec![(100, Some(0)), (100, Some(1)), (100, None), (100, None)]
+        );
+        match (&s.events()[2], &s.events()[3]) {
+            (SessionEvent::Admit { spec: a, .. }, SessionEvent::Admit { spec: b, .. }) => {
+                assert_eq!(a.priority, 0.5, "first textual admit is pool 0");
+                assert_eq!(b.priority, 0.8, "second textual admit is pool 1");
+            }
+            other => panic!("expected two admits, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_rejects_same_tick_depart_of_admitted_query() {
+        // Two initial queries: the first admission receives global id 2.
+        // Departing id 2 at the same tick would apply before the admission
+        // (departs-first tie-break) — rejected up front.
+        let s = EventStream::parse("admit@500=0,depart@500=2", &pool()).expect("parses");
+        match s.validate(2) {
+            Err(EngineError::BadEventSpec { fragment, .. }) => {
+                assert!(fragment.contains("depart@500=2"), "fragment: {fragment}");
+            }
+            other => panic!("expected BadEventSpec, got {other:?}"),
+        }
+        // Departing a query admitted strictly earlier is fine.
+        let ok = EventStream::parse("admit@500=0,depart@600=2", &pool()).expect("parses");
+        assert!(ok.validate(2).is_ok());
+        // Departing an initial query at any tick is fine.
+        let ok = EventStream::parse("depart@500=1,admit@500=0", &pool()).expect("parses");
+        assert!(ok.validate(2).is_ok());
+        // A depart scheduled *before* the admission is equally unsatisfiable.
+        let bad = EventStream::parse("admit@900=0,depart@400=2", &pool()).expect("parses");
+        assert!(bad.validate(2).is_err());
     }
 
     #[test]

@@ -20,9 +20,48 @@
 //! dominator's sum is never *larger* — on ties the boundary is included).
 
 use crate::minmax::MinMaxCuboid;
+use caqe_parallel::{map_ordered, Threads};
 use caqe_types::{
     DimMask, DomKernel, DomRelation, PointId, PointStore, QueryId, SimClock, Stats, Value,
 };
+
+/// High bit marking a [`PointId`] that, during one [`SharedSkylinePlan::insert_batch`]
+/// call, refers to batch candidate `id & !BATCH_SENTINEL` instead of an
+/// interned arena point. All sentinels are patched to real ids before the
+/// call returns; none ever escapes.
+const BATCH_SENTINEL: u32 = 0x8000_0000;
+
+/// Resolves a possibly-sentinel member handle against the plan arena or the
+/// in-flight batch slice.
+#[inline]
+fn member_point<'a>(
+    points: &'a PointStore,
+    vals: &'a [Value],
+    stride: usize,
+    pid: PointId,
+) -> &'a [Value] {
+    if pid.0 & BATCH_SENTINEL != 0 {
+        let c = (pid.0 & !BATCH_SENTINEL) as usize;
+        &vals[c * stride..(c + 1) * stride]
+    } else {
+        points.get(pid)
+    }
+}
+
+/// What one subspace shard reports back from a batch-insert level.
+struct ShardOut {
+    /// Cuboid index of the subspace this shard owns.
+    subspace: usize,
+    /// The subspace skyline after processing every candidate.
+    sky: SubspaceSky,
+    /// Per batch candidate: admitted into this subspace?
+    admitted: Vec<bool>,
+    /// `(candidate, evicted tags)` in candidate order.
+    evictions: Vec<(usize, Vec<u64>)>,
+    /// Dominance comparisons performed (merged into clock/stats in fixed
+    /// shard order by the caller).
+    comps: u64,
+}
 
 /// Result of inserting one tuple into the shared plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -408,6 +447,223 @@ impl SharedSkylinePlan {
         }
     }
 
+    /// Inserts a batch of tuples through the cuboid with the per-subspace
+    /// work sharded across `threads`, bit-identically to calling
+    /// [`SharedSkylinePlan::insert`] once per tuple in order.
+    ///
+    /// Tuple `c` of the batch lives at `vals[c * stride..][..stride]` and
+    /// receives tag `first_tag + c`. The decomposition exploits two facts:
+    ///
+    /// * a subspace skyline's evolution depends only on *earlier candidates
+    ///   in that same subspace* plus, through the Theorem 1 shortcut, the
+    ///   admission bits of strictly *lower lattice levels* (every kept child
+    ///   is a strict subset, hence on a lower level);
+    /// * comparison charges are additive and nothing reads the clock during
+    ///   an insert phase, so merging each shard's privately counted
+    ///   comparisons in **fixed subspace order** reproduces the serial tick
+    ///   stream exactly.
+    ///
+    /// So levels run sequentially (a barrier per level freezes the admission
+    /// bits the next level's Theorem 1 test reads) and the subspaces *within*
+    /// a level run as independent shards on the scoped pool, each replaying
+    /// the full candidate sequence against its own skyline. New candidates
+    /// are referenced via sentinel handles inside the shards and interned in
+    /// candidate order afterwards — the same lazy-intern order the serial
+    /// path produces — so arena ids also match byte-for-byte.
+    pub fn insert_batch(
+        &mut self,
+        first_tag: u64,
+        vals: &[Value],
+        stride: usize,
+        threads: Threads,
+        clock: &mut SimClock,
+        stats: &mut Stats,
+    ) -> Vec<SharedInsert> {
+        assert!(stride > 0, "insert_batch needs a positive stride");
+        assert!(
+            vals.len() % stride == 0,
+            "vals length {} not a multiple of stride {stride}",
+            vals.len()
+        );
+        let count = vals.len() / stride;
+        if count == 0 {
+            return Vec::new();
+        }
+        assert!(
+            count <= BATCH_SENTINEL as usize,
+            "batch too large for sentinel handles"
+        );
+        let n_subs = self.cuboid.len();
+        if self.kernels.is_empty() {
+            self.points = PointStore::new(stride);
+            self.kernels = self
+                .cuboid
+                .subspaces()
+                .iter()
+                .map(|&m| DomKernel::new(m, stride))
+                .collect();
+        }
+        debug_assert!(
+            (self.points.len() as u32) < BATCH_SENTINEL,
+            "arena too large for sentinel handles"
+        );
+
+        // Admission bitmask per candidate; a level only ever reads bits set
+        // by strictly lower levels (frozen by the per-level barrier).
+        let mut added_bits: Vec<u64> = vec![0; count];
+        // Evictions per candidate, accumulated in ascending subspace order —
+        // exactly the order serial `insert` encounters them.
+        let mut evictions: Vec<Vec<(usize, Vec<u64>)>> = vec![Vec::new(); count];
+
+        let mut level_start = 0usize;
+        while level_start < n_subs {
+            let level = self.cuboid.subspaces()[level_start].len();
+            let mut level_end = level_start + 1;
+            while level_end < n_subs && self.cuboid.subspaces()[level_end].len() == level {
+                level_end += 1;
+            }
+            debug_assert!(
+                level_end == n_subs || self.cuboid.subspaces()[level_end].len() > level,
+                "cuboid subspaces not level-sorted"
+            );
+            // Take each shard's skyline out of the plan so workers own them.
+            let shards: Vec<(usize, SubspaceSky)> = (level_start..level_end)
+                .map(|i| (i, std::mem::take(&mut self.skylines[i])))
+                .collect();
+            let arena = &self.points;
+            let kernels = &self.kernels;
+            let cuboid = &self.cuboid;
+            let assume_dva = self.assume_dva;
+            let frozen_bits: &[u64] = &added_bits;
+            let outs = map_ordered(threads, shards, |_, (i, mut sky)| {
+                let kernel = &kernels[i];
+                let child_bits: u64 = cuboid
+                    .children(i)
+                    .iter()
+                    .fold(0u64, |acc, &c| acc | (1u64 << c));
+                let mut admitted = vec![false; count];
+                let mut evs: Vec<(usize, Vec<u64>)> = Vec::new();
+                let mut comps: u64 = 0;
+                for c in 0..count {
+                    let point = &vals[c * stride..(c + 1) * stride];
+                    let known_survivor = assume_dva && (frozen_bits[c] & child_bits) != 0;
+                    let score: Value = kernel.score(point);
+                    let pos = sky.position(score);
+
+                    let mut rejected = false;
+                    if !known_survivor {
+                        let boundary = sky.entries.partition_point(|e| e.score <= score);
+                        for e in &sky.entries[..boundary] {
+                            comps += 1;
+                            let member = member_point(arena, vals, stride, e.point);
+                            if kernel.relate(member, point) == DomRelation::Dominates {
+                                rejected = true;
+                                break;
+                            }
+                        }
+                    }
+                    if rejected {
+                        continue;
+                    }
+
+                    let mut evicted: Vec<u64> = Vec::new();
+                    let mut k = pos;
+                    while k < sky.entries.len() {
+                        comps += 1;
+                        let member = member_point(arena, vals, stride, sky.entries[k].point);
+                        if kernel.relate(point, member) == DomRelation::Dominates {
+                            evicted.push(sky.entries.remove(k).tag);
+                        } else {
+                            k += 1;
+                        }
+                    }
+                    sky.entries.insert(
+                        pos,
+                        Entry {
+                            score,
+                            tag: first_tag + c as u64,
+                            point: PointId(BATCH_SENTINEL | c as u32),
+                        },
+                    );
+                    admitted[c] = true;
+                    if !evicted.is_empty() {
+                        evs.push((c, evicted));
+                    }
+                }
+                ShardOut {
+                    subspace: i,
+                    sky,
+                    admitted,
+                    evictions: evs,
+                    comps,
+                }
+            });
+            // Fixed-order merge: ascending subspace index within the level.
+            for out in outs {
+                clock.charge_dom_cmps(out.comps);
+                stats.dom_comparisons += out.comps;
+                self.skylines[out.subspace] = out.sky;
+                for (c, adm) in out.admitted.iter().enumerate() {
+                    if *adm {
+                        added_bits[c] |= 1u64 << out.subspace;
+                    }
+                }
+                for (c, tags) in out.evictions {
+                    evictions[c].push((out.subspace, tags));
+                }
+            }
+            level_start = level_end;
+        }
+
+        // Intern admitted candidates in candidate order — the serial path's
+        // lazy-intern order — then patch every sentinel handle.
+        let mut interned: Vec<Option<PointId>> = vec![None; count];
+        for (c, slot) in interned.iter_mut().enumerate() {
+            if added_bits[c] != 0 {
+                *slot = Some(self.points.push(&vals[c * stride..(c + 1) * stride]));
+            }
+        }
+        for sky in &mut self.skylines {
+            for e in &mut sky.entries {
+                if e.point.0 & BATCH_SENTINEL != 0 {
+                    let c = (e.point.0 & !BATCH_SENTINEL) as usize;
+                    // Allowed survivor: a sentinel enters a skyline only on
+                    // admission, so the candidate was interned just above.
+                    #[allow(clippy::expect_used)]
+                    let pid = interned[c].expect("admitted candidate was interned");
+                    e.point = pid;
+                }
+            }
+        }
+
+        (0..count)
+            .map(|c| {
+                let added_mask = added_bits[c];
+                let in_query_sky = (0..self.cuboid.num_queries())
+                    .map(|q| {
+                        let qid = QueryId(q as u16);
+                        self.cuboid.is_active(qid)
+                            && added_mask & (1u64 << self.cuboid.query_subspace(qid)) != 0
+                    })
+                    .collect();
+                let mut query_evictions: Vec<(QueryId, Vec<u64>)> = Vec::new();
+                for (i, tags) in &evictions[c] {
+                    for q in 0..self.cuboid.num_queries() {
+                        let qid = QueryId(q as u16);
+                        if self.cuboid.is_active(qid) && self.cuboid.query_subspace(qid) == *i {
+                            query_evictions.push((qid, tags.clone()));
+                        }
+                    }
+                }
+                SharedInsert {
+                    added_mask,
+                    in_query_sky,
+                    query_evictions,
+                }
+            })
+            .collect()
+    }
+
     /// The subspace mask maintained at cuboid position `i` (diagnostics).
     pub fn subspace(&self, i: usize) -> DimMask {
         self.cuboid.subspaces()[i]
@@ -692,6 +948,165 @@ mod tests {
         let r = plan.insert(1, &[2.0, 3.0], &mut clock, &mut stats);
         assert!(!r.in_query_sky[0], "departed query flagged in-sky");
         assert!(r.query_evictions.iter().all(|(q, _)| *q != QueryId(0)));
+    }
+
+    /// Drives `plan` through the full stream in uneven batches via
+    /// `insert_batch`, returning the per-tuple results plus final clock and
+    /// stats. Batch boundaries are deliberately awkward (1, 7, 64, ...) to
+    /// exercise single-candidate batches and cross-batch dominance.
+    fn insert_batched(
+        plan: &mut SharedSkylinePlan,
+        points: &[Vec<Value>],
+        threads: Threads,
+    ) -> (Vec<SharedInsert>, SimClock, Stats) {
+        let stride = points[0].len();
+        let flat: Vec<Value> = points.iter().flatten().copied().collect();
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let mut results = Vec::new();
+        let mut off = 0usize;
+        let mut chunk = 1usize;
+        while off < points.len() {
+            let take = chunk.min(points.len() - off);
+            let r = plan.insert_batch(
+                off as u64,
+                &flat[off * stride..(off + take) * stride],
+                stride,
+                threads,
+                &mut clock,
+                &mut stats,
+            );
+            results.extend(r);
+            off += take;
+            chunk = (chunk * 3 + 4).min(128);
+        }
+        (results, clock, stats)
+    }
+
+    #[test]
+    fn insert_batch_is_bit_identical_to_serial_at_any_thread_count() {
+        let prefs = figure1_prefs();
+        let points = random_points(350, 4, 77);
+        let mut serial = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), true);
+        let mut sc = SimClock::default();
+        let mut ss = Stats::new();
+        let serial_results: Vec<SharedInsert> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| serial.insert(i as u64, p, &mut sc, &mut ss))
+            .collect();
+        for workers in [1usize, 2, 4, 8] {
+            let threads = Threads::from_config(Some(workers));
+            let mut plan = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), true);
+            let (results, clock, stats) = insert_batched(&mut plan, &points, threads);
+            assert_eq!(
+                results, serial_results,
+                "results diverge at {workers} threads"
+            );
+            assert_eq!(
+                clock.ticks(),
+                sc.ticks(),
+                "ticks diverge at {workers} threads"
+            );
+            assert_eq!(
+                stats.dom_comparisons, ss.dom_comparisons,
+                "comparison counts diverge at {workers} threads"
+            );
+            for q in 0..prefs.len() {
+                let qid = QueryId(q as u16);
+                assert_eq!(
+                    plan.query_skyline_entries(qid),
+                    serial.query_skyline_entries(qid),
+                    "query Q{} entries diverge at {workers} threads",
+                    q + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn insert_batch_handles_tied_values_without_dva() {
+        // Integer-grid points produce heavy score and value ties; the plan
+        // must be run with assume_dva = false and stay identical to serial.
+        let mut rng = StdRng::seed_from_u64(5150);
+        let points: Vec<Vec<Value>> = (0..240)
+            .map(|_| (0..4).map(|_| f64::from(rng.gen_range(0..6u8))).collect())
+            .collect();
+        let prefs = figure1_prefs();
+        let mut serial = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), false);
+        let mut sc = SimClock::default();
+        let mut ss = Stats::new();
+        let serial_results: Vec<SharedInsert> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| serial.insert(i as u64, p, &mut sc, &mut ss))
+            .collect();
+        for workers in [1usize, 4] {
+            let mut plan = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), false);
+            let (results, clock, stats) =
+                insert_batched(&mut plan, &points, Threads::from_config(Some(workers)));
+            assert_eq!(
+                results, serial_results,
+                "tied values diverge at {workers} threads"
+            );
+            assert_eq!(clock.ticks(), sc.ticks());
+            assert_eq!(stats.dom_comparisons, ss.dom_comparisons);
+        }
+    }
+
+    #[test]
+    fn insert_batch_composes_with_admit_and_depart() {
+        // Batched inserts interleaved with admissions and departures must
+        // leave the plan in the same state as the serial path — including
+        // the interned-arena ids the admission backfill reuses.
+        let prefs = figure1_prefs();
+        let points = random_points(300, 4, 4242);
+        let (a, b) = (120usize, 210usize);
+        let drive = |plan: &mut SharedSkylinePlan, batched: bool| -> (SimClock, Stats) {
+            let mut clock = SimClock::default();
+            let mut stats = Stats::new();
+            let mut history = PointStore::new(4);
+            let threads = Threads::from_config(Some(4));
+            let stride = 4;
+            let run = |plan: &mut SharedSkylinePlan,
+                       clock: &mut SimClock,
+                       stats: &mut Stats,
+                       range: std::ops::Range<usize>| {
+                if batched {
+                    let flat: Vec<Value> =
+                        points[range.clone()].iter().flatten().copied().collect();
+                    plan.insert_batch(range.start as u64, &flat, stride, threads, clock, stats);
+                } else {
+                    for i in range {
+                        plan.insert(i as u64, &points[i], clock, stats);
+                    }
+                }
+            };
+            run(plan, &mut clock, &mut stats, 0..a);
+            for p in &points[..a] {
+                history.push(p);
+            }
+            plan.admit_query(prefs[3], &history, &mut clock, &mut stats);
+            run(plan, &mut clock, &mut stats, a..b);
+            plan.depart_query(QueryId(1));
+            run(plan, &mut clock, &mut stats, b..points.len());
+            (clock, stats)
+        };
+        let mut serial = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs[..3]), true);
+        let (sc, ss) = drive(&mut serial, false);
+        let mut sharded = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs[..3]), true);
+        let (c, s) = drive(&mut sharded, true);
+        assert_eq!(c.ticks(), sc.ticks());
+        assert_eq!(s.dom_comparisons, ss.dom_comparisons);
+        for q in 0..prefs.len() {
+            let qid = QueryId(q as u16);
+            assert_eq!(
+                sharded.query_skyline_entries(qid),
+                serial.query_skyline_entries(qid),
+                "query Q{} diverges after admit/depart churn",
+                q + 1
+            );
+        }
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub use join::{
 };
 pub use mapping::{MappingFn, MappingSet};
 pub use skyline::{
-    monotone_score, skyline_bnl, skyline_bnl_store, skyline_reference, skyline_sfs,
-    skyline_sfs_store, sorted_by_score, IncrementalSkyline, InsertOutcome,
+    monotone_score, sfs_order, skyline_bnl, skyline_bnl_store, skyline_bnl_store_scalar,
+    skyline_reference, skyline_sfs, skyline_sfs_presorted, skyline_sfs_presorted_scalar,
+    skyline_sfs_store, skyline_sfs_store_scalar, sorted_by_score, IncrementalSkyline,
+    InsertOutcome,
 };

@@ -22,7 +22,10 @@
 //! Both layouts perform the *same comparisons in the same order*, so stats,
 //! ticks and traces are identical whichever entry point is used.
 
-use caqe_types::{relate_in, DimMask, DomKernel, DomRelation, PointStore, SimClock, Stats, Value};
+use caqe_types::{
+    relate, relate_in, DimMask, DomKernel, DomRelation, PointStore, SimClock, Stats, Value,
+    BLOCK_MIN,
+};
 
 /// Interns a `Vec<Vec<f64>>` point set into a flat store (adapter path).
 fn intern(points: &[Vec<Value>], mask: DimMask) -> PointStore {
@@ -62,8 +65,27 @@ pub fn skyline_reference(points: &[Vec<Value>], mask: DimMask) -> Vec<usize> {
 /// of current skyline candidates and compares every incoming point against
 /// it through the specialized kernel.
 ///
+/// Dispatches to the rank-packed block path (DESIGN.md §15) when the input
+/// is large enough and NaN-free; both paths are observationally identical —
+/// same survivors, same charged comparisons, same ticks.
+///
 /// Returns indices of skyline points in input order of survival.
 pub fn skyline_bnl_store(
+    points: &PointStore,
+    kernel: &DomKernel,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<usize> {
+    if points.len() >= BLOCK_MIN && !kernel.is_empty() {
+        return skyline_bnl_block(points, kernel, clock, stats);
+    }
+    skyline_bnl_store_scalar(points, kernel, clock, stats)
+}
+
+/// The reference scalar BNL loop: one kernel relate per examined window
+/// member, early exit on a dominator, `swap_remove` on an eviction. Kept
+/// public as the equivalence oracle and the scalar arm of `bench_pr6`.
+pub fn skyline_bnl_store_scalar(
     points: &PointStore,
     kernel: &DomKernel,
     clock: &mut SimClock,
@@ -89,6 +111,117 @@ pub fn skyline_bnl_store(
     }
     window.sort_unstable();
     window
+}
+
+/// Block-bitset BNL: candidates are screened 64 at a time against the
+/// *first* window member in one branch-free transposed pass over the
+/// store's contiguous rows ([`DomKernel::relate_block_rows`] with the
+/// candidates as lanes and `window[0]` as the probe). BNL examines
+/// `window[0]` first for every candidate, so a set reject bit means the
+/// scalar loop would have charged exactly one comparison and rejected —
+/// the overwhelming majority of candidates on skyline-sized windows.
+///
+/// Unresolved lanes fall back to the exact scalar walk over a *packed*
+/// copy of the window (subspace values gathered on admission, so the walk
+/// touches a few dense cache lines instead of scattered store rows).
+/// The walk is the only place the window mutates; an eviction of
+/// `window[0]` (`swap_remove(0)`) invalidates the precomputed screen, so
+/// the rest of that chunk is walked scalar too. Charges one comparison
+/// per examined member everywhere — the bulk screen is uncharged physical
+/// work, like the SFS presort.
+fn skyline_bnl_block(
+    points: &PointStore,
+    kernel: &DomKernel,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<usize> {
+    let d = kernel.len();
+    let stride = points.stride();
+    let flat = points.as_flat();
+    let n = points.len();
+    let mut window: Vec<usize> = Vec::new();
+    // Window members' subspace values, `d` per member, in window order.
+    let mut wvals: Vec<Value> = Vec::new();
+    let mut probe: Vec<Value> = Vec::with_capacity(d);
+    // The first point is admitted against an empty window, uncompared.
+    window.push(0);
+    kernel.pack_append(points.at(0), &mut wvals);
+    let mut i = 1;
+    while i < n {
+        let count = (n - i).min(64);
+        let all = if count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        };
+        let m0 = points.at(window[0]);
+        let bv = kernel.relate_block_rows(flat, stride, i, count, m0);
+        // Lane j set: `window[0]` dominates candidate `i + j` — an exact
+        // one-comparison reject, bulk-charged below. Only the unresolved
+        // lanes are walked, in ascending order (bit iteration).
+        let mut rejects = bv.dominated_members() & all;
+        let mut fast = u64::from(rejects.count_ones());
+        let mut todo = all & !rejects;
+        while todo != 0 {
+            let j = todo.trailing_zeros() as usize;
+            todo &= todo - 1;
+            let p = points.at(i + j);
+            kernel.pack_into(p, &mut probe);
+            let mut k = 0;
+            let mut dominated = false;
+            let mut m0_evicted = false;
+            while k < window.len() {
+                clock.charge_dom_cmps(1);
+                stats.dom_comparisons += 1;
+                // Packed rows hold exactly the kernel's subspace values in
+                // ascending dimension order, so full-slice `relate` returns
+                // the verdict `kernel.relate` gives on the original rows.
+                match relate(&wvals[k * d..(k + 1) * d], &probe) {
+                    DomRelation::Dominates => {
+                        dominated = true;
+                        break;
+                    }
+                    DomRelation::DominatedBy => {
+                        if k == 0 {
+                            m0_evicted = true;
+                        }
+                        window.swap_remove(k);
+                        swap_remove_row(&mut wvals, k, d);
+                    }
+                    DomRelation::Equal | DomRelation::Incomparable => k += 1,
+                }
+            }
+            if !dominated {
+                window.push(i + j);
+                kernel.pack_append(p, &mut wvals);
+            }
+            if m0_evicted {
+                // `window[0]` changed: the screen is stale for every later
+                // lane — demote its remaining rejects to the scalar walk.
+                let later = (u64::MAX << j) << 1;
+                let stale = rejects & later;
+                fast -= u64::from(stale.count_ones());
+                todo |= stale;
+                rejects &= !stale;
+            }
+        }
+        clock.charge_dom_cmps(fast);
+        stats.dom_comparisons += fast;
+        i += count;
+    }
+    window.sort_unstable();
+    window
+}
+
+/// `Vec::swap_remove` on row `k` of a flat buffer of `d`-wide rows.
+#[inline]
+fn swap_remove_row(rows: &mut Vec<Value>, k: usize, d: usize) {
+    let last = rows.len() / d - 1;
+    if k != last {
+        let (head, tail) = rows.split_at_mut(last * d);
+        head[k * d..(k + 1) * d].copy_from_slice(&tail[..d]);
+    }
+    rows.truncate(last * d);
 }
 
 /// Block-Nested-Loop skyline over `Vec<Vec<f64>>` points — thin adapter
@@ -124,6 +257,9 @@ pub fn sorted_by_score(scores: &[Value]) -> Vec<usize> {
 /// monotone score, then filters. Survivors are final the moment they are
 /// admitted, which is what makes SFS-style processing *progressive*.
 ///
+/// Dispatches to the rank-packed block path (DESIGN.md §15) when the input
+/// is large enough and NaN-free; both paths are observationally identical.
+///
 /// Scores are computed once per point (O(n·d)), not inside the sort
 /// comparator (O(n log n · d)).
 pub fn skyline_sfs_store(
@@ -132,12 +268,59 @@ pub fn skyline_sfs_store(
     clock: &mut SimClock,
     stats: &mut Stats,
 ) -> Vec<usize> {
+    let order = sfs_order(points, kernel);
+    skyline_sfs_presorted(points, kernel, &order, clock, stats)
+}
+
+/// The reference scalar SFS path. Kept public as the equivalence oracle and
+/// the scalar arm of `bench_pr6`.
+pub fn skyline_sfs_store_scalar(
+    points: &PointStore,
+    kernel: &DomKernel,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<usize> {
+    let order = sfs_order(points, kernel);
+    skyline_sfs_presorted_scalar(points, kernel, &order, clock, stats)
+}
+
+/// The SFS presort: scores every point with the kernel's monotone score and
+/// returns the filter order (ascending score, stable on ties). Uncharged
+/// physical preprocessing, identical whichever filter scan consumes it —
+/// split out so kernel benchmarks can time the dominance scans alone.
+pub fn sfs_order(points: &PointStore, kernel: &DomKernel) -> Vec<usize> {
     let scores: Vec<Value> = (0..points.len())
         .map(|i| kernel.score(points.at(i)))
         .collect();
-    let order = sorted_by_score(&scores);
+    sorted_by_score(&scores)
+}
+
+/// The SFS filter scan over a precomputed [`sfs_order`]. Dispatches to the
+/// packed block path when the input is large enough; both paths are
+/// observationally identical.
+pub fn skyline_sfs_presorted(
+    points: &PointStore,
+    kernel: &DomKernel,
+    order: &[usize],
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<usize> {
+    if points.len() >= BLOCK_MIN && !kernel.is_empty() {
+        return skyline_sfs_presorted_block(points, kernel, order, clock, stats);
+    }
+    skyline_sfs_presorted_scalar(points, kernel, order, clock, stats)
+}
+
+/// The reference scalar SFS filter scan over a precomputed [`sfs_order`].
+pub fn skyline_sfs_presorted_scalar(
+    points: &PointStore,
+    kernel: &DomKernel,
+    order: &[usize],
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<usize> {
     let mut sky: Vec<usize> = Vec::new();
-    'next: for i in order {
+    'next: for &i in order {
         let p = points.at(i);
         for &s in &sky {
             clock.charge_dom_cmps(1);
@@ -152,6 +335,106 @@ pub fn skyline_sfs_store(
             }
         }
         sky.push(i);
+    }
+    sky.sort_unstable();
+    sky
+}
+
+/// Block-bitset SFS filter: candidates are gathered 64 at a time and
+/// screened in one branch-free transposed pass against the *first*
+/// survivor (the probe). The scalar scan examines `sky[0]` first for every
+/// candidate, so a set reject bit is an exact one-comparison reject; and
+/// since the survivor set only grows, `sky[0]` never goes stale — no
+/// stability bookkeeping at all. Unresolved lanes finish with a
+/// first-dominator block scan over the remaining gathered survivors
+/// (chunk sizes grow geometrically: dominators cluster at the front of
+/// the window, so small leading chunks avoid wasted whole-window
+/// verdicts). The examined-member count is bulk-charged, tick- and
+/// stats-identical to the scalar per-member charge since nothing reads
+/// the clock mid-scan.
+fn skyline_sfs_presorted_block(
+    points: &PointStore,
+    kernel: &DomKernel,
+    order: &[usize],
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<usize> {
+    let d = kernel.len();
+    let mut sky: Vec<usize> = Vec::new();
+    // Survivors' subspace values, `d` per member, in admission order.
+    let mut svals: Vec<Value> = Vec::new();
+    // Gathered subspace values of the current candidate chunk.
+    let mut cbuf: Vec<Value> = Vec::with_capacity(64 * d);
+    let mut pos = 0;
+    if let Some(&first) = order.first() {
+        // The first candidate is admitted against an empty window.
+        sky.push(first);
+        kernel.pack_append(points.at(first), &mut svals);
+        pos = 1;
+    }
+    while pos < order.len() {
+        let count = (order.len() - pos).min(64);
+        cbuf.clear();
+        for &i in &order[pos..pos + count] {
+            kernel.pack_append(points.at(i), &mut cbuf);
+        }
+        let all = if count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        };
+        // Transposed screen: candidate lanes against survivor 0. A set
+        // reject bit is an exact one-comparison reject; only unresolved
+        // lanes are scanned further, in ascending order (bit iteration).
+        let bv = kernel.relate_block_packed(&cbuf, count, &svals[..d]);
+        debug_assert_eq!(bv.dominators(), 0, "SFS invariant violated");
+        let rejects = bv.dominated_members() & all;
+        let fast = u64::from(rejects.count_ones());
+        let mut todo = all & !rejects;
+        while todo != 0 {
+            let j = todo.trailing_zeros() as usize;
+            todo &= todo - 1;
+            let pr = &cbuf[j * d..(j + 1) * d];
+            // `sky[0]` was examined by the screen and did not dominate.
+            let mut examined = 1u64;
+            let mut dominated = false;
+            let mut base = 1;
+            let mut step = 2;
+            while base < sky.len() {
+                let c = (sky.len() - base).min(step);
+                let bv = kernel.relate_block_packed(&svals[base * d..], c, pr);
+                let dom = bv.dominators();
+                // The SFS invariant (an incoming point never dominates an
+                // admitted survivor) must hold on the examined prefix.
+                debug_assert_eq!(
+                    bv.dominated_members()
+                        & if dom == 0 {
+                            u64::MAX
+                        } else {
+                            (1u64 << dom.trailing_zeros()) - 1
+                        },
+                    0,
+                    "SFS invariant violated"
+                );
+                if dom != 0 {
+                    examined += u64::from(dom.trailing_zeros()) + 1;
+                    dominated = true;
+                    break;
+                }
+                examined += c as u64;
+                base += c;
+                step = (step * 2).min(64);
+            }
+            clock.charge_dom_cmps(examined);
+            stats.dom_comparisons += examined;
+            if !dominated {
+                sky.push(order[pos + j]);
+                kernel.pack_append(points.at(order[pos + j]), &mut svals);
+            }
+        }
+        clock.charge_dom_cmps(fast);
+        stats.dom_comparisons += fast;
+        pos += count;
     }
     sky.sort_unstable();
     sky
@@ -200,6 +483,9 @@ pub struct IncrementalSkyline {
     /// Flat member points; member `i` is `data[i*stride..(i+1)*stride]`.
     data: Vec<Value>,
     stride: usize,
+    /// Reusable verdict buffer for the block insert path (never observable;
+    /// cleared on every use).
+    scratch: Vec<DomRelation>,
 }
 
 impl IncrementalSkyline {
@@ -212,6 +498,7 @@ impl IncrementalSkyline {
             tags: Vec::new(),
             data: Vec::new(),
             stride: 0,
+            scratch: Vec::new(),
         }
     }
 
@@ -256,7 +543,28 @@ impl IncrementalSkyline {
 
     /// Inserts a point, maintaining the skyline invariant. Counts one
     /// dominance comparison per member examined.
+    ///
+    /// Dispatches to the value-packed block path (DESIGN.md §15) once the
+    /// member table is large enough; the member rows mutate in place, so
+    /// this path packs raw value comparisons rather than precomputed ranks.
+    /// Both paths are observationally identical.
     pub fn insert(
+        &mut self,
+        tag: u64,
+        point: &[Value],
+        clock: &mut SimClock,
+        stats: &mut Stats,
+    ) -> InsertOutcome {
+        if self.tags.len() >= BLOCK_MIN {
+            self.insert_block(tag, point, clock, stats)
+        } else {
+            self.insert_scalar(tag, point, clock, stats)
+        }
+    }
+
+    /// The reference scalar insert loop. Kept public as the equivalence
+    /// oracle and the scalar arm of `bench_pr6`.
+    pub fn insert_scalar(
         &mut self,
         tag: u64,
         point: &[Value],
@@ -301,6 +609,128 @@ impl IncrementalSkyline {
         }
         tags.push(tag);
         data.extend_from_slice(point);
+        InsertOutcome::Added { removed }
+    }
+
+    /// Value-packed block insert. Like the packed BNL loop, almost every
+    /// point resolves from the 64-lane verdict bits alone: a first
+    /// dominator with no eviction lane before it is an exact-count reject,
+    /// an all-clear member table is a clean append. Only when an eviction
+    /// precedes the first dominator (rare) are full verdicts materialized
+    /// and an integer replay walks the exact serial examination order with
+    /// the verdict list `swap_remove`d in lockstep with the member table.
+    /// Charges one comparison per examined member, identical to the scalar
+    /// loop.
+    fn insert_block(
+        &mut self,
+        tag: u64,
+        point: &[Value],
+        clock: &mut SimClock,
+        stats: &mut Stats,
+    ) -> InsertOutcome {
+        self.ensure_kernel(point.len());
+        debug_assert_eq!(point.len(), self.stride, "stride mismatch");
+        let stride = self.stride;
+        // Allowed survivor: `ensure_kernel` on the line above guarantees the
+        // kernel is populated — this cannot fire.
+        #[allow(clippy::expect_used)]
+        let kernel = self.kernel.as_ref().expect("just initialized");
+        let n = self.tags.len();
+        let mut examined = 0u64;
+        let mut rejected = false;
+        let mut slow = false;
+        // Scalar head: the first member alone rejects most points, and a
+        // one-lane block call costs more than the comparison it packs.
+        match kernel.relate(&self.data[..stride], point) {
+            DomRelation::Dominates => {
+                examined = 1;
+                rejected = true;
+            }
+            DomRelation::DominatedBy => slow = true,
+            DomRelation::Equal | DomRelation::Incomparable => {
+                examined = 1;
+                let mut row = 1;
+                // Chunks grow geometrically: later dominators cluster near
+                // the front, so leading whole-window verdicts are wasted.
+                let mut step = 2;
+                while row < n {
+                    let count = (n - row).min(step);
+                    step = (step * 2).min(64);
+                    let bv = kernel.relate_block_rows(&self.data, stride, row, count, point);
+                    let dom = bv.dominators();
+                    let below = if dom == 0 {
+                        u64::MAX
+                    } else {
+                        (1u64 << dom.trailing_zeros()) - 1
+                    };
+                    if bv.dominated_members() & below != 0 {
+                        slow = true;
+                        break;
+                    }
+                    if dom != 0 {
+                        examined += u64::from(dom.trailing_zeros()) + 1;
+                        rejected = true;
+                        break;
+                    }
+                    examined += count as u64;
+                    row += count;
+                }
+            }
+        }
+        if !slow {
+            clock.charge_dom_cmps(examined);
+            stats.dom_comparisons += examined;
+            if rejected {
+                return InsertOutcome::Dominated;
+            }
+            self.tags.push(tag);
+            self.data.extend_from_slice(point);
+            return InsertOutcome::Added {
+                removed: Vec::new(),
+            };
+        }
+        // Eviction before the first dominator: exact serial replay.
+        let mut rels = std::mem::take(&mut self.scratch);
+        rels.clear();
+        let mut first = 0;
+        while first < n {
+            let count = (n - first).min(64);
+            let bv = kernel.relate_block_rows(&self.data, stride, first, count, point);
+            rels.extend((0..count).map(|j| bv.relation(j)));
+            first += count;
+        }
+        let (tags, data) = (&mut self.tags, &mut self.data);
+        let mut removed = Vec::new();
+        let mut dominated = false;
+        let mut k = 0;
+        while k < tags.len() {
+            clock.charge_dom_cmps(1);
+            stats.dom_comparisons += 1;
+            match rels[k] {
+                DomRelation::Dominates => {
+                    debug_assert!(removed.is_empty(), "partial order violated");
+                    dominated = true;
+                    break;
+                }
+                DomRelation::DominatedBy => {
+                    removed.push(tags.swap_remove(k));
+                    rels.swap_remove(k);
+                    let last = tags.len();
+                    if k != last {
+                        let (head, tail) = data.split_at_mut(last * stride);
+                        head[k * stride..(k + 1) * stride].copy_from_slice(&tail[..stride]);
+                    }
+                    data.truncate(last * stride);
+                }
+                DomRelation::Equal | DomRelation::Incomparable => k += 1,
+            }
+        }
+        self.scratch = rels;
+        if dominated {
+            return InsertOutcome::Dominated;
+        }
+        self.tags.push(tag);
+        self.data.extend_from_slice(point);
         InsertOutcome::Added { removed }
     }
 

@@ -54,16 +54,23 @@ impl QuadTreeConfig {
 }
 
 /// A node awaiting a split decision, ordered by population so the heap
-/// yields the largest cell first.
+/// yields the largest cell first. Equal populations tie-break on the
+/// explicit creation sequence number (earlier-created pops first): a
+/// `BinaryHeap` gives no ordering guarantee between equal keys, so without
+/// the tie-break the final cell-id assignment would hinge on heap
+/// internals — a latent determinism hazard for everything keyed by
+/// [`CellId`] (traces, region ids, sharded-insert ownership).
 struct PendingNode {
     bounds: Rect,
     rows: Vec<usize>,
     depth: usize,
+    /// Creation sequence number; total order with `rows.len()`.
+    seq: u64,
 }
 
 impl PartialEq for PendingNode {
     fn eq(&self, other: &Self) -> bool {
-        self.rows.len() == other.rows.len()
+        self.rows.len() == other.rows.len() && self.seq == other.seq
     }
 }
 impl Eq for PendingNode {}
@@ -74,7 +81,11 @@ impl PartialOrd for PendingNode {
 }
 impl Ord for PendingNode {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.rows.len().cmp(&other.rows.len())
+        // Max-heap: larger population first, then *smaller* seq first.
+        self.rows
+            .len()
+            .cmp(&other.rows.len())
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -95,6 +106,7 @@ impl Partitioning {
         let mut finals: Vec<(Rect, Vec<usize>)> = Vec::new();
         let mut heap: BinaryHeap<PendingNode> = BinaryHeap::new();
 
+        let mut next_seq = 0u64;
         if !table.is_empty() {
             // Allowed survivor: guarded by the emptiness check one line up.
             #[allow(clippy::expect_used)]
@@ -102,7 +114,9 @@ impl Partitioning {
                 bounds: table.value_bounds().expect("non-empty table"),
                 rows: (0..table.len()).collect(),
                 depth: 0,
+                seq: next_seq,
             });
+            next_seq += 1;
         }
 
         while let Some(node) = heap.pop() {
@@ -134,7 +148,9 @@ impl Partitioning {
                             bounds,
                             rows,
                             depth,
+                            seq: next_seq,
                         });
+                        next_seq += 1;
                     }
                 }
             }
@@ -322,6 +338,45 @@ mod tests {
         let p = Partitioning::build(&t, cfg);
         assert_eq!(p.len(), 1);
         assert_eq!(p.cells()[0].len(), 100);
+    }
+
+    #[test]
+    fn equal_population_ties_pop_in_creation_order() {
+        // Four clusters of identical size at the quadrant corners: the
+        // first split creates four equal-population children, none of
+        // which can split further (duplicate points → degenerate split),
+        // so every pending node finalizes through an equal-population
+        // heap pop. The explicit seq tie-break pins the pop order to
+        // creation order — the child bucket-code order of `split` — no
+        // matter how `BinaryHeap` arbitrates equal keys internally.
+        let centers = [(1.0, 1.0), (9.0, 1.0), (1.0, 9.0), (9.0, 9.0)];
+        let mut recs = Vec::new();
+        for &(x, y) in &centers {
+            for _ in 0..25 {
+                recs.push(Record::new(recs.len() as u64, vec![x, y], vec![0]));
+            }
+        }
+        let t = Table::new("Q", 2, 1, recs);
+        let cfg = QuadTreeConfig {
+            max_leaf_size: 10,
+            max_depth: 8,
+            max_cells: usize::MAX,
+        };
+        let p = Partitioning::build(&t, cfg);
+        assert_eq!(p.len(), 4);
+        for (i, &(x, y)) in centers.iter().enumerate() {
+            assert_eq!(p.cells()[i].id.index(), i);
+            assert_eq!(p.cells()[i].len(), 25);
+            let lo = p.cells()[i].bounds.lo();
+            assert!(
+                lo[0] <= x && x <= p.cells()[i].bounds.hi()[0],
+                "cell {i} does not cover cluster x={x}"
+            );
+            assert!(
+                lo[1] <= y && y <= p.cells()[i].bounds.hi()[1],
+                "cell {i} does not cover cluster y={y}"
+            );
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@ use caqe_cuboid::MinMaxCuboid;
 use caqe_operators::MappingSet;
 use caqe_partition::Partitioning;
 use caqe_types::ids::QuerySet;
-use caqe_types::{DimMask, QueryId, RegionId, SimClock, Stats};
+use caqe_types::{DimMask, DomKernel, QueryId, RegionId, SimClock, Stats, BLOCK_MIN};
 
 /// Inputs for region construction for one join group: queries that share a
 /// join condition and mapping functions but differ in skyline dimensions.
@@ -128,12 +128,26 @@ fn coarse_skyline(
     let prefs: Vec<DimMask> = queries.iter().map(|(_, m)| *m).collect();
     let cuboid = MinMaxCuboid::build(&prefs);
     let n = regions.len();
+    // Flat row-major table of region upper corners for the packed block
+    // path (DESIGN.md §15) — uncharged preprocessing, like the score
+    // precompute below. A NaN anywhere in the bounds disables the block
+    // path: its branch-free compares cannot represent an unordered value.
+    let stride = regions[0].bounds.lo().len();
+    let mut his: Vec<f64> = Vec::with_capacity(n * stride);
+    for r in regions.iter() {
+        his.extend_from_slice(r.bounds.hi());
+    }
+    let blockable = !his.iter().any(|v| v.is_nan())
+        && !regions
+            .iter()
+            .any(|r| r.bounds.lo().iter().any(|v| v.is_nan()));
     // survivors[s] = bitvec over regions: non-dominated in subspace s.
     let mut survivors: Vec<Vec<bool>> = Vec::with_capacity(cuboid.len());
 
     for s in 0..cuboid.len() {
         let mask = cuboid.subspaces()[s];
         let children = cuboid.children(s);
+        let kernel = DomKernel::new(mask, stride);
         let mut surv = vec![true; n];
         let mut order: Vec<usize> = (0..n).collect();
         // Precompute each region's lower-corner monotone score once —
@@ -151,7 +165,25 @@ fn coarse_skyline(
             // subspace ⇒ non-dominated here.
             let skip_check = children.iter().any(|&c| survivors[c][i]);
             let mut dominated = false;
-            if !skip_check {
+            if !skip_check && blockable && window.len() >= BLOCK_MIN {
+                // Packed path: the window only grows, so the scan needs
+                // nothing but the first dominator position per 64-lane
+                // block. Bulk-charging the examined count is tick- and
+                // stats-identical to the per-member charge below.
+                let lo = regions[i].bounds.lo();
+                let mut examined = 0u64;
+                for chunk in window.chunks(64) {
+                    let dom = kernel.dominate_block_corners(&his, stride, chunk, lo);
+                    if dom != 0 {
+                        examined += u64::from(dom.trailing_zeros()) + 1;
+                        dominated = true;
+                        break;
+                    }
+                    examined += chunk.len() as u64;
+                }
+                clock.charge_dom_cmps(examined);
+                stats.region_comparisons += examined;
+            } else if !skip_check {
                 for &j in &window {
                     clock.charge_dom_cmps(1);
                     stats.region_comparisons += 1;

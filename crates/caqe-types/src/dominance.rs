@@ -9,8 +9,15 @@
 //! expected to funnel tests through an instrumented counter — either the
 //! [`crate::stats::Stats`] sink or a plain `&mut u64`.
 
+use crate::store::RankColumns;
 use crate::subspace::DimMask;
 use crate::Value;
+
+/// Window size from which the packed block dominance path pays for itself;
+/// below it the specialized scalar shapes win (DESIGN.md §15). The dispatch
+/// threshold only moves work between observationally identical paths — it
+/// can never change results, `Stats`, ticks or traces.
+pub const BLOCK_MIN: usize = 8;
 
 /// The outcome of relating two points under the preference order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -228,6 +235,209 @@ impl DomKernel {
         self.relate(a, b) == DomRelation::Dominates
     }
 
+    /// The `Shape::Block` path over rank columns: relates up to 64 member
+    /// points (given by id) against one probe point in a single pass of
+    /// branch-free integer compares per dimension, packing the two
+    /// strict-improvement flags of every member into one `u64` lane each.
+    ///
+    /// `BlockVerdicts::relation(j)` equals `relate_in(member_j, probe,
+    /// self.mask())` exactly: both sides examine the same dimensions, and
+    /// the scalar early exit only skips work, never changes the verdict.
+    /// Requires `cols` built over the same store the ids index
+    /// ([`RankColumns::try_build`] — NaN-free, so rank `<` ⟺ value `<`).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `members.len() > 64`.
+    pub fn relate_block_ranks(
+        &self,
+        cols: &RankColumns,
+        members: &[usize],
+        probe: usize,
+    ) -> BlockVerdicts {
+        debug_assert!(members.len() <= 64, "block limited to 64 lanes");
+        let mut member_better = 0u64;
+        let mut probe_better = 0u64;
+        for &k in &self.dims {
+            let col = cols.column(k as usize);
+            let pr = col[probe];
+            for (j, &m) in members.iter().enumerate() {
+                let r = col[m];
+                member_better |= ((r < pr) as u64) << j;
+                probe_better |= ((pr < r) as u64) << j;
+            }
+        }
+        BlockVerdicts {
+            member_better,
+            probe_better,
+        }
+    }
+
+    /// The `Shape::Block` path over raw values: relates the `count`
+    /// contiguous member rows starting at row `first` of a flat buffer
+    /// (`stride` values per row) against an out-of-buffer probe point.
+    /// Used where the member set mutates in place (incremental skylines)
+    /// and ranks would go stale.
+    ///
+    /// Verdict-per-lane semantics match [`Self::relate_block_ranks`].
+    ///
+    /// # Panics
+    /// Panics in debug builds if `count > 64`.
+    pub fn relate_block_rows(
+        &self,
+        data: &[Value],
+        stride: usize,
+        first: usize,
+        count: usize,
+        probe: &[Value],
+    ) -> BlockVerdicts {
+        debug_assert!(count <= 64, "block limited to 64 lanes");
+        let mut member_better = 0u64;
+        let mut probe_better = 0u64;
+        let rows = data[first * stride..].chunks_exact(stride).take(count);
+        match self.shape {
+            Shape::Single(k) => {
+                let pv = probe[k];
+                for (j, row) in rows.enumerate() {
+                    member_better |= ((row[k] < pv) as u64) << j;
+                    probe_better |= ((pv < row[k]) as u64) << j;
+                }
+            }
+            Shape::Pair(a, b) => {
+                let (pa, pb) = (probe[a], probe[b]);
+                for (j, row) in rows.enumerate() {
+                    member_better |= (((row[a] < pa) | (row[b] < pb)) as u64) << j;
+                    probe_better |= (((pa < row[a]) | (pb < row[b])) as u64) << j;
+                }
+            }
+            Shape::Full(_) | Shape::General => {
+                for (j, row) in rows.enumerate() {
+                    let mut mb = false;
+                    let mut pb = false;
+                    for &k in &self.dims {
+                        let (x, pv) = (row[k as usize], probe[k as usize]);
+                        mb |= x < pv;
+                        pb |= pv < x;
+                    }
+                    member_better |= (mb as u64) << j;
+                    probe_better |= (pb as u64) << j;
+                }
+            }
+        }
+        BlockVerdicts {
+            member_better,
+            probe_better,
+        }
+    }
+
+    /// The `Shape::Block` path over a *pre-gathered* window: member `j`'s
+    /// subspace values live densely at `packed[j*d..(j+1)*d]` (`d` =
+    /// [`Self::len`], ascending dimension order) and the probe is packed
+    /// the same way. Gathering members once on admission instead of on
+    /// every scan is what makes the block path pay off when windows are
+    /// small and the backing store is large: the scan touches only a few
+    /// cache lines of dense values, with no per-member indirection.
+    ///
+    /// Verdict-per-lane semantics match [`Self::relate_block_ranks`]; the
+    /// two strict-improvement flags are exactly what [`relate_in`] folds
+    /// into its verdict, so parity holds for *any* values, NaN included.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `count > 64`.
+    pub fn relate_block_packed(
+        &self,
+        packed: &[Value],
+        count: usize,
+        probe: &[Value],
+    ) -> BlockVerdicts {
+        debug_assert!(count <= 64, "block limited to 64 lanes");
+        let d = self.dims.len();
+        debug_assert!(packed.len() >= count * d && probe.len() >= d);
+        let mut member_better = 0u64;
+        let mut probe_better = 0u64;
+        match d {
+            1 => {
+                let pv = probe[0];
+                for (j, x) in packed[..count].iter().enumerate() {
+                    member_better |= ((*x < pv) as u64) << j;
+                    probe_better |= ((pv < *x) as u64) << j;
+                }
+            }
+            2 => {
+                let (p0, p1) = (probe[0], probe[1]);
+                for (j, row) in packed.chunks_exact(2).take(count).enumerate() {
+                    member_better |= (((row[0] < p0) | (row[1] < p1)) as u64) << j;
+                    probe_better |= (((p0 < row[0]) | (p1 < row[1])) as u64) << j;
+                }
+            }
+            _ => {
+                for (j, row) in packed.chunks_exact(d).take(count).enumerate() {
+                    let mut mb = false;
+                    let mut pb = false;
+                    for (x, pv) in row.iter().zip(&probe[..d]) {
+                        mb |= x < pv;
+                        pb |= pv < x;
+                    }
+                    member_better |= (mb as u64) << j;
+                    probe_better |= (pb as u64) << j;
+                }
+            }
+        }
+        BlockVerdicts {
+            member_better,
+            probe_better,
+        }
+    }
+
+    /// Gathers the kernel's subspace values of `p` into `out` (cleared
+    /// first): the packing step for [`Self::relate_block_packed`].
+    #[inline]
+    pub fn pack_into(&self, p: &[Value], out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(self.dims.iter().map(|&k| p[k as usize]));
+    }
+
+    /// Appends the kernel's subspace values of `p` to a packed window
+    /// buffer (one more `d`-wide row).
+    #[inline]
+    pub fn pack_append(&self, p: &[Value], out: &mut Vec<Value>) {
+        out.extend(self.dims.iter().map(|&k| p[k as usize]));
+    }
+
+    /// Packed region-dominance tests (Definition 8 case 1): bit `j` of the
+    /// result is set iff member rectangle `j`'s *upper* corner weakly
+    /// dominates `lo` on the kernel's subspace with strict improvement
+    /// somewhere — i.e. every point of member `j` dominates every point of
+    /// a region whose lower corner is `lo`. `his` is a flat row-major table
+    /// of upper corners (`stride` values each) indexed by `members`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `members.len() > 64`.
+    pub fn dominate_block_corners(
+        &self,
+        his: &[Value],
+        stride: usize,
+        members: &[usize],
+        lo: &[Value],
+    ) -> u64 {
+        let count = members.len();
+        debug_assert!(count <= 64, "block limited to 64 lanes");
+        let mut all_le = if count == 64 {
+            u64::MAX
+        } else {
+            (1u64 << count) - 1
+        };
+        let mut any_lt = 0u64;
+        for &k in &self.dims {
+            let lv = lo[k as usize];
+            for (j, &m) in members.iter().enumerate() {
+                let h = his[m * stride + k as usize];
+                all_le &= !(((h > lv) as u64) << j);
+                any_lt |= ((h < lv) as u64) << j;
+            }
+        }
+        all_le & any_lt
+    }
+
     /// The SFS monotone sorting score: the sum of `p` over the subspace
     /// dimensions, without re-walking the bitmask.
     #[inline]
@@ -241,6 +451,45 @@ impl DomKernel {
             Shape::Pair(i, j) => 0.0 + p[i] + p[j],
             Shape::General => self.dims.iter().map(|&k| p[k as usize]).sum(),
         }
+    }
+}
+
+/// Packed verdicts for a block of up to 64 member points related against a
+/// single probe point — the output of the `Shape::Block` kernels. Lane `j`
+/// carries the two strict-improvement flags of member `j`, so
+/// [`relation`](Self::relation) reconstructs the exact [`DomRelation`] the
+/// scalar kernel would return.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockVerdicts {
+    /// Bit `j`: member `j` is strictly better than the probe somewhere.
+    member_better: u64,
+    /// Bit `j`: the probe is strictly better than member `j` somewhere.
+    probe_better: u64,
+}
+
+impl BlockVerdicts {
+    /// The relation of member `i` to the probe — identical to
+    /// `relate_in(member_i, probe, mask)`.
+    #[inline]
+    pub fn relation(&self, i: usize) -> DomRelation {
+        verdict(
+            (self.member_better >> i) & 1 == 1,
+            (self.probe_better >> i) & 1 == 1,
+        )
+    }
+
+    /// Lanes whose member *dominates* the probe. The lowest set bit is the
+    /// first dominator in member order — what an early-exiting scalar scan
+    /// would have stopped on.
+    #[inline]
+    pub fn dominators(&self) -> u64 {
+        self.member_better & !self.probe_better
+    }
+
+    /// Lanes whose member is *dominated by* the probe.
+    #[inline]
+    pub fn dominated_members(&self) -> u64 {
+        self.probe_better & !self.member_better
     }
 }
 

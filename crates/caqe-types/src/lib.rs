@@ -34,11 +34,13 @@ pub mod subspace;
 pub use bounds::Rect;
 pub use bounds::RegionRelation;
 pub use clock::{CostModel, SimClock, Ticks, VirtualSeconds};
-pub use dominance::{dominates, dominates_in, relate, relate_in, DomKernel, DomRelation};
+pub use dominance::{
+    dominates, dominates_in, relate, relate_in, BlockVerdicts, DomKernel, DomRelation, BLOCK_MIN,
+};
 pub use error::EngineError;
 pub use ids::{CellId, QueryId, QuerySet, RegionId};
 pub use stats::{PerQueryStats, Stats};
-pub use store::{PointId, PointStore, SwapStore};
+pub use store::{PointId, PointStore, RankColumns, SwapStore};
 pub use subspace::DimMask;
 
 /// Attribute values throughout the system.

@@ -6,11 +6,12 @@
 //! `Vec<Vec<f64>>` adapters they replaced.
 
 use caqe::operators::{
-    hash_join_project, hash_join_project_store, skyline_bnl, skyline_bnl_store, skyline_sfs,
-    skyline_sfs_store, JoinSpec, MappingSet,
+    hash_join_project, hash_join_project_store, skyline_bnl, skyline_bnl_store,
+    skyline_bnl_store_scalar, skyline_sfs, skyline_sfs_store, skyline_sfs_store_scalar,
+    IncrementalSkyline, JoinSpec, MappingSet,
 };
 use caqe::types::{
-    relate, relate_in, DimMask, DomKernel, DomRelation, PointStore, SimClock, Stats,
+    relate, relate_in, DimMask, DomKernel, DomRelation, PointStore, RankColumns, SimClock, Stats,
 };
 use proptest::prelude::*;
 
@@ -22,6 +23,27 @@ fn strided_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
             proptest::collection::vec((0u8..6).prop_map(|v| v as f64), d..=d),
             2..40,
         )
+    })
+}
+
+/// Point sets on a lattice that includes *both* signed zeros (`total_cmp`
+/// tells `-0.0` and `+0.0` apart but `<` does not — the signed-zero note in
+/// dominance.rs), plus a duplicated prefix so exact duplicate points occur.
+fn tricky_points() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    const LATTICE: [f64; 5] = [-0.0, 0.0, 1.0, 2.0, 3.0];
+    (2usize..=8).prop_flat_map(move |d| {
+        proptest::collection::vec(
+            proptest::collection::vec((0usize..LATTICE.len()).prop_map(|i| LATTICE[i]), d..=d),
+            2..32,
+        )
+        .prop_flat_map(|pts| {
+            let n = pts.len();
+            (0usize..=n).prop_map(move |k| {
+                let mut all = pts.clone();
+                all.extend(pts[..k].iter().cloned());
+                all
+            })
+        })
     })
 }
 
@@ -118,6 +140,129 @@ proptest! {
         prop_assert_eq!(sfs_old, sfs_new);
         prop_assert_eq!(&s3, &s4);
         prop_assert_eq!(c3.ticks(), c4.ticks());
+    }
+
+    #[test]
+    fn block_verdicts_agree_with_relate_in(points in tricky_points(), bits in 0u32..4096) {
+        // The Shape::Block rank-packed and value-packed kernels must return
+        // the exact relate_in verdict for every lane — including ties,
+        // signed zeros and duplicate points.
+        let d = points[0].len();
+        let mask = mask_for(d, bits);
+        let kernel = DomKernel::new(mask, d);
+        let mut store = PointStore::with_capacity(d, points.len());
+        for p in &points {
+            store.push(p);
+        }
+        let cols = RankColumns::try_build(&store);
+        prop_assert!(cols.is_some(), "NaN-free input must rank");
+        // Allowed survivor: asserted Some on the line above.
+        #[allow(clippy::unwrap_used)]
+        let cols = cols.unwrap();
+        let ids: Vec<usize> = (0..points.len()).collect();
+        for probe in 0..points.len() {
+            for chunk in ids.chunks(64) {
+                let bv = kernel.relate_block_ranks(&cols, chunk, probe);
+                for (j, &m) in chunk.iter().enumerate() {
+                    prop_assert_eq!(
+                        bv.relation(j),
+                        relate_in(&points[m], &points[probe], mask),
+                        "ranks lane {} member {} probe {}", j, m, probe
+                    );
+                }
+            }
+            let mut first = 0;
+            while first < points.len() {
+                let count = (points.len() - first).min(64);
+                let bv = kernel.relate_block_rows(store.as_flat(), d, first, count, &points[probe]);
+                for j in 0..count {
+                    prop_assert_eq!(
+                        bv.relation(j),
+                        relate_in(&points[first + j], &points[probe], mask),
+                        "rows lane {} member {} probe {}", j, first + j, probe
+                    );
+                }
+                first += count;
+            }
+            // Pre-gathered variant: members and probe packed down to the
+            // subspace dimensions (the BNL/SFS window layout).
+            let dm = kernel.len();
+            let mut packed: Vec<f64> = Vec::with_capacity(points.len() * dm);
+            for p in &points {
+                kernel.pack_append(p, &mut packed);
+            }
+            let mut pbuf = Vec::new();
+            kernel.pack_into(&points[probe], &mut pbuf);
+            let mut first = 0;
+            while first < points.len() {
+                let count = (points.len() - first).min(64);
+                let bv = kernel.relate_block_packed(&packed[first * dm..], count, &pbuf);
+                for j in 0..count {
+                    prop_assert_eq!(
+                        bv.relation(j),
+                        relate_in(&points[first + j], &points[probe], mask),
+                        "packed lane {} member {} probe {}", j, first + j, probe
+                    );
+                }
+                first += count;
+            }
+        }
+    }
+
+    #[test]
+    fn block_skylines_are_observationally_identical_to_scalar(
+        points in tricky_points(),
+        bits in 0u32..4096,
+    ) {
+        // The block dispatch in the store entry points and the kept scalar
+        // reference loops must agree on every observable: survivors,
+        // comparison counts and virtual ticks.
+        let d = points[0].len();
+        let mask = mask_for(d, bits);
+        let mut store = PointStore::with_capacity(d, points.len());
+        for p in &points {
+            store.push(p);
+        }
+        let kernel = DomKernel::new(mask, d);
+
+        let mut c1 = SimClock::default();
+        let mut s1 = Stats::new();
+        let bnl_scalar = skyline_bnl_store_scalar(&store, &kernel, &mut c1, &mut s1);
+        let mut c2 = SimClock::default();
+        let mut s2 = Stats::new();
+        let bnl_block = skyline_bnl_store(&store, &kernel, &mut c2, &mut s2);
+        prop_assert_eq!(bnl_scalar, bnl_block);
+        prop_assert_eq!(&s1, &s2);
+        prop_assert_eq!(c1.ticks(), c2.ticks());
+
+        let mut c3 = SimClock::default();
+        let mut s3 = Stats::new();
+        let sfs_scalar = skyline_sfs_store_scalar(&store, &kernel, &mut c3, &mut s3);
+        let mut c4 = SimClock::default();
+        let mut s4 = Stats::new();
+        let sfs_block = skyline_sfs_store(&store, &kernel, &mut c4, &mut s4);
+        prop_assert_eq!(sfs_scalar, sfs_block);
+        prop_assert_eq!(&s3, &s4);
+        prop_assert_eq!(c3.ticks(), c4.ticks());
+
+        // Incremental maintenance: the dispatching insert and the scalar
+        // reference must agree outcome-by-outcome and on the final state.
+        let mut inc_a = IncrementalSkyline::new(mask);
+        let mut inc_b = IncrementalSkyline::new(mask);
+        let mut c5 = SimClock::default();
+        let mut s5 = Stats::new();
+        let mut c6 = SimClock::default();
+        let mut s6 = Stats::new();
+        for (i, p) in points.iter().enumerate() {
+            let oa = inc_a.insert(i as u64, p, &mut c5, &mut s5);
+            let ob = inc_b.insert_scalar(i as u64, p, &mut c6, &mut s6);
+            prop_assert_eq!(oa, ob, "insert {} diverged", i);
+        }
+        prop_assert_eq!(&s5, &s6);
+        prop_assert_eq!(c5.ticks(), c6.ticks());
+        let ea: Vec<_> = inc_a.entries().map(|(t, p)| (t, p.to_vec())).collect();
+        let eb: Vec<_> = inc_b.entries().map(|(t, p)| (t, p.to_vec())).collect();
+        prop_assert_eq!(ea, eb);
     }
 
     #[test]
