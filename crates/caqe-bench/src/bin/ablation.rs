@@ -12,12 +12,12 @@
 //!
 //! ```text
 //! cargo run --release -p caqe-bench --bin ablation -- [--dist independent]
-//!     [--contract 3] [--n <rows>] [--json] [--trace <dir>] [--faults <spec>]
-//!     [--validation reject|quarantine|clamp]
+//!     [--contract 3] [--n <rows>] [--json] [--trace <dir>] [--metrics <dir>]
+//!     [--faults <spec>] [--validation reject|quarantine|clamp]
 //! ```
 
 use caqe_bench::report::{
-    cli_arg, cli_chaos, cli_flag, cli_threads, cli_trace, render_jsonl, render_table,
+    cli_arg, cli_chaos, cli_flag, cli_metrics, cli_threads, cli_trace, render_jsonl, render_table,
 };
 use caqe_bench::{ComparisonRow, ExperimentConfig};
 use caqe_core::{run_engine, run_engine_traced, EngineConfig, SchedulingPolicy};
@@ -99,20 +99,28 @@ fn main() {
     let workload = cfg.workload();
     let exec = cfg.exec();
     let trace_dir = cli_trace(&args);
+    let metrics_dir = cli_metrics(&args);
 
     let rows: Vec<ComparisonRow> = variants()
         .into_iter()
         .map(|(name, engine)| {
-            let outcome = match &trace_dir {
-                Some(dir) => {
-                    let mut sink = RecordingSink::new();
-                    let outcome =
-                        run_engine_traced(name, &r, &t, &workload, &exec, &engine, 0, &mut sink);
-                    caqe_trace::write_trace(dir, &name.replace('-', "_"), sink.events())
+            let outcome = if trace_dir.is_some() || metrics_dir.is_some() {
+                let mut sink = RecordingSink::new();
+                let outcome =
+                    run_engine_traced(name, &r, &t, &workload, &exec, &engine, 0, &mut sink);
+                let label = name.replace('-', "_");
+                if let Some(dir) = &trace_dir {
+                    caqe_trace::write_trace(dir, &label, sink.events())
                         .expect("trace export failed");
-                    outcome
                 }
-                None => run_engine(name, &r, &t, &workload, &exec, &engine, 0),
+                if let Some(dir) = &metrics_dir {
+                    let collector = caqe_bench::obs::collect(&workload, sink.events(), &outcome);
+                    caqe_bench::obs::write_snapshot(dir, &label, &collector)
+                        .expect("metrics export failed");
+                }
+                outcome
+            } else {
+                run_engine(name, &r, &t, &workload, &exec, &engine, 0)
             };
             ComparisonRow::from_outcome(&outcome, &cfg)
         })

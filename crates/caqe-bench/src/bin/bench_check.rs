@@ -1,0 +1,195 @@
+//! Schema validator for the committed `BENCH_PR*.json` artifacts.
+//!
+//! ```text
+//! cargo run --release -p caqe-bench --bin bench_check -- [--dir <repo-root>]
+//! ```
+//!
+//! Replaces CI's former presence-only shell loop with two layers of checks:
+//!
+//! 1. **Presence** — every `crates/caqe-bench/src/bin/bench_pr<N>.rs`
+//!    driver must have a committed `BENCH_PR<N>.json` artifact (or an
+//!    explicit `BENCH_PR<N>.skip` marker) at the repo root, so a PR can't
+//!    add a benchmark without committing its numbers.
+//! 2. **Schema** — every `BENCH_PR*.json` at the root must parse as a
+//!    single JSON object carrying: a `bench` string, a `host_cores`
+//!    integer ≥ 1 (results are meaningless without the machine context),
+//!    a `measures` string naming what the headline ratio prices
+//!    (`kernel`, `overhead`, `scaling`, `degradation`, `churn`, ...),
+//!    at least one finite headline number (a key containing `speedup`,
+//!    `wall_seconds`, `overhead` or `retention`), and at least one
+//!    workload-scale count (`n`, `queries`, `join_results`,
+//!    `dom_comparisons`, `results` or `initial_queries`).
+//!
+//! Any violation prints `FAIL` with the reason and exits non-zero.
+
+use caqe_bench::json::{parse, JsonValue};
+use caqe_bench::report::cli_arg;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// A key whose value should be a finite headline ratio or wall time.
+fn is_headline_key(k: &str) -> bool {
+    ["speedup", "wall_seconds", "overhead", "retention"]
+        .iter()
+        .any(|p| k.contains(p))
+}
+
+/// A key whose value should be a workload-scale count.
+fn is_count_key(k: &str) -> bool {
+    matches!(
+        k,
+        "n" | "queries" | "initial_queries" | "join_results" | "dom_comparisons" | "results"
+    ) || k.ends_with("_results")
+}
+
+/// Is `v` a non-negative integer-valued JSON number?
+fn as_uint(v: &JsonValue) -> Option<u64> {
+    let f = v.as_f64()?;
+    (f.is_finite() && f >= 0.0 && f.fract() == 0.0).then_some(f as u64)
+}
+
+/// All schema problems with one artifact (empty = valid).
+fn validate(v: &JsonValue) -> Vec<String> {
+    let mut problems = Vec::new();
+    let JsonValue::Object(map) = v else {
+        return vec!["top level is not a JSON object".to_string()];
+    };
+    if v["bench"].as_str().is_none() {
+        problems.push("missing string key `bench`".to_string());
+    }
+    match as_uint(&v["host_cores"]) {
+        Some(c) if c >= 1 => {}
+        Some(_) => problems.push("`host_cores` must be >= 1".to_string()),
+        None => problems.push("missing integer key `host_cores`".to_string()),
+    }
+    if v["measures"].as_str().is_none() {
+        problems.push("missing string key `measures`".to_string());
+    }
+    let headline = map
+        .iter()
+        .any(|(k, val)| is_headline_key(k) && val.as_f64().is_some_and(f64::is_finite));
+    if !headline {
+        problems.push(
+            "no finite headline number (a key containing speedup/wall_seconds/overhead/retention)"
+                .to_string(),
+        );
+    }
+    let count = map
+        .iter()
+        .any(|(k, val)| is_count_key(k) && as_uint(val).is_some());
+    if !count {
+        problems.push(
+            "no workload-scale count (n/queries/join_results/dom_comparisons/results)".to_string(),
+        );
+    }
+    problems
+}
+
+/// PR numbers of `bench_pr<N>.rs` drivers under `crates/caqe-bench/src/bin`.
+fn driver_numbers(root: &Path) -> Vec<u32> {
+    let bin_dir = root.join("crates/caqe-bench/src/bin");
+    let mut nums = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(&bin_dir) {
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(num) = name
+                .strip_prefix("bench_pr")
+                .and_then(|s| s.strip_suffix(".rs"))
+            {
+                if let Ok(n) = num.parse() {
+                    nums.push(n);
+                }
+            }
+        }
+    }
+    nums.sort_unstable();
+    nums
+}
+
+/// `BENCH_PR*.json` artifacts at the repo root, sorted.
+fn artifacts(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root) {
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.starts_with("BENCH_PR") && name.ends_with(".json") {
+                out.push(e.path());
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = PathBuf::from(cli_arg(&args, "--dir").unwrap_or_else(|| ".".to_string()));
+    let mut failed = false;
+
+    // Layer 1: every driver has a committed artifact (or a skip marker).
+    let drivers = driver_numbers(&root);
+    for n in &drivers {
+        let artifact = root.join(format!("BENCH_PR{n}.json"));
+        let skip = root.join(format!("BENCH_PR{n}.skip"));
+        if !artifact.exists() && !skip.exists() {
+            println!(
+                "FAIL bench_pr{n}.rs: no committed BENCH_PR{n}.json (or BENCH_PR{n}.skip marker)"
+            );
+            failed = true;
+        }
+    }
+
+    // Layer 2: every committed artifact satisfies the schema.
+    let files = artifacts(&root);
+    if files.is_empty() {
+        println!("FAIL no BENCH_PR*.json artifacts under {}", root.display());
+        failed = true;
+    }
+    for path in &files {
+        let name = path.file_name().map(|n| n.to_string_lossy().to_string());
+        let name = name.as_deref().unwrap_or("?");
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                println!("FAIL {name}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let v = match parse(text.trim()) {
+            Ok(v) => v,
+            Err(e) => {
+                println!("FAIL {name}: bad JSON: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let problems = validate(&v);
+        if problems.is_empty() {
+            println!(
+                "ok   {name}: bench={} measures={} host_cores={}",
+                v["bench"].as_str().unwrap_or("?"),
+                v["measures"].as_str().unwrap_or("?"),
+                as_uint(&v["host_cores"]).unwrap_or(0),
+            );
+        } else {
+            failed = true;
+            for p in &problems {
+                println!("FAIL {name}: {p}");
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench_check: {} driver(s), {} artifact(s) valid",
+            drivers.len(),
+            files.len()
+        );
+        ExitCode::SUCCESS
+    }
+}

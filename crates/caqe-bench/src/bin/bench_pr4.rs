@@ -27,6 +27,7 @@ use caqe_bench::ExperimentConfig;
 use caqe_core::{CaqeStrategy, DegradationPolicy, ExecConfig, ExecutionStrategy, RunOutcome};
 use caqe_data::{Distribution, ValidationPolicy};
 use caqe_faults::{silence_injected_panics, FaultPlan};
+use std::num::NonZeroUsize;
 
 /// Per-query observables: emission `(ts, utility)` pairs and result
 /// `(rid, tid)` provenance.
@@ -148,11 +149,15 @@ fn main() {
     ];
 
     let scenario_json: Vec<String> = scenarios.iter().map(Scenario::to_json).collect();
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
     let mut obj = ObjectWriter::new();
     obj.string("bench", "bench_pr4")
         .uint("n", n as u64)
         .uint("queries", workload.len() as u64)
         .uint("threads", cfg.parallelism.unwrap_or(1).max(1) as u64)
+        .uint("host_cores", cores as u64)
         .string("measures", "degradation")
         .string("faults", &faults.to_spec())
         .number("sat_floor", floor)

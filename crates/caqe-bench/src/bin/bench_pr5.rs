@@ -27,6 +27,7 @@ use caqe_operators::{MappingFn, MappingSet};
 use caqe_trace::NoopSink;
 use caqe_types::DimMask;
 use std::collections::BTreeSet;
+use std::num::NonZeroUsize;
 use std::time::Instant;
 
 /// The `par_speedup` workload shape: four join groups of two queries each.
@@ -152,6 +153,9 @@ fn main() {
         );
     }
 
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
     let mut obj = ObjectWriter::new();
     obj.string("bench", "bench_pr5_churn")
         .uint("n", n as u64)
@@ -159,6 +163,8 @@ fn main() {
         .uint("initial_queries", w.len() as u64)
         .uint("admissions", admissions as u64)
         .uint("departures", departed.len() as u64)
+        .uint("host_cores", cores as u64)
+        .string("measures", "churn")
         .string("events", &spec)
         .uint("reps", reps as u64)
         .number("incremental_wall_seconds", inc_secs)

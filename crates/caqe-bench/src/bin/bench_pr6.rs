@@ -227,7 +227,25 @@ fn main() {
     // comparison sequence — same results, same counts, same virtual ticks.
     let mut dom_comparisons = 0u64;
     for (q, (a, b)) in scalar_out.iter().zip(&block_out).enumerate() {
-        assert_eq!(a, b, "q{q}: block and scalar kernel replays diverged");
+        assert_eq!(a.bnl, b.bnl, "q{q}: BNL skyline diverged");
+        assert_eq!(a.sfs, b.sfs, "q{q}: SFS skyline diverged");
+        assert_eq!(
+            a.incremental_tags, b.incremental_tags,
+            "q{q}: incremental skyline diverged"
+        );
+        // Forced-scalar twins record no dispatch decisions, so the
+        // diagnostic counters legitimately differ between the arms; every
+        // charged observable must still match exactly.
+        assert_eq!(
+            a.stats.observable(),
+            b.stats.observable(),
+            "q{q}: stats diverged"
+        );
+        assert!(
+            b.stats.block_kernel_ops > 0,
+            "q{q}: dispatch arm never took the block path"
+        );
+        assert_eq!(a.ticks, b.ticks, "q{q}: virtual clock diverged");
         dom_comparisons += a.stats.dom_comparisons;
     }
     let block_speedup = scalar_secs / block_secs;

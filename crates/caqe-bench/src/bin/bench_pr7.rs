@@ -1,0 +1,253 @@
+//! Cost of live metrics collection (DESIGN.md §16), recorded in
+//! `BENCH_PR7.json`.
+//!
+//! Replays the BENCH_PR2/PR3 workload (n=2500 per side, seed 0xBE11C,
+//! eight queries in four join groups) through the engine twice: once with
+//! the compiled-out [`NoopSink`] and once with an [`ObserverSink`] feeding
+//! a live [`ObsCollector`] (contract-SLO monitor + phase profiler) while
+//! forwarding to the same no-op inner sink. `"measures": "obs-overhead"`:
+//! the headline ratio prices metrics collection alone.
+//!
+//! Before any number is reported the run asserts the observability
+//! contract: observation is inert (`Stats` and the virtual clock are
+//! bit-identical with and without the collector attached), and the metrics
+//! snapshot is a pure function of the workload — byte-identical JSON
+//! across `--threads 1/2/4/8`.
+//!
+//! ```text
+//! cargo run --release -p caqe-bench --bin bench_pr7 -- [--n <rows>]
+//!     [--cells <per-table>] [--threads <k>] [--reps <r>] [--out <path>]
+//! ```
+
+use caqe_bench::json::ObjectWriter;
+use caqe_bench::obs::obs_config;
+use caqe_bench::report::cli_arg;
+use caqe_contract::Contract;
+use caqe_core::{
+    try_run_engine_online_traced, EngineConfig, EventStream, ExecConfig, QuerySpec, RunOutcome,
+    Workload,
+};
+use caqe_data::{Distribution, TableGenerator};
+use caqe_obs::{ObsCollector, ObserverSink};
+use caqe_operators::{MappingFn, MappingSet};
+use caqe_trace::NoopSink;
+use caqe_types::DimMask;
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+/// Same four mapping variants as BENCH_PR2's `par_speedup` workload.
+fn mapping_variant(v: usize) -> MappingSet {
+    let fns = (0..4)
+        .map(|j| {
+            let mut wr = vec![0.0; 2];
+            let mut wt = vec![0.0; 2];
+            wr[j % 2] = 1.0 + 0.05 * v as f64;
+            wt[(j + v) % 2] = 1.0 + 0.1 * j as f64;
+            MappingFn::new(wr, wt, 0.0)
+        })
+        .collect();
+    MappingSet::new(fns)
+}
+
+fn workload() -> Workload {
+    let mut queries = Vec::new();
+    for v in 0..4 {
+        let mapping = mapping_variant(v);
+        for (pref, priority) in [
+            (DimMask::from_dims([0, 1]), 0.8),
+            (DimMask::from_dims([2, 3]), 0.4),
+        ] {
+            queries.push(QuerySpec {
+                join_col: v % 2,
+                mapping: mapping.clone(),
+                pref,
+                priority,
+                contract: Contract::LogDecay,
+            });
+        }
+    }
+    Workload::new(queries)
+}
+
+/// Best-of-`reps` wall seconds with the compiled-out no-op sink.
+fn measure_off(
+    r: &caqe_data::Table,
+    t: &caqe_data::Table,
+    w: &Workload,
+    exec: &ExecConfig,
+    reps: usize,
+) -> (f64, RunOutcome) {
+    let mut best = f64::INFINITY;
+    let mut outcome = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let o = try_run_engine_online_traced(
+            "CAQE",
+            r,
+            t,
+            w,
+            &EventStream::empty(),
+            exec,
+            &EngineConfig::caqe(),
+            0,
+            &mut NoopSink,
+        )
+        .expect("bench inputs are clean");
+        best = best.min(start.elapsed().as_secs_f64());
+        outcome = Some(o);
+    }
+    (best, outcome.expect("reps >= 1"))
+}
+
+/// Same, with a live metrics collector observing every trace event.
+fn measure_on(
+    r: &caqe_data::Table,
+    t: &caqe_data::Table,
+    w: &Workload,
+    exec: &ExecConfig,
+    reps: usize,
+) -> (f64, RunOutcome, ObsCollector) {
+    let mut best = f64::INFINITY;
+    let mut outcome = None;
+    let mut collector = None;
+    for _ in 0..reps {
+        let mut sink = ObserverSink::new(obs_config(w), NoopSink);
+        let start = Instant::now();
+        let o = try_run_engine_online_traced(
+            "CAQE",
+            r,
+            t,
+            w,
+            &EventStream::empty(),
+            exec,
+            &EngineConfig::caqe(),
+            0,
+            &mut sink,
+        )
+        .expect("bench inputs are clean");
+        best = best.min(start.elapsed().as_secs_f64());
+        outcome = Some(o);
+        let (_, c) = sink.into_parts();
+        collector = Some(c);
+    }
+    (
+        best,
+        outcome.expect("reps >= 1"),
+        collector.expect("reps >= 1"),
+    )
+}
+
+/// The observed run's snapshot at a given worker count (single rep).
+fn snapshot_at(
+    r: &caqe_data::Table,
+    t: &caqe_data::Table,
+    w: &Workload,
+    exec: &ExecConfig,
+    threads: usize,
+) -> String {
+    let mut sink = ObserverSink::new(obs_config(w), NoopSink);
+    let o = try_run_engine_online_traced(
+        "CAQE",
+        r,
+        t,
+        w,
+        &EventStream::empty(),
+        &exec.with_parallelism(Some(threads)),
+        &EngineConfig::caqe(),
+        0,
+        &mut sink,
+    )
+    .expect("bench inputs are clean");
+    let (_, mut collector) = sink.into_parts();
+    collector.ingest_stats(&o.stats);
+    collector.snapshot_json()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = cli_arg(&args, "--n").map_or(2500, |s| s.parse().expect("--n"));
+    let cells: usize = cli_arg(&args, "--cells").map_or(22, |s| s.parse().expect("--cells"));
+    let threads: usize = cli_arg(&args, "--threads").map_or(4, |s| s.parse().expect("--threads"));
+    let reps: usize = cli_arg(&args, "--reps").map_or(3, |s| s.parse().expect("--reps"));
+    let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR7.json".to_string());
+
+    let gen = TableGenerator::new(n, 2, Distribution::Independent)
+        .with_selectivities(&[0.02, 0.03])
+        .with_seed(0xBE11C);
+    let (r, t) = (gen.generate("R"), gen.generate("T"));
+    let w = workload();
+    let exec = ExecConfig::default()
+        .with_target_cells(n, cells)
+        .with_parallelism(Some(threads));
+
+    let (off_secs, off_out) = measure_off(&r, &t, &w, &exec, reps);
+    let (on_secs, on_out, mut collector) = measure_on(&r, &t, &w, &exec, reps);
+
+    // Observation is inert: attaching the collector changes nothing the
+    // engine can see.
+    assert_eq!(
+        off_out.stats, on_out.stats,
+        "metrics collection changed stats"
+    );
+    assert_eq!(
+        off_out.virtual_seconds.to_bits(),
+        on_out.virtual_seconds.to_bits(),
+        "metrics collection moved the virtual clock"
+    );
+    for (a, b) in off_out.per_query.iter().zip(&on_out.per_query) {
+        assert_eq!(a.results, b.results, "metrics collection changed results");
+        assert_eq!(
+            a.emissions, b.emissions,
+            "metrics collection changed emissions"
+        );
+    }
+
+    // Snapshots are a pure function of the workload, not the worker count.
+    let reference = snapshot_at(&r, &t, &w, &exec, 1);
+    let mut snapshots_bit_identical = true;
+    for k in [2usize, 4, 8] {
+        if snapshot_at(&r, &t, &w, &exec, k) != reference {
+            snapshots_bit_identical = false;
+        }
+    }
+    assert!(
+        snapshots_bit_identical,
+        "metrics snapshot diverged across thread counts"
+    );
+
+    collector.ingest_stats(&on_out.stats);
+    let emissions = collector
+        .registry()
+        .counter(caqe_obs::names::EMISSIONS)
+        .unwrap_or(0);
+
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    let obs_overhead = on_secs / off_secs;
+    let mut obj = ObjectWriter::new();
+    obj.string("bench", "bench_pr7")
+        .uint("n", n as u64)
+        .uint("cells_per_table", cells as u64)
+        .uint("queries", w.len() as u64)
+        .uint("threads", threads as u64)
+        .uint("host_cores", cores as u64)
+        .uint("reps", reps as u64)
+        .string("measures", "obs-overhead")
+        .number("off_wall_seconds", off_secs)
+        .number("on_wall_seconds", on_secs)
+        .number("obs_overhead", obs_overhead)
+        .uint("emissions_observed", emissions)
+        .uint("join_results", off_out.stats.join_results)
+        .number("virtual_seconds", off_out.virtual_seconds)
+        .bool("bit_identical", true)
+        .bool("snapshots_bit_identical", snapshots_bit_identical);
+    let json = obj.finish();
+    std::fs::write(&out_path, format!("{json}\n")).expect("write bench json");
+    println!(
+        "obs overhead, n={n}, {} queries, {threads} threads: metrics off {off_secs:.3}s, \
+         on {on_secs:.3}s -> x{obs_overhead:.2} ({emissions} emissions observed, \
+         snapshots bit-identical across 1/2/4/8 threads) ({out_path})",
+        w.len()
+    );
+}

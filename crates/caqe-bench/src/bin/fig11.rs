@@ -4,20 +4,21 @@
 //!
 //! ```text
 //! cargo run --release -p caqe-bench --bin fig11 -- [--n <rows>] [--json] [--trace <dir>]
-//!                                                  [--faults <spec>]
+//!                                                  [--metrics <dir>] [--faults <spec>]
 //!                                                  [--validation reject|quarantine|clamp]
 //! ```
 
 use caqe_bench::report::{
-    cli_arg, cli_chaos, cli_flag, cli_threads, cli_trace, render_jsonl, render_table,
+    cli_arg, cli_chaos, cli_flag, cli_metrics, cli_threads, cli_trace, render_jsonl, render_table,
 };
-use caqe_bench::{run_comparison_traced, ComparisonRow, ExperimentConfig};
+use caqe_bench::{run_comparison_observed, ComparisonRow, ExperimentConfig};
 use caqe_data::Distribution;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let json = cli_flag(&args, "--json");
     let trace_dir = cli_trace(&args);
+    let metrics_dir = cli_metrics(&args);
     let (faults, validation) = cli_chaos(&args);
     let sizes = [1usize, 3, 5, 7, 9, 11];
 
@@ -42,7 +43,11 @@ fn main() {
                 probe.reference_seconds()
             });
             cfg.reference_secs = Some(r);
-            rows.extend(run_comparison_traced(&cfg, trace_dir.as_deref()));
+            rows.extend(run_comparison_observed(
+                &cfg,
+                trace_dir.as_deref(),
+                metrics_dir.as_deref(),
+            ));
         }
         if json {
             println!("{}", render_jsonl(&rows));

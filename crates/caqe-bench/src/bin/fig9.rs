@@ -4,18 +4,20 @@
 //! ```text
 //! cargo run --release -p caqe-bench --bin fig9 -- [--dist correlated|independent|anticorrelated]
 //!                                                 [--n <rows>] [--queries <k>] [--json]
-//!                                                 [--trace <dir>] [--faults <spec>]
+//!                                                 [--trace <dir>] [--metrics <dir>]
+//!                                                 [--faults <spec>]
 //!                                                 [--validation reject|quarantine|clamp]
 //! ```
 //!
 //! Without `--dist`, all three panels (9.a correlated, 9.b independent,
 //! 9.c anti-correlated) are produced. With `--trace`, every run exports
-//! its deterministic trace into the directory (see `trace_report`).
+//! its deterministic trace into the directory (see `trace_report`); with
+//! `--metrics`, its metrics snapshot (see `obs_report`).
 
 use caqe_bench::report::{
-    cli_arg, cli_chaos, cli_flag, cli_threads, cli_trace, render_jsonl, render_table,
+    cli_arg, cli_chaos, cli_flag, cli_metrics, cli_threads, cli_trace, render_jsonl, render_table,
 };
-use caqe_bench::{run_comparison_traced, ComparisonRow, ExperimentConfig};
+use caqe_bench::{run_comparison_observed, ComparisonRow, ExperimentConfig};
 use caqe_data::Distribution;
 
 fn main() {
@@ -26,6 +28,7 @@ fn main() {
     };
     let json = cli_flag(&args, "--json");
     let trace_dir = cli_trace(&args);
+    let metrics_dir = cli_metrics(&args);
     let (faults, validation) = cli_chaos(&args);
 
     for dist in dists {
@@ -53,7 +56,11 @@ fn main() {
             // One calibration probe per panel, shared across contracts.
             let r = *reference.get_or_insert_with(|| cfg.reference_seconds());
             cfg.reference_secs = Some(r);
-            rows.extend(run_comparison_traced(&cfg, trace_dir.as_deref()));
+            rows.extend(run_comparison_observed(
+                &cfg,
+                trace_dir.as_deref(),
+                metrics_dir.as_deref(),
+            ));
         }
         if json {
             println!("{}", render_jsonl(&rows));

@@ -9,18 +9,20 @@
 //! ```text
 //! cargo run --release -p caqe-bench --bin par_speedup -- [--n <rows>]
 //!     [--threads <k>] [--cells <per-table>] [--reps <r>] [--out <path>]
-//!     [--trace <dir>] [--faults <spec>] [--events <spec>]
+//!     [--trace <dir>] [--metrics <dir>] [--faults <spec>] [--events <spec>]
 //!     [--validation reject|quarantine|clamp]
 //! ```
 //!
 //! With `--trace`, the traced parallel run exports under the label
 //! `parallel` — CI byte-diffs that JSONL across thread counts. With
-//! `--events` (e.g. `admit@500000=0,depart@900000=1`) the run becomes an
-//! online session: admissions draw from the workload's own query pool by
-//! index, and the bit-identity assertions then cover the churn path too.
+//! `--metrics`, the same run's metrics snapshot exports under the same
+//! label (CI byte-diffs it too). With `--events` (e.g.
+//! `admit@500000=0,depart@900000=1`) the run becomes an online session:
+//! admissions draw from the workload's own query pool by index, and the
+//! bit-identity assertions then cover the churn path too.
 
 use caqe_bench::json::ObjectWriter;
-use caqe_bench::report::{cli_arg, cli_chaos, cli_trace};
+use caqe_bench::report::{cli_arg, cli_chaos, cli_metrics, cli_trace};
 use caqe_contract::Contract;
 use caqe_core::{
     try_run_engine_online_traced, EngineConfig, EventStream, ExecConfig, QuerySpec, RunOutcome,
@@ -147,6 +149,7 @@ fn main() {
     let reps: usize = cli_arg(&args, "--reps").map_or(3, |s| s.parse().expect("--reps"));
     let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR2.json".to_string());
     let trace_dir = cli_trace(&args);
+    let metrics_dir = cli_metrics(&args);
 
     let gen = TableGenerator::new(n, 2, Distribution::Independent)
         .with_selectivities(&[0.02, 0.03])
@@ -189,6 +192,11 @@ fn main() {
 
     if let Some(dir) = &trace_dir {
         caqe_trace::write_trace(dir, "parallel", sink.events()).expect("trace export failed");
+    }
+    if let Some(dir) = &metrics_dir {
+        let collector = caqe_bench::obs::collect(&w, sink.events(), &traced_out);
+        caqe_bench::obs::write_snapshot(dir, "parallel", &collector)
+            .expect("metrics export failed");
     }
 
     let groups = w

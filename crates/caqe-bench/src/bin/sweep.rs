@@ -6,13 +6,14 @@
 //! ```text
 //! cargo run --release -p caqe-bench --bin sweep -- [--axis n|sigma]
 //!     [--dist independent] [--contract 2] [--json] [--trace <dir>]
-//!     [--faults <spec>] [--validation reject|quarantine|clamp]
+//!     [--metrics <dir>] [--faults <spec>]
+//!     [--validation reject|quarantine|clamp]
 //! ```
 
 use caqe_bench::report::{
-    cli_arg, cli_chaos, cli_flag, cli_threads, cli_trace, render_jsonl, render_table,
+    cli_arg, cli_chaos, cli_flag, cli_metrics, cli_threads, cli_trace, render_jsonl, render_table,
 };
-use caqe_bench::{run_comparison_traced, ComparisonRow, ExperimentConfig};
+use caqe_bench::{run_comparison_observed, ComparisonRow, ExperimentConfig};
 use caqe_data::Distribution;
 
 fn main() {
@@ -27,9 +28,11 @@ fn main() {
     let json = cli_flag(&args, "--json");
     let (faults, validation) = cli_chaos(&args);
     let trace_dir = cli_trace(&args);
+    let metrics_dir = cli_metrics(&args);
     // Sweep points share every label ingredient except the swept value, so
     // each point traces into its own subdirectory.
-    let point_dir = |tag: String| trace_dir.as_ref().map(|d| d.join(tag));
+    let point_dir = |tag: &str| trace_dir.as_ref().map(|d| d.join(tag));
+    let point_metrics = |tag: &str| metrics_dir.as_ref().map(|d| d.join(tag));
 
     let mut rows: Vec<ComparisonRow> = Vec::new();
     match axis.as_str() {
@@ -41,9 +44,11 @@ fn main() {
                 cfg.validation = validation;
                 cfg.n = n;
                 cfg.reference_secs = Some(cfg.reference_seconds());
-                rows.extend(run_comparison_traced(
+                let tag = format!("n{n}");
+                rows.extend(run_comparison_observed(
                     &cfg,
-                    point_dir(format!("n{n}")).as_deref(),
+                    point_dir(&tag).as_deref(),
+                    point_metrics(&tag).as_deref(),
                 ));
             }
         }
@@ -56,9 +61,11 @@ fn main() {
                 cfg.n = 1500;
                 cfg.sigma = sigma;
                 cfg.reference_secs = Some(cfg.reference_seconds());
-                rows.extend(run_comparison_traced(
+                let tag = format!("sigma{}", sigma.to_string().replace('.', "p"));
+                rows.extend(run_comparison_observed(
                     &cfg,
-                    point_dir(format!("sigma{}", sigma.to_string().replace('.', "p"))).as_deref(),
+                    point_dir(&tag).as_deref(),
+                    point_metrics(&tag).as_deref(),
                 ));
             }
         }

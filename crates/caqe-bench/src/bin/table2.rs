@@ -12,6 +12,9 @@ fn main() {
     if caqe_bench::report::cli_trace(&args).is_some() {
         eprintln!("note: table2 evaluates contract shapes analytically; no engine runs, so --trace writes nothing");
     }
+    if caqe_bench::report::cli_metrics(&args).is_some() {
+        eprintln!("note: table2 evaluates contract shapes analytically; no engine runs, so --metrics writes nothing");
+    }
     let t_param = 10.0;
     let interval = 1.0;
     let est_total = 100.0;

@@ -17,7 +17,7 @@
 //! was `shed` must never appear in a later scheduling decision.
 //! Any violation exits non-zero, so CI can gate on it.
 
-use caqe_bench::json::parse;
+use caqe_bench::json::{parse, JsonValue};
 use caqe_bench::report::{cli_flag, cli_trace};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -59,7 +59,20 @@ struct Digest {
     admitted: BTreeMap<u64, u64>,
     /// query -> departure tick; a departed query must never emit again.
     departed: BTreeMap<u64, u64>,
+    /// `null` values in the stream — the JSON exporter writes non-finite
+    /// floats as `null`, so every one is a dropped number worth a warning.
+    nulls: u64,
     problems: Vec<String>,
+}
+
+/// Recursively counts `null` values (non-finite floats dropped at export).
+fn count_nulls(v: &JsonValue) -> u64 {
+    match v {
+        JsonValue::Null => 1,
+        JsonValue::Array(items) => items.iter().map(count_nulls).sum(),
+        JsonValue::Object(map) => map.values().map(count_nulls).sum(),
+        _ => 0,
+    }
 }
 
 fn group_region(v: &caqe_bench::json::JsonValue) -> (u64, u64) {
@@ -87,6 +100,7 @@ fn digest(path: &Path) -> Digest {
                 continue;
             }
         };
+        d.nulls += count_nulls(&v);
         let ev = v["ev"].as_str().unwrap_or("?").to_string();
         *d.counts.entry(ev.clone()).or_insert(0) += 1;
         match ev.as_str() {
@@ -313,6 +327,12 @@ fn main() -> ExitCode {
                 Some(g) => println!("  span {kind} (group {g}): {dur} ticks"),
                 None => println!("  span {kind}: {dur} ticks"),
             }
+        }
+        if d.nulls > 0 {
+            println!(
+                "  warning: {} non-finite value(s) dropped to null by the JSON exporter",
+                d.nulls
+            );
         }
         if check {
             if d.problems.is_empty() {

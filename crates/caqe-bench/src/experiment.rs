@@ -253,21 +253,40 @@ pub fn run_comparison_traced(
     cfg: &ExperimentConfig,
     trace_dir: Option<&Path>,
 ) -> Vec<ComparisonRow> {
+    run_comparison_observed(cfg, trace_dir, None)
+}
+
+/// The full observability variant: `trace_dir` exports deterministic
+/// traces, `metrics_dir` exports per-strategy metrics snapshots
+/// (`<label>.metrics.json` + `<label>.prom`, DESIGN.md §16) under the same
+/// labels, so `obs_report --reconcile` can pair every snapshot with its
+/// trace. With both `None` this is exactly [`run_comparison`].
+pub fn run_comparison_observed(
+    cfg: &ExperimentConfig,
+    trace_dir: Option<&Path>,
+    metrics_dir: Option<&Path>,
+) -> Vec<ComparisonRow> {
     let (r, t) = cfg.tables();
     let workload = cfg.workload();
     let exec = cfg.exec();
     all_strategies()
         .iter()
         .map(|s| {
-            let outcome = match trace_dir {
-                Some(dir) => {
-                    let mut sink = RecordingSink::new();
-                    let outcome = s.run_traced(&r, &t, &workload, &exec, &mut sink);
-                    write_trace(dir, &trace_label(s.name(), cfg), sink.events())
-                        .expect("trace export failed");
-                    outcome
+            let outcome = if trace_dir.is_some() || metrics_dir.is_some() {
+                let mut sink = RecordingSink::new();
+                let outcome = s.run_traced(&r, &t, &workload, &exec, &mut sink);
+                let label = trace_label(s.name(), cfg);
+                if let Some(dir) = trace_dir {
+                    write_trace(dir, &label, sink.events()).expect("trace export failed");
                 }
-                None => s.run(&r, &t, &workload, &exec),
+                if let Some(dir) = metrics_dir {
+                    let collector = crate::obs::collect(&workload, sink.events(), &outcome);
+                    crate::obs::write_snapshot(dir, &label, &collector)
+                        .expect("metrics export failed");
+                }
+                outcome
+            } else {
+                s.run(&r, &t, &workload, &exec)
             };
             ComparisonRow::from_outcome(&outcome, cfg)
         })
@@ -319,6 +338,38 @@ mod tests {
             for line in text.lines() {
                 crate::json::parse(line).expect("every trace line is valid JSON");
             }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn observed_comparison_exports_metrics_snapshots() {
+        let mut cfg = ExperimentConfig::new(Distribution::Correlated, 2);
+        cfg.n = 300;
+        cfg.workload_size = 3;
+        cfg.cells_per_table = 6;
+        let dir = std::env::temp_dir().join("caqe_bench_metrics_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let rows = run_comparison_observed(&cfg, None, Some(&dir));
+        assert_eq!(rows.len(), 5);
+        let snapshots: Vec<_> = std::fs::read_dir(&dir)
+            .expect("metrics dir exists")
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.ends_with(".metrics.json"))
+            })
+            .collect();
+        assert_eq!(snapshots.len(), 5, "one snapshot per strategy");
+        for p in &snapshots {
+            let text = std::fs::read_to_string(p).unwrap();
+            let v = crate::json::parse(text.trim()).expect("snapshot is valid JSON");
+            let emitted = v["counters"][caqe_obs::names::EMISSIONS]
+                .as_f64()
+                .expect("emission counter present");
+            assert!(emitted > 0.0, "{}: no emissions collected", p.display());
         }
         let _ = std::fs::remove_dir_all(&dir);
     }

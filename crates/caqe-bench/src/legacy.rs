@@ -210,7 +210,10 @@ mod tests {
                 legacy_skyline_bnl(&points, mask, &mut c1, &mut s1),
                 skyline_bnl(&points, mask, &mut c2, &mut s2)
             );
-            assert_eq!(s1, s2);
+            // The migrated path records which kernel implementation ran;
+            // the legacy path predates that diagnostic, so compare the
+            // charged observables.
+            assert_eq!(s1.observable(), s2.observable());
             assert_eq!(c1.ticks(), c2.ticks());
 
             let mut c3 = SimClock::default();
@@ -221,7 +224,7 @@ mod tests {
                 legacy_skyline_sfs(&points, mask, &mut c3, &mut s3),
                 skyline_sfs(&points, mask, &mut c4, &mut s4)
             );
-            assert_eq!(s3, s4);
+            assert_eq!(s3.observable(), s4.observable());
             assert_eq!(c3.ticks(), c4.ticks());
         }
     }
@@ -244,7 +247,7 @@ mod tests {
         }
         assert_eq!(old.len(), new.len());
         assert!(old.tags().eq(new.tags()));
-        assert_eq!(s1, s2);
+        assert_eq!(s1.observable(), s2.observable());
         assert_eq!(c1.ticks(), c2.ticks());
     }
 

@@ -12,17 +12,22 @@
 //!   against.
 //!
 //! Binaries: `fig9`, `fig10`, `fig11`, `table2`, `ablation`, `sweep`,
-//! `par_speedup`, `bench_pr3`, `bench_pr4`, `trace_report` — see
-//! DESIGN.md §5 for the per-experiment index. All execution drivers accept
-//! `--trace <dir>` to export the deterministic trace of every run
-//! (DESIGN.md §11), and `--faults <spec>` plus `--validation <policy>` to
-//! run under a deterministic chaos plan (DESIGN.md §13).
+//! `par_speedup`, `bench_pr3`, `bench_pr4`, `trace_report`, `obs_report`,
+//! `bench_check` — see DESIGN.md §5 for the per-experiment index. All
+//! execution drivers accept `--trace <dir>` to export the deterministic
+//! trace of every run (DESIGN.md §11), `--faults <spec>` plus
+//! `--validation <policy>` to run under a deterministic chaos plan
+//! (DESIGN.md §13), and the comparison drivers take `--metrics <dir>` to
+//! export deterministic metrics snapshots (DESIGN.md §16; see [`obs`]).
 
 pub mod experiment;
 pub mod json;
 pub mod legacy;
+pub mod obs;
 pub mod report;
 pub mod workloads;
 
-pub use experiment::{run_comparison, run_comparison_traced, ComparisonRow, ExperimentConfig};
+pub use experiment::{
+    run_comparison, run_comparison_observed, run_comparison_traced, ComparisonRow, ExperimentConfig,
+};
 pub use workloads::{paper_workload, ContractParams, PriorityPolicy};

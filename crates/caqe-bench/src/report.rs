@@ -105,6 +105,13 @@ pub fn cli_trace(args: &[String]) -> Option<std::path::PathBuf> {
     cli_arg(args, "--trace").map(std::path::PathBuf::from)
 }
 
+/// Parses the shared `--metrics <dir>` knob: when present, every run also
+/// writes its deterministic metrics snapshot (`<label>.metrics.json` +
+/// `<label>.prom`, DESIGN.md §16) into the directory.
+pub fn cli_metrics(args: &[String]) -> Option<std::path::PathBuf> {
+    cli_arg(args, "--metrics").map(std::path::PathBuf::from)
+}
+
 /// Parses the shared `--faults <spec>` knob into a deterministic fault
 /// plan (see [`FaultPlan::parse`] for the spec grammar, e.g.
 /// `seed=7,panic=0.2,spike=0.3x8`). Exits with the parse error on a bad

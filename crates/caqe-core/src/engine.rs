@@ -295,6 +295,11 @@ pub fn try_run_engine_online_traced<S: TraceSink>(
     let needs_dg = engine.progressive_emission
         || engine.dominance_discard
         || engine.policy != SchedulingPolicy::Fifo;
+    // Phase accounting: the breakdown is charged at the main-thread phase
+    // boundaries (worker deltas are merged inside), so it is identical for
+    // any sink and any thread count.
+    let build_t0 = clock.ticks();
+    let build_d0 = stats.dom_comparisons + stats.region_comparisons;
     let mut groups = build_groups(
         workload,
         &part_r,
@@ -308,6 +313,8 @@ pub fn try_run_engine_online_traced<S: TraceSink>(
         &mut stats,
         sink,
     );
+    stats.build_ticks += clock.ticks() - build_t0;
+    stats.build_dom_cmps += stats.dom_comparisons + stats.region_comparisons - build_d0;
 
     let nq = workload.len();
     let mut scores: Vec<QueryScore> = Vec::with_capacity(nq);
@@ -729,6 +736,7 @@ pub fn try_run_engine_online_traced<S: TraceSink>(
     } else {
         // Blocking profile (S-JFSL): report every query's final skyline
         // only now that all processing has finished.
+        let emit_t0 = clock.ticks();
         for g in &groups {
             for (local, &global) in g.members.iter().enumerate() {
                 let mut entries: Vec<(u64, u32, u64, u64)> = g
@@ -762,6 +770,7 @@ pub fn try_run_engine_online_traced<S: TraceSink>(
                 }
             }
         }
+        stats.emit_ticks += clock.ticks() - emit_t0;
     }
 
     let per_query = (0..scores.len())
@@ -981,6 +990,9 @@ fn apply_admit<S: TraceSink>(
     let slot = groups
         .iter()
         .position(|g| g.join_col == spec.join_col && g.mapping == spec.mapping);
+    // Admission-time plan patching / group building is build-phase work.
+    let build_t0 = clock.ticks();
+    let build_d0 = stats.dom_comparisons + stats.region_comparisons;
     match slot {
         Some(gi) => {
             // Patch the existing group in place: Def. 7 admission is purely
@@ -1068,6 +1080,8 @@ fn apply_admit<S: TraceSink>(
             groups.push(group);
         }
     }
+    stats.build_ticks += clock.ticks() - build_t0;
+    stats.build_dom_cmps += stats.dom_comparisons + stats.region_comparisons - build_d0;
     let (gi, group_label) = match slot {
         Some(gi) => (gi, gi as u32),
         None => (groups.len() - 1, u32::MAX),
@@ -1611,6 +1625,7 @@ fn process_region_tuples(
         let mut cand_vals: Vec<Value> = Vec::new();
         for (found, ticks, wstats) in per_chunk {
             clock.advance(ticks);
+            stats.probe_ticks += ticks;
             *stats += wstats;
             cand_meta.extend(found.meta);
             cand_vals.extend(found.vals);
@@ -1631,6 +1646,7 @@ fn process_region_tuples(
         return new_by_query;
     }
     let first_tag = g.arena.len() as u64;
+    stats.arena_tuples += cand_meta.len() as u64;
     let mut pids: Vec<PointId> = Vec::with_capacity(cand_meta.len());
     for (ci, (r_row, t_row, _)) in cand_meta.iter().enumerate() {
         let vals = &cand_vals[ci * stride..(ci + 1) * stride];
@@ -1647,9 +1663,13 @@ fn process_region_tuples(
         );
         pids.push(pid);
     }
+    let insert_t0 = clock.ticks();
+    let insert_d0 = stats.dom_comparisons;
     let inserts = g
         .plan
         .insert_batch(first_tag, &cand_vals, stride, threads, clock, stats);
+    stats.insert_ticks += clock.ticks() - insert_t0;
+    stats.insert_dom_cmps += stats.dom_comparisons - insert_d0;
     debug_assert_eq!(inserts.len(), cand_meta.len());
     for (ci, ((_, _, lineage), ins)) in cand_meta.into_iter().zip(inserts).enumerate() {
         let tag = first_tag + ci as u64;
@@ -1805,6 +1825,8 @@ fn emit_safe<S: TraceSink>(
     stats: &mut Stats,
     sink: &mut S,
 ) {
+    let emit_t0 = clock.ticks();
+    let emit_d0 = stats.region_comparisons;
     for &origin in origins {
         let mut list = std::mem::take(&mut pending.by_origin[origin as usize]);
         if list.is_empty() {
@@ -1876,4 +1898,6 @@ fn emit_safe<S: TraceSink>(
             pending.by_origin[origin as usize] = list;
         }
     }
+    stats.emit_ticks += clock.ticks() - emit_t0;
+    stats.emit_region_cmps += stats.region_comparisons - emit_d0;
 }

@@ -282,6 +282,7 @@ impl SharedSkylinePlan {
                 let pid = match interned[t] {
                     Some(p) => p,
                     None => {
+                        stats.plan_points_interned += 1;
                         let p = self.points.push(point);
                         interned[t] = Some(p);
                         p
@@ -408,7 +409,10 @@ impl SharedSkylinePlan {
                     }
                 }
             }
-            let pid = *interned.get_or_insert_with(|| self.points.push(point));
+            let pid = *interned.get_or_insert_with(|| {
+                stats.plan_points_interned += 1;
+                self.points.push(point)
+            });
             self.skylines[i].entries.insert(
                 pos,
                 Entry {
@@ -620,6 +624,7 @@ impl SharedSkylinePlan {
         let mut interned: Vec<Option<PointId>> = vec![None; count];
         for (c, slot) in interned.iter_mut().enumerate() {
             if added_bits[c] != 0 {
+                stats.plan_points_interned += 1;
                 *slot = Some(self.points.push(&vals[c * stride..(c + 1) * stride]));
             }
         }

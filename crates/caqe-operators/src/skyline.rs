@@ -77,8 +77,10 @@ pub fn skyline_bnl_store(
     stats: &mut Stats,
 ) -> Vec<usize> {
     if points.len() >= BLOCK_MIN && !kernel.is_empty() {
+        stats.block_kernel_ops += 1;
         return skyline_bnl_block(points, kernel, clock, stats);
     }
+    stats.scalar_kernel_ops += 1;
     skyline_bnl_store_scalar(points, kernel, clock, stats)
 }
 
@@ -306,8 +308,10 @@ pub fn skyline_sfs_presorted(
     stats: &mut Stats,
 ) -> Vec<usize> {
     if points.len() >= BLOCK_MIN && !kernel.is_empty() {
+        stats.block_kernel_ops += 1;
         return skyline_sfs_presorted_block(points, kernel, order, clock, stats);
     }
+    stats.scalar_kernel_ops += 1;
     skyline_sfs_presorted_scalar(points, kernel, order, clock, stats)
 }
 
@@ -556,8 +560,10 @@ impl IncrementalSkyline {
         stats: &mut Stats,
     ) -> InsertOutcome {
         if self.tags.len() >= BLOCK_MIN {
+            stats.block_kernel_ops += 1;
             self.insert_block(tag, point, clock, stats)
         } else {
+            stats.scalar_kernel_ops += 1;
             self.insert_scalar(tag, point, clock, stats)
         }
     }

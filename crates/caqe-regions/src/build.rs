@@ -170,6 +170,7 @@ fn coarse_skyline(
                 // nothing but the first dominator position per 64-lane
                 // block. Bulk-charging the examined count is tick- and
                 // stats-identical to the per-member charge below.
+                stats.block_kernel_ops += 1;
                 let lo = regions[i].bounds.lo();
                 let mut examined = 0u64;
                 for chunk in window.chunks(64) {
@@ -184,6 +185,7 @@ fn coarse_skyline(
                 clock.charge_dom_cmps(examined);
                 stats.region_comparisons += examined;
             } else if !skip_check {
+                stats.scalar_kernel_ops += 1;
                 for &j in &window {
                     clock.charge_dom_cmps(1);
                     stats.region_comparisons += 1;

@@ -62,6 +62,36 @@ pub struct Stats {
     pub ingest_quarantined: u64,
     /// Non-finite preference values clamped by ingestion validation.
     pub ingest_clamped: u64,
+    /// Virtual ticks spent building join groups (partitioning excluded —
+    /// the quad-tree build is uncharged). Accounted at the engine's phase
+    /// boundaries on the main scheduling thread, so the breakdown is
+    /// thread-invariant like every other counter.
+    pub build_ticks: u64,
+    /// Virtual ticks spent in the probe/project phase of region processing.
+    pub probe_ticks: u64,
+    /// Virtual ticks spent in shared-plan skyline insertion.
+    pub insert_ticks: u64,
+    /// Virtual ticks spent in emission-safety checks and result emission.
+    pub emit_ticks: u64,
+    /// Dominance + region comparisons charged during group build.
+    pub build_dom_cmps: u64,
+    /// Tuple-level dominance comparisons charged during plan insertion.
+    pub insert_dom_cmps: u64,
+    /// Region-level comparisons charged by the emission-safety scan.
+    pub emit_region_cmps: u64,
+    /// Kernel dispatch diagnostic: times the block-bitset path was taken.
+    /// Describes *which implementation ran*, not what it charged — excluded
+    /// from [`Stats::observable`] because forced-scalar replays legitimately
+    /// differ here while remaining observationally identical.
+    pub block_kernel_ops: u64,
+    /// Kernel dispatch diagnostic: times the scalar fallback was taken by a
+    /// dispatching entry point (direct calls to `*_scalar` twins count
+    /// nothing — they are references, not dispatch decisions).
+    pub scalar_kernel_ops: u64,
+    /// Tuples materialized into group arenas (join-history occupancy).
+    pub arena_tuples: u64,
+    /// Points interned into shared-plan stores (one-copy occupancy).
+    pub plan_points_interned: u64,
     /// Per-query breakdown of emissions and utility, indexed by `QueryId`.
     /// Empty until an executor sizes it to the workload; worker-thread stat
     /// deltas carry it empty, so merges never misattribute across indices.
@@ -90,6 +120,18 @@ impl Stats {
         self.per_query[q].tuples_emitted += 1;
         self.per_query[q].utility_sum += u;
     }
+
+    /// The charged observables: a copy with the kernel-dispatch diagnostics
+    /// zeroed. Scalar-vs-block equivalence checks compare through this —
+    /// the dispatch counters say *which* implementation ran, which is the
+    /// one thing a forced-scalar reference arm is allowed to differ on.
+    #[must_use]
+    pub fn observable(&self) -> Stats {
+        let mut s = self.clone();
+        s.block_kernel_ops = 0;
+        s.scalar_kernel_ops = 0;
+        s
+    }
 }
 
 impl AddAssign for Stats {
@@ -108,6 +150,17 @@ impl AddAssign for Stats {
         self.regions_shed += rhs.regions_shed;
         self.ingest_quarantined += rhs.ingest_quarantined;
         self.ingest_clamped += rhs.ingest_clamped;
+        self.build_ticks += rhs.build_ticks;
+        self.probe_ticks += rhs.probe_ticks;
+        self.insert_ticks += rhs.insert_ticks;
+        self.emit_ticks += rhs.emit_ticks;
+        self.build_dom_cmps += rhs.build_dom_cmps;
+        self.insert_dom_cmps += rhs.insert_dom_cmps;
+        self.emit_region_cmps += rhs.emit_region_cmps;
+        self.block_kernel_ops += rhs.block_kernel_ops;
+        self.scalar_kernel_ops += rhs.scalar_kernel_ops;
+        self.arena_tuples += rhs.arena_tuples;
+        self.plan_points_interned += rhs.plan_points_interned;
         self.ensure_queries(rhs.per_query.len());
         for (mine, theirs) in self.per_query.iter_mut().zip(rhs.per_query) {
             *mine += theirs;
@@ -136,6 +189,17 @@ mod tests {
             regions_shed: 12,
             ingest_quarantined: 13,
             ingest_clamped: 14,
+            build_ticks: 15,
+            probe_ticks: 16,
+            insert_ticks: 17,
+            emit_ticks: 18,
+            build_dom_cmps: 19,
+            insert_dom_cmps: 20,
+            emit_region_cmps: 21,
+            block_kernel_ops: 22,
+            scalar_kernel_ops: 23,
+            arena_tuples: 24,
+            plan_points_interned: 25,
             per_query: vec![PerQueryStats {
                 tuples_emitted: 5,
                 utility_sum: 2.5,
@@ -150,8 +214,36 @@ mod tests {
         assert_eq!(a.regions_shed, 24);
         assert_eq!(a.ingest_quarantined, 26);
         assert_eq!(a.ingest_clamped, 28);
+        assert_eq!(a.build_ticks, 30);
+        assert_eq!(a.probe_ticks, 32);
+        assert_eq!(a.insert_ticks, 34);
+        assert_eq!(a.emit_ticks, 36);
+        assert_eq!(a.build_dom_cmps, 38);
+        assert_eq!(a.insert_dom_cmps, 40);
+        assert_eq!(a.emit_region_cmps, 42);
+        assert_eq!(a.block_kernel_ops, 44);
+        assert_eq!(a.scalar_kernel_ops, 46);
+        assert_eq!(a.arena_tuples, 48);
+        assert_eq!(a.plan_points_interned, 50);
         assert_eq!(a.per_query[0].tuples_emitted, 10);
         assert!((a.per_query[0].utility_sum - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observable_zeroes_only_dispatch_diagnostics() {
+        let mut s = Stats::new();
+        s.dom_comparisons = 7;
+        s.block_kernel_ops = 3;
+        s.scalar_kernel_ops = 4;
+        let o = s.observable();
+        assert_eq!(o.dom_comparisons, 7);
+        assert_eq!(o.block_kernel_ops, 0);
+        assert_eq!(o.scalar_kernel_ops, 0);
+        // Everything else is untouched.
+        let mut expect = s.clone();
+        expect.block_kernel_ops = 0;
+        expect.scalar_kernel_ops = 0;
+        assert_eq!(o, expect);
     }
 
     #[test]

@@ -48,3 +48,11 @@ pub use caqe_core as core;
 /// Competitor techniques from the paper's evaluation: JFSL, SSMJ, ProgXe+,
 /// S-JFSL.
 pub use caqe_baselines as baselines;
+
+/// Deterministic parallel execution: pinned worker pools and
+/// order-preserving fan-out.
+pub use caqe_parallel as parallel;
+
+/// Live observability: deterministic metrics registry, contract-SLO
+/// monitor, phase profiler and exporters.
+pub use caqe_obs as obs;
