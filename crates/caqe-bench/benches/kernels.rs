@@ -1,20 +1,25 @@
-//! Criterion micro-benchmarks for the flat-layout migration (DESIGN.md §12):
-//! every pair is the seed-era `Vec<Vec<f64>>`/`HashMap` kernel (`legacy/*`)
-//! against its `PointStore`/`DomKernel` replacement (`flat/*`), performing
-//! the *identical* comparison sequence — the measured difference is pure
-//! data layout, allocation and kernel specialization.
+//! Criterion micro-benchmarks for the flat-layout migration (DESIGN.md §12)
+//! and the partition-signature pruning layer (DESIGN.md §17): every pair is
+//! the seed-era `Vec<Vec<f64>>`/`HashMap` kernel (`legacy/*`) against its
+//! `PointStore`/`DomKernel` replacement (`flat/*`), and `pruned/*` resolves
+//! the *identical* comparison sequence on packed integer signatures — the
+//! measured differences are pure data layout, allocation and kernel
+//! specialization; results and charges are asserted equal elsewhere
+//! (`prune.rs` tests, `tests/property_sig.rs`, `bench_pr8`).
 //!
-//! CI runs this suite in quick mode as a smoke test; `bench_pr3` measures
-//! the composite wall-clock speedup on the fig9-style workload.
+//! CI runs this suite in quick mode as a smoke test; `bench_pr3` and
+//! `bench_pr8` measure the composite wall-clock speedups on the fig9-style
+//! workload.
 
 use caqe_bench::legacy::{
     legacy_hash_join_project, legacy_skyline_bnl, legacy_skyline_sfs, LegacyIncrementalSkyline,
 };
 use caqe_data::{Distribution, TableGenerator};
 use caqe_operators::{
-    hash_join_project_store, skyline_bnl_store, skyline_sfs_store, IncrementalSkyline, JoinSpec,
-    MappingSet,
+    hash_join_project_store, skyline_bnl_pruned, skyline_bnl_store, skyline_sfs_store,
+    IncrementalSkyline, JoinSpec, MappingSet, SigSkyline,
 };
+use caqe_types::sig::{SigQuantizer, SigTable};
 use caqe_types::{DimMask, DomKernel, PointStore, SimClock, Stats};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -65,6 +70,26 @@ fn bench_skyline_kernels(c: &mut Criterion) {
                 })
             },
         );
+        // Signature table built once outside the loop, like a PresortCache
+        // hit (bench_pr8 prices the build; here we price the probe).
+        let table = {
+            let mut s = Stats::new();
+            #[allow(clippy::expect_used)]
+            SigTable::try_build(&store, mask, &mut s).expect("4-dim subspace fits a signature")
+        };
+        group.bench_with_input(
+            BenchmarkId::new("pruned_bnl", dist.label()),
+            &store,
+            |b, store| {
+                b.iter(|| {
+                    let mut clock = SimClock::default();
+                    let mut stats = Stats::new();
+                    black_box(skyline_bnl_pruned(
+                        store, &kernel, &table, &mut clock, &mut stats,
+                    ))
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("legacy_sfs", dist.label()),
             &pts,
@@ -109,6 +134,24 @@ fn bench_incremental_kernels(c: &mut Criterion) {
     group.bench_function("flat_insert_stream", |b| {
         b.iter(|| {
             let mut sky = IncrementalSkyline::new(mask);
+            let mut clock = SimClock::default();
+            let mut stats = Stats::new();
+            for (i, p) in pts.iter().enumerate() {
+                black_box(sky.insert(i as u64, p, &mut clock, &mut stats));
+            }
+            sky.len()
+        })
+    });
+    let quant = {
+        let store = intern(&pts, 4);
+        #[allow(clippy::expect_used)]
+        SigQuantizer::from_store(&store, mask).expect("2-dim subspace fits a signature")
+    };
+    // Streaming twin: quantizes each arriving point itself (no shared
+    // table), the worst case for the pruned path.
+    group.bench_function("pruned_insert_stream", |b| {
+        b.iter(|| {
+            let mut sky = SigSkyline::new(mask, quant.clone());
             let mut clock = SimClock::default();
             let mut stats = Stats::new();
             for (i, p) in pts.iter().enumerate() {

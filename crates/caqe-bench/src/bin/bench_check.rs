@@ -19,6 +19,14 @@
 //!    `wall_seconds`, `overhead` or `retention`), and at least one
 //!    workload-scale count (`n`, `queries`, `join_results`,
 //!    `dom_comparisons`, `results` or `initial_queries`).
+//! 3. **Cross-field honesty** — an integer `reps >= 1` (a headline time
+//!    without a repetition count is unreproducible), every boolean key
+//!    ending in `identical` must be `true` (a committed artifact claiming
+//!    its own arms diverged is a red flag, not a result), and every scalar
+//!    `speedup`/`overhead` key must equal the ratio of two committed
+//!    `*_seconds` keys (the headline can't claim a ratio its own raw
+//!    numbers don't support; `retention` keys are score fractions, not
+//!    time ratios, and are exempt).
 //!
 //! Any violation prints `FAIL` with the reason and exits non-zero.
 
@@ -81,6 +89,47 @@ fn validate(v: &JsonValue) -> Vec<String> {
         problems.push(
             "no workload-scale count (n/queries/join_results/dom_comparisons/results)".to_string(),
         );
+    }
+    // Layer 3: cross-field honesty.
+    match as_uint(&v["reps"]) {
+        Some(r) if r >= 1 => {}
+        Some(_) => problems.push("`reps` must be >= 1".to_string()),
+        None => problems.push("missing integer key `reps`".to_string()),
+    }
+    for (k, val) in map {
+        if k.ends_with("identical") {
+            match val {
+                JsonValue::Bool(true) => {}
+                JsonValue::Bool(false) => {
+                    problems.push(format!("`{k}` is false — the benchmark's arms diverged"));
+                }
+                _ => problems.push(format!("`{k}` must be a boolean")),
+            }
+        }
+    }
+    let seconds: Vec<f64> = map
+        .iter()
+        .filter(|(k, _)| k.contains("_seconds"))
+        .filter_map(|(_, val)| val.as_f64())
+        .filter(|f| f.is_finite() && *f > 0.0)
+        .collect();
+    for (k, val) in map {
+        if !(k.contains("speedup") || k.contains("overhead")) || k.contains("retention") {
+            continue;
+        }
+        let Some(ratio) = val.as_f64().filter(|f| f.is_finite()) else {
+            continue; // non-scalar speedup-ish keys aren't headline ratios
+        };
+        let supported = seconds.iter().any(|a| {
+            seconds
+                .iter()
+                .any(|b| *b > 0.0 && (a / b - ratio).abs() <= 1e-9 * ratio.abs().max(1.0))
+        });
+        if !supported {
+            problems.push(format!(
+                "`{k}` = {ratio} is not the ratio of any two committed `*_seconds` values"
+            ));
+        }
     }
     problems
 }

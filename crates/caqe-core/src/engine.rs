@@ -1020,6 +1020,9 @@ fn apply_admit<S: TraceSink>(
                     MinMaxCuboid::build_masked(&prefs, &act),
                     exec.assume_dva,
                 );
+                if let Some((lo, hi)) = g.regions.mapped_bounds() {
+                    plan.enable_sig_cache(&lo, &hi);
+                }
                 if !g.points.is_empty() {
                     plan.insert_batch(
                         0,

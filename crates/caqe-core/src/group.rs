@@ -214,7 +214,13 @@ pub(crate) fn build_one_group(
         .map(|i| dg.threats_out(caqe_types::RegionId(i as u32)).to_vec())
         .collect();
     let prefs: Vec<DimMask> = queries.iter().map(|(_, m)| *m).collect();
-    let plan = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), exec.assume_dva);
+    let mut plan = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), exec.assume_dva);
+    // The region envelope bounds every tuple the mappings can produce —
+    // exactly the quantization range signature screening wants (DESIGN.md
+    // §17). Screening never changes observables, so no config gate.
+    if let Some((lo, hi)) = regions.mapped_bounds() {
+        plan.enable_sig_cache(&lo, &hi);
+    }
     let prog_cache = vec![None; regions.len()];
     let points = PointStore::new(mapping.output_dims());
     JoinGroup {

@@ -21,6 +21,7 @@
 
 use crate::minmax::MinMaxCuboid;
 use caqe_parallel::{map_ordered, Threads};
+use caqe_types::sig::{sig_relate, SigQuantizer};
 use caqe_types::{
     DimMask, DomKernel, DomRelation, PointId, PointStore, QueryId, SimClock, Stats, Value,
 };
@@ -54,6 +55,9 @@ struct ShardOut {
     subspace: usize,
     /// The subspace skyline after processing every candidate.
     sky: SubspaceSky,
+    /// The subspace's signature state after the level (returned to the
+    /// plan's interned cache), if signature screening is enabled.
+    sigs: Option<SubspaceSigs>,
     /// Per batch candidate: admitted into this subspace?
     admitted: Vec<bool>,
     /// `(candidate, evicted tags)` in candidate order.
@@ -61,6 +65,21 @@ struct ShardOut {
     /// Dominance comparisons performed (merged into clock/stats in fixed
     /// shard order by the caller).
     comps: u64,
+    /// Candidate signatures quantized by this shard (diagnostic, merged in
+    /// fixed shard order like `comps`).
+    sig_builds: u64,
+}
+
+/// Interned per-subspace signature state (DESIGN.md §17): the quantizer
+/// derived from the plan-wide bounds plus one signature per skyline entry,
+/// maintained in lockstep with `SubspaceSky::entries`. Reused across
+/// batches — and thereby across every query mapped to the subspace — until
+/// an out-of-band mutation invalidates it.
+#[derive(Debug, Clone)]
+struct SubspaceSigs {
+    quant: SigQuantizer,
+    /// `sigs[k]` is the signature of `entries[k]`.
+    sigs: Vec<u64>,
 }
 
 /// Result of inserting one tuple into the shared plan.
@@ -113,6 +132,16 @@ pub struct SharedSkylinePlan {
     assume_dva: bool,
     points: PointStore,
     kernels: Vec<DomKernel>,
+    /// Plan-wide quantization bounds (`lo`, `hi` indexed by full-stride
+    /// dimension), set by [`SharedSkylinePlan::enable_sig_cache`]. `None`
+    /// disables signature screening entirely.
+    sig_bounds: Option<(Vec<Value>, Vec<Value>)>,
+    /// Interned per-subspace signature state, maintained by
+    /// [`SharedSkylinePlan::insert_batch`] and invalidated by any mutation
+    /// that touches `skylines` without keeping signatures in lockstep (the
+    /// scalar [`SharedSkylinePlan::insert`] twin; a freshly backfilled
+    /// subspace starts empty). One slot per cuboid subspace.
+    sig_cache: Vec<Option<SubspaceSigs>>,
 }
 
 impl SharedSkylinePlan {
@@ -124,13 +153,38 @@ impl SharedSkylinePlan {
     pub fn new(cuboid: MinMaxCuboid, assume_dva: bool) -> Self {
         assert!(cuboid.len() <= 64, "cuboid too large for added-mask bits");
         let skylines = (0..cuboid.len()).map(|_| SubspaceSky::default()).collect();
+        let sig_cache = (0..cuboid.len()).map(|_| None).collect();
         SharedSkylinePlan {
             cuboid,
             skylines,
             assume_dva,
             points: PointStore::new(0),
             kernels: Vec::new(),
+            sig_bounds: None,
+            sig_cache,
         }
+    }
+
+    /// Enables signature-level dominance screening (DESIGN.md §17) with the
+    /// given per-dimension quantization bounds (full-stride `lo`/`hi`, e.g.
+    /// the output-region corners the engine already computed). Screening is
+    /// purely a wall-clock optimization: every admission, eviction, tick and
+    /// counter the plan produces stays byte-identical — the quantizer's
+    /// clamped monotone map keeps even out-of-range values sound, so stale
+    /// or estimated bounds cost precision, never correctness.
+    ///
+    /// Any previously interned signature state is dropped (the bounds
+    /// changed under it).
+    pub fn enable_sig_cache(&mut self, lo: &[Value], hi: &[Value]) {
+        self.sig_bounds = Some((lo.to_vec(), hi.to_vec()));
+        for slot in &mut self.sig_cache {
+            *slot = None;
+        }
+    }
+
+    /// Whether signature screening is enabled.
+    pub fn sig_cache_enabled(&self) -> bool {
+        self.sig_bounds.is_some()
     }
 
     /// The underlying cuboid.
@@ -210,6 +264,7 @@ impl SharedSkylinePlan {
             .into_iter()
             .map(Some)
             .collect();
+        let mut old_sig: Vec<Option<SubspaceSigs>> = std::mem::take(&mut self.sig_cache);
 
         let mut fresh: Vec<usize> = Vec::new();
         for (i, m) in mapping.iter().enumerate() {
@@ -217,6 +272,10 @@ impl SharedSkylinePlan {
             match m {
                 Some(old) => {
                     self.skylines.push(old_sky[*old].take().unwrap_or_default());
+                    // A carried subspace's entries are untouched below (the
+                    // backfill only writes *fresh* subspaces), so its
+                    // interned signatures stay valid and travel with it.
+                    self.sig_cache.push(old_sig[*old].take());
                     if had_kernels {
                         self.kernels.push(
                             old_ker[*old]
@@ -227,6 +286,7 @@ impl SharedSkylinePlan {
                 }
                 None => {
                     self.skylines.push(SubspaceSky::default());
+                    self.sig_cache.push(None);
                     if had_kernels {
                         self.kernels.push(DomKernel::new(sub, stride));
                     }
@@ -320,12 +380,14 @@ impl SharedSkylinePlan {
             .into_iter()
             .map(Some)
             .collect();
+        let mut old_sig: Vec<Option<SubspaceSigs>> = std::mem::take(&mut self.sig_cache);
         for (i, m) in mapping.iter().enumerate() {
             let sub = self.cuboid.subspaces()[i];
             // Depart is subtractive, so every entry is `Some`; degrade to an
             // empty skyline rather than abort if that invariant ever broke.
             let old = m.and_then(|o| old_sky[o].take());
             self.skylines.push(old.unwrap_or_default());
+            self.sig_cache.push(m.and_then(|o| old_sig[o].take()));
             if had_kernels {
                 let ker = m.and_then(|o| old_ker[o].take());
                 self.kernels
@@ -347,6 +409,14 @@ impl SharedSkylinePlan {
         let n_subs = self.cuboid.len();
         let mut added_mask: u64 = 0;
         let mut query_evictions: Vec<(QueryId, Vec<u64>)> = Vec::new();
+
+        // The scalar twin mutates skylines without maintaining signatures:
+        // drop any interned state so the next batch rebuilds it. (This is
+        // the cache's invalidation contract — any out-of-band entry
+        // mutation must land here or keep signatures in lockstep.)
+        for slot in &mut self.sig_cache {
+            *slot = None;
+        }
 
         // Learn the stride (and build the per-subspace kernels) on first use.
         if self.kernels.is_empty() {
@@ -530,16 +600,48 @@ impl SharedSkylinePlan {
                 level_end == n_subs || self.cuboid.subspaces()[level_end].len() > level,
                 "cuboid subspaces not level-sorted"
             );
-            // Take each shard's skyline out of the plan so workers own them.
-            let shards: Vec<(usize, SubspaceSky)> = (level_start..level_end)
-                .map(|i| (i, std::mem::take(&mut self.skylines[i])))
+            // Take each shard's skyline out of the plan so workers own them,
+            // pairing each with its interned signature state. A cache hit
+            // reuses the previous batch's signatures as-is; a miss (first
+            // batch, post-invalidation, or fresh subspace) quantizes the
+            // current members once, serially, so the hit/miss/build counters
+            // are identical at every thread count.
+            let shards: Vec<(usize, SubspaceSky, Option<SubspaceSigs>)> = (level_start..level_end)
+                .map(|i| {
+                    let sky = std::mem::take(&mut self.skylines[i]);
+                    let sigs = match &self.sig_bounds {
+                        None => None,
+                        Some((lo, hi)) => match self.sig_cache[i].take() {
+                            Some(s) => {
+                                debug_assert_eq!(s.sigs.len(), sky.entries.len());
+                                stats.presort_cache_hits += 1;
+                                Some(s)
+                            }
+                            None => {
+                                stats.presort_cache_misses += 1;
+                                SigQuantizer::from_bounds(self.cuboid.subspaces()[i], lo, hi).map(
+                                    |quant| {
+                                        stats.sig_builds += sky.entries.len() as u64;
+                                        let sigs = sky
+                                            .entries
+                                            .iter()
+                                            .map(|e| quant.sig(self.points.get(e.point)))
+                                            .collect();
+                                        SubspaceSigs { quant, sigs }
+                                    },
+                                )
+                            }
+                        },
+                    };
+                    (i, sky, sigs)
+                })
                 .collect();
             let arena = &self.points;
             let kernels = &self.kernels;
             let cuboid = &self.cuboid;
             let assume_dva = self.assume_dva;
             let frozen_bits: &[u64] = &added_bits;
-            let outs = map_ordered(threads, shards, |_, (i, mut sky)| {
+            let outs = map_ordered(threads, shards, |_, (i, mut sky, mut sigs)| {
                 let kernel = &kernels[i];
                 let child_bits: u64 = cuboid
                     .children(i)
@@ -548,19 +650,41 @@ impl SharedSkylinePlan {
                 let mut admitted = vec![false; count];
                 let mut evs: Vec<(usize, Vec<u64>)> = Vec::new();
                 let mut comps: u64 = 0;
+                let mut sig_builds: u64 = 0;
                 for c in 0..count {
                     let point = &vals[c * stride..(c + 1) * stride];
                     let known_survivor = assume_dva && (frozen_bits[c] & child_bits) != 0;
                     let score: Value = kernel.score(point);
                     let pos = sky.position(score);
+                    // `csig` is `Some` iff `sigs` is — the lockstep invariant
+                    // the insert below relies on.
+                    let csig = sigs.as_ref().map(|s| {
+                        sig_builds += 1;
+                        s.quant.sig(point)
+                    });
 
                     let mut rejected = false;
                     if !known_survivor {
                         let boundary = sky.entries.partition_point(|e| e.score <= score);
-                        for e in &sky.entries[..boundary] {
+                        for (k, e) in sky.entries[..boundary].iter().enumerate() {
+                            // Charged exactly like the unscreened scan: the
+                            // signature only decides *how* the verdict is
+                            // reached, never how much it costs.
                             comps += 1;
-                            let member = member_point(arena, vals, stride, e.point);
-                            if kernel.relate(member, point) == DomRelation::Dominates {
+                            let proven = match (&sigs, csig) {
+                                (Some(s), Some(cs)) => {
+                                    sig_relate(s.sigs[k], cs, s.quant.high_mask())
+                                }
+                                _ => None,
+                            };
+                            let dominates = match proven {
+                                Some(v) => v == DomRelation::Dominates,
+                                None => {
+                                    let member = member_point(arena, vals, stride, e.point);
+                                    kernel.relate(member, point) == DomRelation::Dominates
+                                }
+                            };
+                            if dominates {
                                 rejected = true;
                                 break;
                             }
@@ -574,9 +698,23 @@ impl SharedSkylinePlan {
                     let mut k = pos;
                     while k < sky.entries.len() {
                         comps += 1;
-                        let member = member_point(arena, vals, stride, sky.entries[k].point);
-                        if kernel.relate(point, member) == DomRelation::Dominates {
+                        let proven = match (&sigs, csig) {
+                            (Some(s), Some(cs)) => sig_relate(cs, s.sigs[k], s.quant.high_mask()),
+                            _ => None,
+                        };
+                        let dominates = match proven {
+                            Some(v) => v == DomRelation::Dominates,
+                            None => {
+                                let member =
+                                    member_point(arena, vals, stride, sky.entries[k].point);
+                                kernel.relate(point, member) == DomRelation::Dominates
+                            }
+                        };
+                        if dominates {
                             evicted.push(sky.entries.remove(k).tag);
+                            if let Some(s) = &mut sigs {
+                                s.sigs.remove(k);
+                            }
                         } else {
                             k += 1;
                         }
@@ -589,6 +727,9 @@ impl SharedSkylinePlan {
                             point: PointId(BATCH_SENTINEL | c as u32),
                         },
                     );
+                    if let (Some(s), Some(cs)) = (&mut sigs, csig) {
+                        s.sigs.insert(pos, cs);
+                    }
                     admitted[c] = true;
                     if !evicted.is_empty() {
                         evs.push((c, evicted));
@@ -597,16 +738,20 @@ impl SharedSkylinePlan {
                 ShardOut {
                     subspace: i,
                     sky,
+                    sigs,
                     admitted,
                     evictions: evs,
                     comps,
+                    sig_builds,
                 }
             });
             // Fixed-order merge: ascending subspace index within the level.
             for out in outs {
                 clock.charge_dom_cmps(out.comps);
                 stats.dom_comparisons += out.comps;
+                stats.sig_builds += out.sig_builds;
                 self.skylines[out.subspace] = out.sky;
+                self.sig_cache[out.subspace] = out.sigs;
                 for (c, adm) in out.admitted.iter().enumerate() {
                     if *adm {
                         added_bits[c] |= 1u64 << out.subspace;
@@ -1112,6 +1257,119 @@ mod tests {
                 q + 1
             );
         }
+    }
+
+    #[test]
+    fn sig_screened_batches_are_bit_identical_and_reuse_the_cache() {
+        // The signature cache must change nothing observable — results,
+        // skyline entries, ticks, dom_comparisons — at any thread count,
+        // while actually being exercised (hits after the first batch,
+        // screening able to prove verdicts within the given bounds).
+        let prefs = figure1_prefs();
+        let points = random_points(350, 4, 77);
+        let mut serial = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), true);
+        let mut sc = SimClock::default();
+        let mut ss = Stats::new();
+        let serial_results: Vec<SharedInsert> = points
+            .iter()
+            .enumerate()
+            .map(|(i, p)| serial.insert(i as u64, p, &mut sc, &mut ss))
+            .collect();
+        for workers in [1usize, 2, 4, 8] {
+            let threads = Threads::from_config(Some(workers));
+            let mut plan = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), true);
+            plan.enable_sig_cache(&[0.0; 4], &[100.0; 4]);
+            assert!(plan.sig_cache_enabled());
+            let (results, clock, stats) = insert_batched(&mut plan, &points, threads);
+            assert_eq!(
+                results, serial_results,
+                "sig screening changed results at {workers} threads"
+            );
+            assert_eq!(
+                clock.ticks(),
+                sc.ticks(),
+                "ticks diverge at {workers} threads"
+            );
+            assert_eq!(stats.dom_comparisons, ss.dom_comparisons);
+            assert_eq!(stats.observable(), ss.observable());
+            for q in 0..prefs.len() {
+                let qid = QueryId(q as u16);
+                assert_eq!(
+                    plan.query_skyline_entries(qid),
+                    serial.query_skyline_entries(qid),
+                    "query Q{} entries diverge at {workers} threads",
+                    q + 1
+                );
+            }
+            // The cache was genuinely used: first batch misses per subspace,
+            // later batches hit; candidates and carried members were
+            // quantized.
+            assert!(stats.presort_cache_hits > 0, "no cache hits");
+            assert!(stats.presort_cache_misses > 0, "no cache misses");
+            assert!(stats.sig_builds > 0, "no signatures built");
+        }
+    }
+
+    #[test]
+    fn scalar_insert_invalidates_the_sig_cache() {
+        // Interleaving the scalar twin between batches must not leave stale
+        // signatures behind; the next batch rebuilds (a fresh miss) and the
+        // final state still matches an all-serial run.
+        let prefs = figure1_prefs();
+        let points = random_points(200, 4, 31);
+        let mut serial = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), true);
+        let mut sc = SimClock::default();
+        let mut ss = Stats::new();
+        for (i, p) in points.iter().enumerate() {
+            serial.insert(i as u64, p, &mut sc, &mut ss);
+        }
+        let mut plan = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), true);
+        plan.enable_sig_cache(&[0.0; 4], &[100.0; 4]);
+        let mut clock = SimClock::default();
+        let mut stats = Stats::new();
+        let threads = Threads::from_config(Some(4));
+        let stride = 4;
+        let flat: Vec<Value> = points.iter().flatten().copied().collect();
+        let (a, b) = (80usize, 81usize);
+        plan.insert_batch(
+            0,
+            &flat[..a * stride],
+            stride,
+            threads,
+            &mut clock,
+            &mut stats,
+        );
+        let hits_before = stats.presort_cache_hits;
+        plan.insert(a as u64, &points[a], &mut clock, &mut stats);
+        plan.insert_batch(
+            b as u64,
+            &flat[b * stride..],
+            stride,
+            threads,
+            &mut clock,
+            &mut stats,
+        );
+        assert_eq!(clock.ticks(), sc.ticks());
+        assert_eq!(stats.observable(), ss.observable());
+        for q in 0..prefs.len() {
+            let qid = QueryId(q as u16);
+            assert_eq!(
+                plan.query_skyline_entries(qid),
+                serial.query_skyline_entries(qid),
+                "query Q{} diverges after scalar interleave",
+                q + 1
+            );
+        }
+        // The batch after the scalar insert could not have hit the cache:
+        // everything was invalidated, so each subspace misses once per
+        // batch and never hits.
+        assert_eq!(stats.presort_cache_hits, hits_before);
+        assert_eq!(hits_before, 0);
+        assert_eq!(
+            stats.presort_cache_misses,
+            2 * plan.cuboid().len() as u64,
+            "each subspace should miss exactly once per batch"
+        );
     }
 
     #[test]

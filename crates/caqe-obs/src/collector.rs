@@ -86,6 +86,10 @@ pub mod names {
     /// Counter family: kernel dispatch decisions, labelled by `path`
     /// (`block`/`scalar`).
     pub const KERNEL_DISPATCH: &str = "caqe_kernel_dispatch_total";
+    /// Counter family: signature prune-layer events, labelled by `kind`
+    /// (`partitions_skipped`/`partitions_rejected`/`sig_builds`/
+    /// `cache_hits`/`cache_misses`), from end-of-run `Stats`.
+    pub const PRUNE_EVENTS: &str = "caqe_prune_events_total";
     /// Gauge: tuples resident in group arenas (join-history occupancy).
     pub const ARENA_OCCUPANCY: &str = "caqe_arena_occupancy";
     /// Gauge: points interned into shared-plan stores.
@@ -254,7 +258,7 @@ impl ObsCollector {
     /// `caqe_stats_<field>`, the phase-profile families, kernel-dispatch
     /// counts and occupancy gauges.
     pub fn ingest_stats(&mut self, stats: &Stats) {
-        let fields: [(&str, u64); 25] = [
+        let fields: [(&str, u64); 30] = [
             ("join_probes", stats.join_probes),
             ("join_results", stats.join_results),
             ("dom_comparisons", stats.dom_comparisons),
@@ -278,6 +282,11 @@ impl ObsCollector {
             ("emit_region_cmps", stats.emit_region_cmps),
             ("block_kernel_ops", stats.block_kernel_ops),
             ("scalar_kernel_ops", stats.scalar_kernel_ops),
+            ("sig_partitions_skipped", stats.sig_partitions_skipped),
+            ("sig_partitions_rejected", stats.sig_partitions_rejected),
+            ("sig_builds", stats.sig_builds),
+            ("presort_cache_hits", stats.presort_cache_hits),
+            ("presort_cache_misses", stats.presort_cache_misses),
             ("arena_tuples", stats.arena_tuples),
             ("plan_points_interned", stats.plan_points_interned),
         ];
@@ -307,6 +316,16 @@ impl ObsCollector {
         ] {
             self.reg
                 .inc(&key(names::KERNEL_DISPATCH, &[("path", path)]), n);
+        }
+        for (kind, n) in [
+            ("partitions_skipped", stats.sig_partitions_skipped),
+            ("partitions_rejected", stats.sig_partitions_rejected),
+            ("sig_builds", stats.sig_builds),
+            ("cache_hits", stats.presort_cache_hits),
+            ("cache_misses", stats.presort_cache_misses),
+        ] {
+            self.reg
+                .inc(&key(names::PRUNE_EVENTS, &[("kind", kind)]), n);
         }
         self.reg
             .set_gauge(names::ARENA_OCCUPANCY, stats.arena_tuples as f64);
@@ -697,6 +716,11 @@ mod tests {
         stats.emit_region_cmps = 7;
         stats.block_kernel_ops = 8;
         stats.scalar_kernel_ops = 9;
+        stats.sig_partitions_skipped = 11;
+        stats.sig_partitions_rejected = 12;
+        stats.sig_builds = 13;
+        stats.presort_cache_hits = 14;
+        stats.presort_cache_misses = 15;
         stats.arena_tuples = 1000;
         stats.plan_points_interned = 50;
         stats.ensure_queries(2);
@@ -717,6 +741,15 @@ mod tests {
             Some(8)
         );
         assert_eq!(reg.gauge(names::ARENA_OCCUPANCY), Some(1000.0));
+        assert_eq!(
+            reg.counter(&key(names::PRUNE_EVENTS, &[("kind", "partitions_skipped")])),
+            Some(11)
+        );
+        assert_eq!(
+            reg.counter(&key(names::PRUNE_EVENTS, &[("kind", "cache_misses")])),
+            Some(15)
+        );
+        assert_eq!(reg.counter("caqe_stats_sig_builds"), Some(13));
         assert_eq!(reg.counter("caqe_stats_probe_ticks"), Some(20));
         assert_eq!(
             reg.counter(&key("caqe_stats_tuples_emitted", &[("query", "1")])),

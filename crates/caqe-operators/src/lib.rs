@@ -16,6 +16,7 @@
 
 pub mod join;
 pub mod mapping;
+pub mod prune;
 pub mod skyline;
 
 pub use join::{
@@ -23,6 +24,9 @@ pub use join::{
     OutTuple, SortedJoinIndex,
 };
 pub use mapping::{MappingFn, MappingSet};
+pub use prune::{
+    skyline_bnl_pruned, skyline_sfs_presorted_pruned, CachedPresort, PresortCache, SigSkyline,
+};
 pub use skyline::{
     monotone_score, sfs_order, skyline_bnl, skyline_bnl_store, skyline_bnl_store_scalar,
     skyline_reference, skyline_sfs, skyline_sfs_presorted, skyline_sfs_presorted_scalar,

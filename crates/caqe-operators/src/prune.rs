@@ -1,0 +1,692 @@
+//! Partition-signature pruning over the skyline kernels (DESIGN.md §17).
+//!
+//! The scalar/block paths of `skyline.rs` resolve a candidate by *touching*
+//! window members — float loads, compares, gathers. This layer resolves
+//! most of that work on packed integer signatures instead:
+//!
+//! * [`SigSkyline`] — a streaming skyline (the pruned twin of
+//!   [`IncrementalSkyline`](crate::IncrementalSkyline)) whose members are
+//!   grouped into BSkyTree-style partition buckets keyed by the coarse
+//!   lattice key of their signature. A candidate is first screened against
+//!   the pivot (member 0 — the member the scalar loop examines first),
+//!   then against whole buckets: a key-incomparable bucket is skipped in
+//!   O(1), a key-dominating bucket rejects the candidate without touching
+//!   any member point, and only ambiguous buckets fall through to
+//!   per-member signature and (last) exact float tests.
+//! * [`skyline_bnl_pruned`] / [`skyline_sfs_presorted_pruned`] — batch
+//!   entry points feeding a [`SigSkyline`] from a precomputed
+//!   [`SigTable`], observationally identical to their scalar twins.
+//! * [`PresortCache`] — an interned per-(region, subspace) store of the
+//!   `sfs_order` presort and the signature table, so concurrent queries
+//!   probing the same candidate set reuse one of each.
+//!
+//! **Charge parity.** Every path charges the virtual clock and
+//! `stats.dom_comparisons` exactly what [`IncrementalSkyline::insert_scalar`]
+//! (equivalently the scalar BNL/SFS loops) would: a rejected candidate
+//! charges `first-dominator-position + 1`, an admitted candidate charges
+//! the pre-insert window size — both derivable from positions alone, since
+//! a valid skyline never presents a dominator *and* an eviction for the
+//! same candidate (transitivity; the scalar loop debug-asserts this).
+//! Evictions replay the scalar `swap_remove` walk on integer indices so
+//! the member (and removed-tag) order stays bit-identical. The bucket
+//! directory, signatures and screening are uncharged physical work, like
+//! the SFS presort and the PR 6 bulk screens.
+
+use crate::skyline::{sfs_order, InsertOutcome};
+use caqe_types::sig::{sig_relate, SigQuantizer, SigTable, SIG_POISON};
+use caqe_types::{DimMask, DomKernel, DomRelation, PointStore, SimClock, Stats, Value};
+
+/// Streaming skyline maintenance with partition-signature pruning: the
+/// observationally-identical pruned twin of
+/// [`IncrementalSkyline`](crate::IncrementalSkyline).
+#[derive(Debug, Clone)]
+pub struct SigSkyline {
+    mask: DimMask,
+    quant: SigQuantizer,
+    kernel: Option<DomKernel>,
+    stride: usize,
+    tags: Vec<u64>,
+    /// Flat member points; member `i` is `data[i*stride..(i+1)*stride]`.
+    data: Vec<Value>,
+    /// Full signature per member, in window order (poisoned members carry
+    /// [`SIG_POISON`] and always resolve through the float path).
+    sigs: Vec<u64>,
+    /// Partition directory in flat pivot order: bucket `b` has coarse key
+    /// `keys[b]`, earliest window position `minpos[b]`, and members
+    /// `mpos[starts[b]..starts[b+1]]`. Buckets ascend by `minpos` — the
+    /// order the scalar loop would first touch them — which is what makes
+    /// the probe's early exit exact (see [`SigSkyline::insert_sig`]).
+    /// Poisoned members pool under [`SIG_POISON`], whose set spare bits
+    /// make every key test ambiguous. Rebuilt wholesale on admission;
+    /// admissions are rare next to probes, so probe layout wins.
+    keys: Vec<u64>,
+    minpos: Vec<u32>,
+    starts: Vec<u32>,
+    mpos: Vec<u32>,
+}
+
+impl SigSkyline {
+    /// An empty pruned skyline over `mask`, quantizing with `quant`. The
+    /// point stride is learned from the first insertion.
+    pub fn new(mask: DimMask, quant: SigQuantizer) -> Self {
+        SigSkyline {
+            mask,
+            quant,
+            kernel: None,
+            stride: 0,
+            tags: Vec::new(),
+            data: Vec::new(),
+            sigs: Vec::new(),
+            keys: Vec::new(),
+            minpos: Vec::new(),
+            starts: Vec::new(),
+            mpos: Vec::new(),
+        }
+    }
+
+    /// The subspace this skyline is maintained over.
+    pub fn mask(&self) -> DimMask {
+        self.mask
+    }
+
+    /// Current number of skyline members.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Whether the skyline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Tags of the current members, in insertion order (bit-identical to
+    /// the scalar twin's order).
+    pub fn tags(&self) -> impl Iterator<Item = u64> + '_ {
+        self.tags.iter().copied()
+    }
+
+    /// `(tag, point)` of every current member, in insertion order.
+    pub fn entries(&self) -> impl ExactSizeIterator<Item = (u64, &[Value])> + '_ {
+        let stride = self.stride;
+        self.tags
+            .iter()
+            .enumerate()
+            .map(move |(i, &t)| (t, &self.data[i * stride..(i + 1) * stride]))
+    }
+
+    /// The pivot's signature (member 0 — the member the scalar loop
+    /// examines first), if the window is non-empty. A candidate whose
+    /// signature this provably dominates is rejected with charge 1,
+    /// exactly the scalar outcome — the batch entry points use it to
+    /// resolve runs of such candidates without entering the insert path.
+    #[inline]
+    pub fn pivot_sig(&self) -> Option<u64> {
+        self.sigs.first().copied()
+    }
+
+    /// The quantizer's spare-bit mask, for [`sig_relate`] against
+    /// signatures produced by this skyline's quantizer.
+    #[inline]
+    pub fn high(&self) -> u64 {
+        self.quant.high_mask()
+    }
+
+    #[inline]
+    fn ensure_kernel(&mut self, stride: usize) {
+        if self.kernel.is_none() {
+            self.stride = stride;
+            self.kernel = Some(DomKernel::new(self.mask, stride));
+        }
+    }
+
+    /// The bucket key of a member signature (poison stays poison so the
+    /// member lands in the always-ambiguous pool).
+    #[inline]
+    fn key_of(&self, sig: u64) -> u64 {
+        if sig & self.quant.high_mask() != 0 {
+            SIG_POISON
+        } else {
+            self.quant.bucket_key(sig)
+        }
+    }
+
+    /// Rebuilds the flat partition directory from scratch: group window
+    /// positions by coarse key, then lay the buckets out ascending by their
+    /// earliest position (pivot order). Only needed after evictions shift
+    /// positions; plain admissions use [`SigSkyline::admit_to_bucket`].
+    fn rebuild_buckets(&mut self) {
+        let mut pairs: Vec<(u64, u32)> = (0..self.sigs.len() as u32)
+            .map(|i| (self.key_of(self.sigs[i as usize]), i))
+            .collect();
+        pairs.sort_unstable();
+        // (minpos, key, range into `pairs`) per bucket; `pairs` is sorted
+        // by (key, pos), so the first position of each run is its minimum.
+        let mut groups: Vec<(u32, u64, usize, usize)> = Vec::new();
+        for (i, &(k, p)) in pairs.iter().enumerate() {
+            match groups.last_mut() {
+                Some(g) if g.1 == k => g.3 = i + 1,
+                _ => groups.push((p, k, i, i + 1)),
+            }
+        }
+        groups.sort_unstable_by_key(|g| g.0);
+        self.keys.clear();
+        self.minpos.clear();
+        self.starts.clear();
+        self.mpos.clear();
+        self.starts.push(0);
+        for (mp, k, lo, hi) in groups {
+            self.keys.push(k);
+            self.minpos.push(mp);
+            self.mpos.extend(pairs[lo..hi].iter().map(|&(_, p)| p));
+            self.starts.push(self.mpos.len() as u32);
+        }
+    }
+
+    /// Files freshly-admitted position `pos` (the current window maximum)
+    /// under `key` without disturbing pivot order: joining an existing
+    /// bucket leaves its minimum unchanged, and a brand-new bucket's
+    /// minimum *is* `pos`, the largest so far — it belongs at the end.
+    /// Allocation-free on the hot path (amortized `Vec` growth only).
+    fn admit_to_bucket(&mut self, key: u64, pos: u32) {
+        if let Some(b) = self.keys.iter().position(|&k| k == key) {
+            self.mpos.insert(self.starts[b + 1] as usize, pos);
+            for s in &mut self.starts[b + 1..] {
+                *s += 1;
+            }
+        } else {
+            if self.starts.is_empty() {
+                self.starts.push(0);
+            }
+            self.keys.push(key);
+            self.minpos.push(pos);
+            self.mpos.push(pos);
+            self.starts.push(self.mpos.len() as u32);
+        }
+    }
+
+    /// Inserts a point, quantizing its signature here (counted in
+    /// `stats.sig_builds`). See [`SigSkyline::insert_sig`].
+    pub fn insert(
+        &mut self,
+        tag: u64,
+        point: &[Value],
+        clock: &mut SimClock,
+        stats: &mut Stats,
+    ) -> InsertOutcome {
+        stats.sig_builds += 1;
+        let sig = self.quant.sig(point);
+        self.insert_sig(tag, point, sig, clock, stats)
+    }
+
+    /// Inserts a point whose signature was precomputed (e.g. read from a
+    /// shared [`SigTable`]), maintaining the skyline invariant. Charges one
+    /// dominance comparison per member the scalar loop would examine.
+    #[inline]
+    pub fn insert_sig(
+        &mut self,
+        tag: u64,
+        point: &[Value],
+        sig: u64,
+        clock: &mut SimClock,
+        stats: &mut Stats,
+    ) -> InsertOutcome {
+        // Pivot screen: the scalar loop examines member 0 first, and on
+        // skyline-sized windows that is where the overwhelming majority of
+        // rejects happen — one SWAR test, charge exactly 1. Kept in an
+        // inlinable wrapper so streaming callers resolve the common case
+        // without a call into the full probe below.
+        if let Some(&p0) = self.sigs.first() {
+            if sig_relate(p0, sig, self.quant.high_mask()) == Some(DomRelation::Dominates) {
+                clock.charge_dom_cmps(1);
+                stats.dom_comparisons += 1;
+                return InsertOutcome::Dominated;
+            }
+        }
+        self.insert_sig_probe(tag, point, sig, clock, stats)
+    }
+
+    /// The full partition probe behind [`SigSkyline::insert_sig`], for
+    /// candidates the pivot screen could not reject.
+    fn insert_sig_probe(
+        &mut self,
+        tag: u64,
+        point: &[Value],
+        sig: u64,
+        clock: &mut SimClock,
+        stats: &mut Stats,
+    ) -> InsertOutcome {
+        self.ensure_kernel(point.len());
+        debug_assert_eq!(point.len(), self.stride, "stride mismatch");
+        let h = self.quant.high_mask();
+        let w = self.tags.len();
+
+        // Partition pass: classify whole buckets by coarse key, resolving
+        // members only inside ambiguous buckets. Buckets are walked in
+        // pivot order (ascending earliest position), so once a dominator at
+        // position `f` is known, every remaining bucket's members sit at
+        // positions >= `minpos[b]` >= `f` — no later dominator can lower
+        // the scalar loop's stop position, and the walk exits early.
+        // (Transitivity also rules out evictions once a dominator exists,
+        // so nothing the skipped tail could contribute is observable.)
+        let ck = self.key_of(sig);
+        let mut first_dom: Option<u32> = None;
+        let mut bucket_rejected = false;
+        let mut evict: Vec<u32> = Vec::new();
+        // Allowed survivor: `ensure_kernel` above guarantees the kernel is
+        // populated — this cannot fire.
+        #[allow(clippy::expect_used)]
+        let kernel = self.kernel.as_ref().expect("just initialized");
+        for b in 0..self.keys.len() {
+            if let Some(f) = first_dom {
+                if self.minpos[b] >= f {
+                    break;
+                }
+            }
+            match sig_relate(self.keys[b], ck, h) {
+                Some(DomRelation::Incomparable) => {
+                    // Key-exact: every member of the bucket is incomparable
+                    // to the candidate. O(1) skip, no member touched.
+                    stats.sig_partitions_skipped += 1;
+                }
+                Some(DomRelation::Dominates) => {
+                    // Key-exact: every member strictly improves on the
+                    // candidate in every dimension. Reject without touching
+                    // member points — the charge needs only the earliest
+                    // (scalar-first) position in the bucket.
+                    bucket_rejected = true;
+                    let mp = self.minpos[b];
+                    first_dom = Some(first_dom.map_or(mp, |f| f.min(mp)));
+                }
+                Some(DomRelation::DominatedBy) => {
+                    // Key-exact: the candidate strictly improves on every
+                    // member — whole-bucket eviction.
+                    evict.extend_from_slice(
+                        &self.mpos[self.starts[b] as usize..self.starts[b + 1] as usize],
+                    );
+                }
+                // Ambiguous bucket (ties or a poisoned key): resolve each
+                // member, full signature first, exact float test last.
+                _ => {
+                    for &m in &self.mpos[self.starts[b] as usize..self.starts[b + 1] as usize] {
+                        let mi = m as usize;
+                        let verdict = match sig_relate(self.sigs[mi], sig, h) {
+                            Some(v) => v,
+                            None => kernel.relate(
+                                &self.data[mi * self.stride..(mi + 1) * self.stride],
+                                point,
+                            ),
+                        };
+                        match verdict {
+                            DomRelation::Dominates => {
+                                first_dom = Some(first_dom.map_or(m, |f| f.min(m)));
+                            }
+                            DomRelation::DominatedBy => evict.push(m),
+                            DomRelation::Equal | DomRelation::Incomparable => {}
+                        }
+                    }
+                }
+            }
+        }
+        if bucket_rejected {
+            stats.sig_partitions_rejected += 1;
+        }
+
+        match first_dom {
+            Some(p) => {
+                // The scalar loop walks positions in order and stops at the
+                // first dominator; no eviction can precede it (transitivity
+                // — a candidate dominating member X while member Y
+                // dominates the candidate would mean Y dominates X).
+                debug_assert!(evict.is_empty(), "partial order violated");
+                clock.charge_dom_cmps(u64::from(p) + 1);
+                stats.dom_comparisons += u64::from(p) + 1;
+                InsertOutcome::Dominated
+            }
+            None => {
+                // The scalar loop examines every member exactly once
+                // (evicted slots are backfilled by `swap_remove` with
+                // not-yet-examined members), then appends.
+                clock.charge_dom_cmps(w as u64);
+                stats.dom_comparisons += w as u64;
+                let removed = if evict.is_empty() {
+                    Vec::new()
+                } else {
+                    self.apply_evictions(&mut evict)
+                };
+                let pos = self.tags.len() as u32;
+                self.tags.push(tag);
+                self.data.extend_from_slice(point);
+                self.sigs.push(sig);
+                if removed.is_empty() {
+                    self.admit_to_bucket(self.key_of(sig), pos);
+                } else {
+                    // Eviction shifted positions under the directory; a
+                    // wholesale rebuild restores pivot order. Evictions are
+                    // orders of magnitude rarer than probes.
+                    self.rebuild_buckets();
+                }
+                InsertOutcome::Added { removed }
+            }
+        }
+    }
+
+    /// Replays the scalar eviction walk on integer indices: `evict` holds
+    /// the *pre-insert* positions the candidate dominates; the walk
+    /// `swap_remove`s them in the exact order `insert_scalar` would,
+    /// keeping member order — and the removed-tag order — bit-identical.
+    fn apply_evictions(&mut self, evict: &mut [u32]) -> Vec<u64> {
+        evict.sort_unstable();
+        let stride = self.stride;
+        // orig[j] = pre-insert position of the member currently at slot j.
+        let mut orig: Vec<u32> = (0..self.tags.len() as u32).collect();
+        let mut removed = Vec::with_capacity(evict.len());
+        let mut k = 0;
+        while k < orig.len() {
+            if evict.binary_search(&orig[k]).is_ok() {
+                orig.swap_remove(k);
+                removed.push(self.tags.swap_remove(k));
+                self.sigs.swap_remove(k);
+                let last = self.tags.len();
+                if k != last {
+                    let (head, tail) = self.data.split_at_mut(last * stride);
+                    head[k * stride..(k + 1) * stride].copy_from_slice(&tail[..stride]);
+                }
+                self.data.truncate(last * stride);
+            } else {
+                k += 1;
+            }
+        }
+        // Positions shifted under the walk; the caller (always the admit
+        // branch) rebuilds the directory right after appending.
+        removed
+    }
+}
+
+/// Partition-signature BNL: observationally identical to
+/// [`skyline_bnl_store_scalar`](crate::skyline_bnl_store_scalar) (same
+/// result set, charges, and Stats observables), resolving candidates on
+/// the shared signature `table` instead of member point rows.
+pub fn skyline_bnl_pruned(
+    points: &PointStore,
+    kernel: &DomKernel,
+    table: &SigTable,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<usize> {
+    debug_assert_eq!(table.len(), points.len(), "signature table mismatch");
+    let mut sky = SigSkyline::new(kernel.mask(), table.quantizer().clone());
+    let h = table.quantizer().high_mask();
+    let n = points.len();
+    let mut i = 0;
+    while i < n {
+        // Pivot-run: consecutive candidates the pivot signature provably
+        // dominates are each a scalar charge-1 reject with no state change
+        // — resolve the whole run in one tight signature scan.
+        if let Some(p0) = sky.pivot_sig() {
+            let start = i;
+            while i < n && sig_relate(p0, table.sig(i), h) == Some(DomRelation::Dominates) {
+                i += 1;
+            }
+            let run = (i - start) as u64;
+            clock.charge_dom_cmps(run);
+            stats.dom_comparisons += run;
+        }
+        if i < n {
+            sky.insert_sig(i as u64, points.at(i), table.sig(i), clock, stats);
+            i += 1;
+        }
+    }
+    let mut out: Vec<usize> = sky.tags().map(|t| t as usize).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Partition-signature SFS filter over a precomputed
+/// [`sfs_order`]: observationally identical to
+/// [`skyline_sfs_presorted_scalar`](crate::skyline_sfs_presorted_scalar).
+pub fn skyline_sfs_presorted_pruned(
+    points: &PointStore,
+    kernel: &DomKernel,
+    order: &[usize],
+    table: &SigTable,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+) -> Vec<usize> {
+    debug_assert_eq!(table.len(), points.len(), "signature table mismatch");
+    let mut sky = SigSkyline::new(kernel.mask(), table.quantizer().clone());
+    let h = table.quantizer().high_mask();
+    let n = order.len();
+    let mut k = 0;
+    while k < n {
+        // Pivot-run, as in [`skyline_bnl_pruned`] but walking the presort.
+        if let Some(p0) = sky.pivot_sig() {
+            let start = k;
+            while k < n && sig_relate(p0, table.sig(order[k]), h) == Some(DomRelation::Dominates) {
+                k += 1;
+            }
+            let run = (k - start) as u64;
+            clock.charge_dom_cmps(run);
+            stats.dom_comparisons += run;
+        }
+        if k < n {
+            let i = order[k];
+            let out = sky.insert_sig(i as u64, points.at(i), table.sig(i), clock, stats);
+            // After a monotone presort an incoming point never dominates an
+            // admitted survivor.
+            debug_assert!(
+                !matches!(out, InsertOutcome::Added { ref removed } if !removed.is_empty())
+            );
+            k += 1;
+        }
+    }
+    let mut out: Vec<usize> = sky.tags().map(|t| t as usize).collect();
+    out.sort_unstable();
+    out
+}
+
+/// One interned presort/signature bundle: everything the pruned skyline
+/// paths derive from a candidate store, built once and shared.
+#[derive(Debug, Clone)]
+pub struct CachedPresort {
+    /// Monotone-score presort of the store ([`sfs_order`]).
+    pub order: Vec<usize>,
+    /// Per-point signatures over the cached subspace.
+    pub table: SigTable,
+}
+
+/// A deterministic interning cache of [`CachedPresort`] bundles keyed by
+/// `(region key, subspace mask)` — the shared structure that lets
+/// concurrent queries probing the same candidate set reuse one presort and
+/// one signature table instead of re-deriving them per query. Lookups are
+/// a linear scan over a small `Vec` (no hash state, insertion order is the
+/// build order), so behavior is identical across thread counts.
+#[derive(Debug, Clone, Default)]
+pub struct PresortCache {
+    entries: Vec<(u64, DimMask, Option<CachedPresort>)>,
+}
+
+impl PresortCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PresortCache::default()
+    }
+
+    /// Number of interned entries (negative entries included).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns the interned presort/signature bundle for `(key, mask)`,
+    /// building it on first use. `None` means the subspace does not
+    /// support signatures (too wide, or NaN bounds) — that outcome is
+    /// interned too, so repeated lookups stay O(1). Hits and misses are
+    /// counted in `stats.presort_cache_{hits,misses}`.
+    pub fn get_or_build(
+        &mut self,
+        key: u64,
+        mask: DimMask,
+        points: &PointStore,
+        kernel: &DomKernel,
+        stats: &mut Stats,
+    ) -> Option<&CachedPresort> {
+        if let Some(i) = self
+            .entries
+            .iter()
+            .position(|(k, m, _)| *k == key && *m == mask)
+        {
+            stats.presort_cache_hits += 1;
+            return self.entries[i].2.as_ref();
+        }
+        stats.presort_cache_misses += 1;
+        let built = SigTable::try_build(points, mask, stats).map(|table| CachedPresort {
+            order: sfs_order(points, kernel),
+            table,
+        });
+        self.entries.push((key, mask, built));
+        self.entries[self.entries.len() - 1].2.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skyline::{
+        skyline_bnl_store_scalar, skyline_sfs_presorted_scalar, IncrementalSkyline,
+    };
+    use caqe_types::Value;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Coarse-grid random rows (forcing duplicates and ties). `with_nan`
+    /// poisons dimension 0 of *every* row: dominance degenerates to the
+    /// remaining dimensions (still a strict partial order, so the scalar
+    /// reference stays sound) while every signature poisons, driving the
+    /// pruned path through its float-fallback lane end to end. NaN in only
+    /// *some* rows would let a NaN candidate break dominance transitivity —
+    /// the invariant the scalar loop debug-asserts and ingestion validation
+    /// upholds — so the reference itself would panic.
+    fn random_store(n: usize, d: usize, seed: u64, with_nan: bool) -> PointStore {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut s = PointStore::new(d);
+        let mut row = vec![0.0; d];
+        for _ in 0..n {
+            for v in row.iter_mut() {
+                *v = (rng.gen_range(0..12) as Value) / 4.0;
+            }
+            if with_nan {
+                row[0] = Value::NAN;
+            }
+            s.push(&row);
+        }
+        s
+    }
+
+    fn assert_obs_equal(a: (&[usize], &SimClock, &Stats), b: (&[usize], &SimClock, &Stats)) {
+        assert_eq!(a.0, b.0, "result sets differ");
+        assert_eq!(a.1.ticks(), b.1.ticks(), "tick charges differ");
+        assert_eq!(a.2.observable(), b.2.observable(), "observables differ");
+    }
+
+    #[test]
+    fn pruned_bnl_matches_scalar_exactly() {
+        for seed in 0..12u64 {
+            for d in [2usize, 3, 4] {
+                let store = random_store(160, d, 0xC0FFEE + seed, seed % 3 == 0);
+                let mask = DimMask::full(d);
+                let kernel = DomKernel::new(mask, d);
+                let mut c1 = SimClock::default();
+                let mut s1 = Stats::new();
+                let scalar = skyline_bnl_store_scalar(&store, &kernel, &mut c1, &mut s1);
+                let mut s0 = Stats::new();
+                let table = SigTable::try_build(&store, mask, &mut s0).unwrap();
+                let mut c2 = SimClock::default();
+                let mut s2 = Stats::new();
+                let pruned = skyline_bnl_pruned(&store, &kernel, &table, &mut c2, &mut s2);
+                assert_obs_equal((&scalar, &c1, &s1), (&pruned, &c2, &s2));
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_sfs_matches_scalar_exactly() {
+        for seed in 0..12u64 {
+            let d = 2 + (seed as usize % 3);
+            // No NaN variant here: a NaN score column voids the monotone
+            // presort that SFS's no-eviction invariant rests on.
+            let store = random_store(200, d, 0xBEEF + seed, false);
+            let mask = DimMask::full(d);
+            let kernel = DomKernel::new(mask, d);
+            let order = sfs_order(&store, &kernel);
+            let mut c1 = SimClock::default();
+            let mut s1 = Stats::new();
+            let scalar = skyline_sfs_presorted_scalar(&store, &kernel, &order, &mut c1, &mut s1);
+            let mut s0 = Stats::new();
+            let table = SigTable::try_build(&store, mask, &mut s0).unwrap();
+            let mut c2 = SimClock::default();
+            let mut s2 = Stats::new();
+            let pruned =
+                skyline_sfs_presorted_pruned(&store, &kernel, &order, &table, &mut c2, &mut s2);
+            assert_obs_equal((&scalar, &c1, &s1), (&pruned, &c2, &s2));
+        }
+    }
+
+    #[test]
+    fn sig_skyline_streams_identically_to_incremental() {
+        for seed in 0..10u64 {
+            let d = 2 + (seed as usize % 3);
+            let store = random_store(180, d, 0xFACE + seed, seed % 3 == 1);
+            let mask = DimMask::from_dims(0..d.min(2));
+            let quant = SigQuantizer::from_store(&store, mask).unwrap();
+            let mut inc = IncrementalSkyline::new(mask);
+            let mut c1 = SimClock::default();
+            let mut s1 = Stats::new();
+            let mut sig = SigSkyline::new(mask, quant);
+            let mut c2 = SimClock::default();
+            let mut s2 = Stats::new();
+            for i in 0..store.len() {
+                let a = inc.insert_scalar(i as u64, store.at(i), &mut c1, &mut s1);
+                let b = sig.insert(i as u64, store.at(i), &mut c2, &mut s2);
+                assert_eq!(a, b, "outcome diverged at point {i} (seed {seed})");
+            }
+            assert_eq!(
+                inc.tags().collect::<Vec<_>>(),
+                sig.tags().collect::<Vec<_>>(),
+                "member order diverged"
+            );
+            assert_eq!(c1.ticks(), c2.ticks());
+            assert_eq!(s1.observable(), s2.observable());
+        }
+    }
+
+    #[test]
+    fn presort_cache_interns_and_counts() {
+        let store = random_store(64, 3, 7, false);
+        let mask = DimMask::full(3);
+        let kernel = DomKernel::new(mask, 3);
+        let mut cache = PresortCache::new();
+        let mut stats = Stats::new();
+        let first = cache
+            .get_or_build(42, mask, &store, &kernel, &mut stats)
+            .unwrap()
+            .order
+            .clone();
+        assert_eq!(stats.presort_cache_misses, 1);
+        assert_eq!(stats.presort_cache_hits, 0);
+        let again = cache
+            .get_or_build(42, mask, &store, &kernel, &mut stats)
+            .unwrap()
+            .order
+            .clone();
+        assert_eq!(stats.presort_cache_hits, 1);
+        assert_eq!(first, again);
+        // A different subspace under the same key is a distinct entry.
+        cache.get_or_build(42, DimMask::from_dims([0, 1]), &store, &kernel, &mut stats);
+        assert_eq!(stats.presort_cache_misses, 2);
+        assert_eq!(cache.len(), 2);
+    }
+}

@@ -245,6 +245,30 @@ impl RegionSet {
         }
     }
 
+    /// The per-dimension envelope of all region bounds: `(lo, hi)` where
+    /// `lo[k]`/`hi[k]` are the min/max corner values over every region
+    /// (dead or alive — the envelope feeds signature quantization, where a
+    /// wider range costs precision but never correctness, and dead regions'
+    /// tuples may already sit in downstream skylines). `None` when the set
+    /// is empty or any corner is NaN (no sound quantizer exists then).
+    pub fn mapped_bounds(&self) -> Option<(Vec<Value>, Vec<Value>)> {
+        let first = self.regions.first()?;
+        let d = first.bounds.dims();
+        let mut lo = vec![Value::INFINITY; d];
+        let mut hi = vec![Value::NEG_INFINITY; d];
+        for r in &self.regions {
+            for k in 0..d {
+                let (l, h) = (r.bounds.lo()[k], r.bounds.hi()[k]);
+                if l.is_nan() || h.is_nan() {
+                    return None;
+                }
+                lo[k] = lo[k].min(l);
+                hi[k] = hi[k].max(h);
+            }
+        }
+        Some((lo, hi))
+    }
+
     /// Retires query `q` from every region, returning the ids of regions
     /// that *died* as a result (the departing query was their sole remaining
     /// consumer) — the caller retires those the same way shedding does.
@@ -378,6 +402,22 @@ mod tests {
         set.admit_query(QueryId(1), DimMask::full(2));
         assert!(!set.region(RegionId(0)).serving.contains(QueryId(1)));
         assert_eq!(set.pref(QueryId(1)), DimMask::full(2));
+    }
+
+    #[test]
+    fn mapped_bounds_envelope_all_regions() {
+        let mut far = region2d(QuerySet::all(1));
+        far.bounds = Rect::new(vec![-1.0, 3.0], vec![2.0, 9.0]);
+        far.processed = true; // dead regions still count toward the envelope
+        let set = RegionSet::new(
+            vec![region2d(QuerySet::all(1)), far],
+            vec![(QueryId(0), DimMask::full(2))],
+        );
+        let (lo, hi) = set.mapped_bounds().unwrap();
+        assert_eq!(lo, vec![-1.0, 0.0]);
+        assert_eq!(hi, vec![4.0, 9.0]);
+        let empty = RegionSet::new(Vec::new(), Vec::new());
+        assert!(empty.mapped_bounds().is_none());
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod clock;
 pub mod dominance;
 pub mod error;
 pub mod ids;
+pub mod sig;
 pub mod stats;
 pub mod store;
 pub mod subspace;
@@ -39,6 +40,7 @@ pub use dominance::{
 };
 pub use error::EngineError;
 pub use ids::{CellId, QueryId, QuerySet, RegionId};
+pub use sig::{sig_relate, SigQuantizer, SigTable, SIG_MAX_DIMS, SIG_POISON};
 pub use stats::{PerQueryStats, Stats};
 pub use store::{PointId, PointStore, RankColumns, SwapStore};
 pub use subspace::DimMask;

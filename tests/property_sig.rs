@@ -1,0 +1,215 @@
+//! Property-based tests of the partition-signature pruning layer
+//! (DESIGN.md §17): the SWAR signature relation must be *sound* against
+//! the exact float dominance relation on arbitrary inputs, and every
+//! pruned path — the batch kernels and the shared plan's signature cache
+//! at every thread count — must be observationally identical to its
+//! scalar twin (results, charged comparisons, virtual ticks).
+
+use caqe::cuboid::{MinMaxCuboid, SharedInsert, SharedSkylinePlan};
+use caqe::operators::{
+    sfs_order, skyline_bnl_pruned, skyline_bnl_store_scalar, skyline_sfs_presorted_pruned,
+    skyline_sfs_presorted_scalar, IncrementalSkyline, SigSkyline,
+};
+use caqe::parallel::Threads;
+use caqe::types::sig::{sig_relate, SigQuantizer, SigTable};
+use caqe::types::{relate_in, DimMask, DomKernel, PointStore, QueryId, SimClock, Stats, Value};
+use proptest::prelude::*;
+
+/// Lattice-valued rows at a fixed stride `d`: coarse values force ties and
+/// duplicates; `nan_mask` poisons dimension `k` of every row for each set
+/// bit `k` (uniform poison keeps dominance a strict partial order, which
+/// the scalar reference relies on).
+fn rows_strategy(d: usize) -> impl Strategy<Value = (Vec<Vec<f64>>, u32)> {
+    (
+        proptest::collection::vec(
+            proptest::collection::vec((0u8..10).prop_map(|v| v as f64 / 3.0), d..=d),
+            1..80,
+        ),
+        0u32..(1 << d.min(3)),
+    )
+}
+
+fn store_of(rows: &[Vec<f64>], nan_mask: u32, d: usize) -> PointStore {
+    let mut store = PointStore::new(d);
+    let mut row = vec![0.0; d];
+    for r in rows {
+        row.copy_from_slice(r);
+        for (k, v) in row.iter_mut().enumerate() {
+            if nan_mask & (1 << k) != 0 {
+                *v = Value::NAN;
+            }
+        }
+        store.push(&row);
+    }
+    store
+}
+
+/// A random non-empty subspace of `d` dimensions.
+fn mask_for(d: usize, bits: u32) -> DimMask {
+    let m = bits % ((1u32 << d) - 1) + 1;
+    DimMask(m)
+}
+
+proptest! {
+    /// Soundness: whenever `sig_relate` returns a proven verdict for a pair
+    /// of quantized signatures, the exact float relation agrees — on every
+    /// stride 2..=8, with ties, duplicates and NaN-poisoned dimensions.
+    #[test]
+    fn sig_relate_is_sound_against_relate_in(
+        (rows, nan_mask) in (2usize..=8).prop_flat_map(rows_strategy),
+        bits in 1u32..256,
+    ) {
+        let d = rows[0].len();
+        let store = store_of(&rows, nan_mask, d);
+        let mask = mask_for(d, bits);
+        let Some(quant) = SigQuantizer::from_store(&store, mask) else {
+            return Ok(()); // unquantizable subspace: nothing to prove
+        };
+        let h = quant.high_mask();
+        let sigs: Vec<u64> = (0..store.len()).map(|i| quant.sig(store.at(i))).collect();
+        for i in 0..store.len() {
+            for j in 0..store.len() {
+                if let Some(v) = sig_relate(sigs[i], sigs[j], h) {
+                    prop_assert_eq!(
+                        v,
+                        relate_in(store.at(i), store.at(j), mask),
+                        "proven verdict wrong for pair ({}, {}) over {}",
+                        i, j, mask
+                    );
+                }
+            }
+        }
+    }
+
+    /// The pruned batch kernels and the pruned streaming skyline are
+    /// observationally identical to their scalar twins: same result set,
+    /// same member order, same charged comparisons, same virtual ticks.
+    #[test]
+    fn pruned_kernels_match_scalar_observables(
+        (rows, nan_mask) in (2usize..=6).prop_flat_map(rows_strategy),
+        bits in 1u32..64,
+    ) {
+        let d = rows[0].len();
+        let store = store_of(&rows, nan_mask, d);
+        let mask = mask_for(d, bits);
+        let kernel = DomKernel::new(mask, d);
+        let mut s0 = Stats::new();
+        let Some(table) = SigTable::try_build(&store, mask, &mut s0) else {
+            return Ok(());
+        };
+
+        // BNL.
+        let mut c1 = SimClock::default();
+        let mut s1 = Stats::new();
+        let scalar = skyline_bnl_store_scalar(&store, &kernel, &mut c1, &mut s1);
+        let mut c2 = SimClock::default();
+        let mut s2 = Stats::new();
+        let pruned = skyline_bnl_pruned(&store, &kernel, &table, &mut c2, &mut s2);
+        prop_assert_eq!(&scalar, &pruned, "BNL result diverged");
+        prop_assert_eq!(c1.ticks(), c2.ticks(), "BNL ticks diverged");
+        prop_assert_eq!(s1.observable(), s2.observable(), "BNL stats diverged");
+
+        // SFS over the same presort (skip when a NaN score column would
+        // void the monotone-presort invariant SFS rests on).
+        if nan_mask == 0 {
+            let order = sfs_order(&store, &kernel);
+            let mut c1 = SimClock::default();
+            let mut s1 = Stats::new();
+            let scalar =
+                skyline_sfs_presorted_scalar(&store, &kernel, &order, &mut c1, &mut s1);
+            let mut c2 = SimClock::default();
+            let mut s2 = Stats::new();
+            let pruned = skyline_sfs_presorted_pruned(
+                &store, &kernel, &order, &table, &mut c2, &mut s2,
+            );
+            prop_assert_eq!(&scalar, &pruned, "SFS result diverged");
+            prop_assert_eq!(c1.ticks(), c2.ticks(), "SFS ticks diverged");
+            prop_assert_eq!(s1.observable(), s2.observable(), "SFS stats diverged");
+        }
+
+        // Streaming insert: outcomes and member order per step.
+        let mut inc = IncrementalSkyline::new(mask);
+        let mut c1 = SimClock::default();
+        let mut s1 = Stats::new();
+        let mut sig = SigSkyline::new(mask, table.quantizer().clone());
+        let mut c2 = SimClock::default();
+        let mut s2 = Stats::new();
+        for i in 0..store.len() {
+            let a = inc.insert_scalar(i as u64, store.at(i), &mut c1, &mut s1);
+            let b = sig.insert_sig(i as u64, store.at(i), table.sig(i), &mut c2, &mut s2);
+            prop_assert_eq!(a, b, "streaming outcome diverged at point {}", i);
+        }
+        prop_assert_eq!(
+            inc.tags().collect::<Vec<_>>(),
+            sig.tags().collect::<Vec<_>>(),
+            "streaming member order diverged"
+        );
+        prop_assert_eq!(c1.ticks(), c2.ticks(), "streaming ticks diverged");
+        prop_assert_eq!(s1.observable(), s2.observable(), "streaming stats diverged");
+    }
+
+    /// The shared plan's signature cache is observationally invisible at
+    /// every thread count: batched inserts with screening enabled match the
+    /// serial scalar plan byte-for-byte — results, ticks, observable stats
+    /// and every query's skyline.
+    #[test]
+    fn plan_sig_cache_is_invisible_at_any_thread_count(
+        rows in proptest::collection::vec(
+            proptest::collection::vec((0u8..12).prop_map(|v| v as f64), 4..=4),
+            4..60,
+        ),
+        pref_bits in proptest::collection::vec(1u32..16, 1..4),
+    ) {
+        let prefs: Vec<DimMask> = pref_bits.iter().map(|&b| mask_for(4, b)).collect();
+        let mut serial = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), false);
+        let mut sc = SimClock::default();
+        let mut ss = Stats::new();
+        let serial_results: Vec<SharedInsert> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, p)| serial.insert(i as u64, p, &mut sc, &mut ss))
+            .collect();
+        let stride = 4;
+        let flat: Vec<Value> = rows.iter().flatten().copied().collect();
+        for workers in [1usize, 2, 4, 8] {
+            let mut plan = SharedSkylinePlan::new(MinMaxCuboid::build(&prefs), false);
+            plan.enable_sig_cache(&[0.0; 4], &[12.0; 4]);
+            let mut clock = SimClock::default();
+            let mut stats = Stats::new();
+            let mut results = Vec::new();
+            let mut off = 0usize;
+            // Uneven batch sizes so shard creation sees carried members.
+            let mut chunk = 3usize;
+            while off < rows.len() {
+                let take = chunk.min(rows.len() - off);
+                results.extend(plan.insert_batch(
+                    off as u64,
+                    &flat[off * stride..(off + take) * stride],
+                    stride,
+                    Threads::exact(workers),
+                    &mut clock,
+                    &mut stats,
+                ));
+                off += take;
+                chunk = chunk * 2 + 1;
+            }
+            prop_assert_eq!(
+                &results, &serial_results,
+                "screened batch results diverged at {} threads", workers
+            );
+            prop_assert_eq!(clock.ticks(), sc.ticks(), "ticks diverged at {} threads", workers);
+            prop_assert_eq!(
+                stats.observable(), ss.observable(),
+                "observable stats diverged at {} threads", workers
+            );
+            for q in 0..prefs.len() {
+                let qid = QueryId(q as u16);
+                prop_assert_eq!(
+                    plan.query_skyline_tags(qid),
+                    serial.query_skyline_tags(qid),
+                    "query {} skyline diverged at {} threads", q, workers
+                );
+            }
+        }
+    }
+}
