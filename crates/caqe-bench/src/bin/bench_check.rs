@@ -27,6 +27,12 @@
 //!    `*_seconds` keys (the headline can't claim a ratio its own raw
 //!    numbers don't support; `retention` keys are score fractions, not
 //!    time ratios, and are exempt).
+//! 4. **Serving artifacts** — `measures: "serving"` additionally requires
+//!    a finite `restart_recovery_wall_seconds >= 0` (a serving benchmark
+//!    without a recovery time measures nothing), an integer
+//!    `queue_bound >= 1` with `queue_depth_peak <= queue_bound` (the
+//!    admission bound must demonstrably hold in the committed run), and a
+//!    finite `*retention*` key (SLO retention under chaos is the headline).
 //!
 //! Any violation prints `FAIL` with the reason and exits non-zero.
 
@@ -129,6 +135,46 @@ fn validate(v: &JsonValue) -> Vec<String> {
             problems.push(format!(
                 "`{k}` = {ratio} is not the ratio of any two committed `*_seconds` values"
             ));
+        }
+    }
+    // Layer 4: serving artifacts prove their own admission and recovery
+    // claims — the bound held, the restart was timed, retention is finite.
+    if v["measures"].as_str() == Some("serving") {
+        match v["restart_recovery_wall_seconds"].as_f64() {
+            Some(s) if s.is_finite() && s >= 0.0 => {}
+            Some(_) => {
+                problems.push("`restart_recovery_wall_seconds` must be finite and >= 0".to_string())
+            }
+            None => problems.push(
+                "serving artifact missing number key `restart_recovery_wall_seconds`".to_string(),
+            ),
+        }
+        let bound = match as_uint(&v["queue_bound"]) {
+            Some(b) if b >= 1 => Some(b),
+            Some(_) => {
+                problems.push("`queue_bound` must be >= 1".to_string());
+                None
+            }
+            None => {
+                problems.push("serving artifact missing integer key `queue_bound`".to_string());
+                None
+            }
+        };
+        match (as_uint(&v["queue_depth_peak"]), bound) {
+            (Some(peak), Some(b)) if peak > b => problems.push(format!(
+                "`queue_depth_peak` = {peak} exceeds `queue_bound` = {b} — the admission bound \
+                 did not hold"
+            )),
+            (Some(_), _) => {}
+            (None, _) => {
+                problems.push("serving artifact missing integer key `queue_depth_peak`".to_string())
+            }
+        }
+        let retention = map
+            .iter()
+            .any(|(k, val)| k.contains("retention") && val.as_f64().is_some_and(f64::is_finite));
+        if !retention {
+            problems.push("serving artifact has no finite `*retention*` key".to_string());
         }
     }
     problems

@@ -21,7 +21,7 @@ use caqe_bench::json::ObjectWriter;
 use caqe_bench::legacy::{
     legacy_hash_join_project, legacy_skyline_bnl, legacy_skyline_sfs, LegacyIncrementalSkyline,
 };
-use caqe_bench::report::cli_arg;
+use caqe_bench::report::{cli_arg, cli_parse};
 use caqe_contract::Contract;
 use caqe_core::{QuerySpec, Workload};
 use caqe_data::{Distribution, Table, TableGenerator};
@@ -159,9 +159,9 @@ fn measure(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = cli_arg(&args, "--n").map_or(2500, |s| s.parse().expect("--n"));
-    let cells: usize = cli_arg(&args, "--cells").map_or(22, |s| s.parse().expect("--cells"));
-    let reps: usize = cli_arg(&args, "--reps").map_or(3, |s| s.parse().expect("--reps"));
+    let n: usize = cli_parse(&args, "--n", 2500);
+    let cells: usize = cli_parse(&args, "--cells", 22);
+    let reps: usize = cli_parse(&args, "--reps", 3);
     let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR3.json".to_string());
     if cli_arg(&args, "--metrics").is_some() {
         eprintln!(

@@ -24,7 +24,7 @@
 //! ```
 
 use caqe_bench::json::ObjectWriter;
-use caqe_bench::report::{cli_arg, cli_faults, cli_threads};
+use caqe_bench::report::{cli_arg, cli_faults, cli_parse, cli_threads};
 use caqe_bench::ExperimentConfig;
 use caqe_core::{CaqeStrategy, DegradationPolicy, ExecConfig, ExecutionStrategy, RunOutcome};
 use caqe_data::{Distribution, ValidationPolicy};
@@ -74,10 +74,10 @@ impl Scenario {
 fn main() {
     silence_injected_panics();
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = cli_arg(&args, "--n").map_or(1500, |s| s.parse().expect("--n"));
-    let reps: usize = cli_arg(&args, "--reps").map_or(2, |s| s.parse().expect("--reps"));
+    let n: usize = cli_parse(&args, "--n", 1500);
+    let reps: usize = cli_parse(&args, "--reps", 2);
     assert!(reps >= 1, "--reps must be at least 1");
-    let floor: f64 = cli_arg(&args, "--floor").map_or(0.5, |s| s.parse().expect("--floor"));
+    let floor: f64 = cli_parse(&args, "--floor", 0.5);
     let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR4.json".to_string());
     let faults = {
         let plan = cli_faults(&args);

@@ -16,7 +16,7 @@
 //! retires one initial query: `admit@200000=6,admit@600000=7,depart@1000000=2`.
 
 use caqe_bench::json::ObjectWriter;
-use caqe_bench::report::cli_arg;
+use caqe_bench::report::{cli_arg, cli_parse};
 use caqe_contract::Contract;
 use caqe_core::{
     try_run_engine_online_traced, EngineConfig, EventStream, ExecConfig, QuerySpec, RunOutcome,
@@ -102,10 +102,10 @@ fn sorted_results(out: &RunOutcome, q: usize) -> Vec<(u64, u64)> {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = cli_arg(&args, "--n").map_or(2500, |s| s.parse().expect("--n"));
-    let cells: usize = cli_arg(&args, "--cells").map_or(22, |s| s.parse().expect("--cells"));
-    let threads: Option<usize> = cli_arg(&args, "--threads").map(|s| s.parse().expect("--threads"));
-    let reps: usize = cli_arg(&args, "--reps").map_or(3, |s| s.parse().expect("--reps"));
+    let n: usize = cli_parse(&args, "--n", 2500);
+    let cells: usize = cli_parse(&args, "--cells", 22);
+    let threads: Option<usize> = caqe_bench::report::cli_threads(&args);
+    let reps: usize = cli_parse(&args, "--reps", 3);
     let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR5.json".to_string());
     let spec = cli_arg(&args, "--events")
         .unwrap_or_else(|| "admit@200000=6,admit@600000=7,depart@1000000=2".to_string());
@@ -114,7 +114,13 @@ fn main() {
     // The initial workload holds back the last two pool queries so the
     // default stream has genuinely new arrivals to admit.
     let w = Workload::new(pool[..6].to_vec());
-    let events = EventStream::parse(&spec, &pool).expect("--events");
+    let events = match EventStream::parse(&spec, &pool) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("bad --events spec `{spec}`: {e}");
+            std::process::exit(2);
+        }
+    };
     assert!(!events.is_empty(), "bench_pr5 needs a non-empty stream");
     let departed: BTreeSet<usize> = events
         .events()

@@ -29,7 +29,7 @@
 //! ```
 
 use caqe_bench::json::ObjectWriter;
-use caqe_bench::report::cli_arg;
+use caqe_bench::report::{cli_arg, cli_parse};
 use caqe_contract::Contract;
 use caqe_core::{
     try_run_engine_online_traced, EngineConfig, EventStream, ExecConfig, QuerySpec, RunOutcome,
@@ -183,9 +183,9 @@ fn measure_engine(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = cli_arg(&args, "--n").map_or(2500, |s| s.parse().expect("--n"));
-    let cells: usize = cli_arg(&args, "--cells").map_or(22, |s| s.parse().expect("--cells"));
-    let reps: usize = cli_arg(&args, "--reps").map_or(5, |s| s.parse().expect("--reps"));
+    let n: usize = cli_parse(&args, "--n", 2500);
+    let cells: usize = cli_parse(&args, "--cells", 22);
+    let reps: usize = cli_parse(&args, "--reps", 5);
     let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR6.json".to_string());
 
     let gen = TableGenerator::new(n, 2, Distribution::Independent)

@@ -21,7 +21,7 @@
 
 use caqe_bench::json::ObjectWriter;
 use caqe_bench::obs::obs_config;
-use caqe_bench::report::cli_arg;
+use caqe_bench::report::{cli_arg, cli_parse};
 use caqe_contract::Contract;
 use caqe_core::{
     try_run_engine_online_traced, EngineConfig, EventStream, ExecConfig, QuerySpec, RunOutcome,
@@ -165,10 +165,10 @@ fn snapshot_at(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = cli_arg(&args, "--n").map_or(2500, |s| s.parse().expect("--n"));
-    let cells: usize = cli_arg(&args, "--cells").map_or(22, |s| s.parse().expect("--cells"));
-    let threads: usize = cli_arg(&args, "--threads").map_or(4, |s| s.parse().expect("--threads"));
-    let reps: usize = cli_arg(&args, "--reps").map_or(3, |s| s.parse().expect("--reps"));
+    let n: usize = cli_parse(&args, "--n", 2500);
+    let cells: usize = cli_parse(&args, "--cells", 22);
+    let threads: usize = cli_parse(&args, "--threads", 4);
+    let reps: usize = cli_parse(&args, "--reps", 3);
     let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR7.json".to_string());
 
     let gen = TableGenerator::new(n, 2, Distribution::Independent)

@@ -1,0 +1,237 @@
+//! Serving-layer benchmark for PR 9 (`BENCH_PR9.json`): prices the
+//! wall-clock front door that DESIGN.md §18 wraps around the deterministic
+//! core, and proves its two robustness claims in the same artifact.
+//!
+//! Three phases, one JSON object:
+//!
+//! 1. **Clean serving** — submit `--sessions` catalog queries upfront and
+//!    drain them in deterministic epochs; best-of-`--reps` wall seconds,
+//!    with per-session digests asserted identical across reps.
+//! 2. **Kill and restore** — run one epoch, snapshot, restore into a fresh
+//!    server and drain the remainder. The restore call itself is timed
+//!    (`restart_recovery_wall_seconds`) and the combined digest set must
+//!    equal the uninterrupted run's (`restore_identical`).
+//! 3. **Chaos soak** — concurrent clients against a bounded queue under
+//!    the PR 4 fault plan; reports peak queue depth against the bound,
+//!    reject counts, and contract-SLO retention versus a clean baseline.
+//!
+//! ```text
+//! cargo run --release -p caqe-bench --bin bench_pr9 -- [--n <rows>]
+//!     [--sessions <s>] [--batch <e>] [--clients <c>] [--submits <k>]
+//!     [--bound <b>] [--reps <r>] [--out <path>]
+//! ```
+
+use caqe_bench::json::ObjectWriter;
+use caqe_bench::report::{cli_arg, cli_parse};
+use caqe_bench::ExperimentConfig;
+use caqe_core::{EngineConfig, QuerySpec};
+use caqe_data::{Distribution, Table, ValidationPolicy};
+use caqe_faults::FaultPlan;
+use caqe_serve::{mix_request, run_soak, CaqeServer, ServeConfig, SoakConfig, SubmitResponse};
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+struct Inputs {
+    tables: (Table, Table),
+    catalog: Vec<QuerySpec>,
+    cfg: ExperimentConfig,
+}
+
+fn inputs(n: usize) -> Inputs {
+    let mut cfg = ExperimentConfig::new(Distribution::Independent, 2);
+    cfg.n = n;
+    cfg.workload_size = 4;
+    cfg.cells_per_table = 8;
+    cfg.reference_secs = Some(cfg.reference_seconds());
+    let tables = cfg.tables();
+    let catalog = cfg.workload().queries().to_vec();
+    Inputs {
+        tables,
+        catalog,
+        cfg,
+    }
+}
+
+/// Builds a fresh server with `sessions` upfront submissions. Panics on a
+/// reject: run mode sets the bound to the session count, so a reject here
+/// means the admission queue itself is broken.
+fn loaded_server(inp: &Inputs, serve: ServeConfig, sessions: usize) -> CaqeServer {
+    let server = CaqeServer::new(
+        inp.tables.clone(),
+        inp.catalog.clone(),
+        inp.cfg.exec(),
+        EngineConfig::caqe(),
+        serve,
+    );
+    for i in 0..sessions {
+        match server.submit(mix_request(inp.catalog.len(), 0, i)) {
+            SubmitResponse::Accepted { .. } => {}
+            SubmitResponse::Rejected { reason, .. } => {
+                eprintln!("upfront submission {i} rejected: {reason}");
+                std::process::exit(2);
+            }
+        }
+    }
+    server
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = cli_parse(&args, "--n", 600);
+    let sessions: usize = cli_parse(&args, "--sessions", 12);
+    let batch: usize = cli_parse(&args, "--batch", 4);
+    let clients: usize = cli_parse(&args, "--clients", 4);
+    let submits: usize = cli_parse(&args, "--submits", 6);
+    let bound: usize = cli_parse(&args, "--bound", 6);
+    let reps: usize = cli_parse(&args, "--reps", 3).max(1);
+    let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR9.json".to_string());
+
+    let inp = inputs(n);
+    let serve = ServeConfig {
+        queue_bound: sessions.max(1),
+        epoch_batch: batch,
+        ..ServeConfig::default()
+    };
+
+    // Phase 1: clean serving wall time, digest-checked across reps.
+    let mut serve_secs = f64::INFINITY;
+    let mut baseline_digests: Option<Vec<(u64, u64)>> = None;
+    let mut epochs = 0;
+    let mut mean_satisfaction = 0.0;
+    let mut deterministic = true;
+    for _ in 0..reps {
+        let server = loaded_server(&inp, serve, sessions);
+        let start = Instant::now();
+        let reports = server.drain();
+        serve_secs = serve_secs.min(start.elapsed().as_secs_f64());
+        if reports.iter().any(|r| !r.succeeded) {
+            eprintln!("clean serving epoch failed — inputs are fault-free, this is a bug");
+            std::process::exit(1);
+        }
+        epochs = reports.len();
+        mean_satisfaction = server.mean_satisfaction();
+        let digests = server.session_digests();
+        match &baseline_digests {
+            Some(prev) => deterministic &= *prev == digests,
+            None => baseline_digests = Some(digests),
+        }
+    }
+    let baseline_digests = baseline_digests.unwrap_or_default();
+    if !deterministic {
+        eprintln!("per-session digests diverged across reps");
+        std::process::exit(1);
+    }
+
+    // Phase 2: kill after one epoch, snapshot, restore, drain the rest.
+    // The timed section is exactly the recovery path: parsing + checksum
+    // verification + state rebuild inside `CaqeServer::restore`.
+    let snap_path = std::env::temp_dir().join(format!("bench_pr9_{}.snapshot", std::process::id()));
+    let killed = loaded_server(&inp, serve, sessions);
+    killed.run_epoch();
+    if let Err(e) = killed.shutdown_to_snapshot(&snap_path) {
+        eprintln!("snapshot failed: {e}");
+        std::process::exit(1);
+    }
+    let start = Instant::now();
+    let restored = CaqeServer::restore(
+        inp.tables.clone(),
+        inp.catalog.clone(),
+        inp.cfg.exec(),
+        EngineConfig::caqe(),
+        serve,
+        &snap_path,
+    );
+    let recovery_secs = start.elapsed().as_secs_f64();
+    let (restored, snap) = match restored {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("restore failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    restored.drain();
+    let restore_identical = restored.session_digests() == baseline_digests;
+    let _ = std::fs::remove_file(&snap_path);
+    if !restore_identical {
+        eprintln!("restored run's digests diverged from the uninterrupted run");
+        std::process::exit(1);
+    }
+
+    // Phase 3: chaos soak — backpressure and SLO retention under faults.
+    let faults = FaultPlan::seeded(7)
+        .with_panics(0.15)
+        .with_spikes(0.10, 8.0)
+        .with_estimator_noise(0.20, 4.0)
+        .with_corruption(0.02);
+    caqe_faults::silence_injected_panics();
+    let soak = SoakConfig {
+        clients,
+        submits_per_client: submits,
+        serve: ServeConfig {
+            queue_bound: bound,
+            epoch_batch: batch.min(bound.max(1)),
+            ..ServeConfig::default()
+        },
+        ..SoakConfig::default()
+    };
+    let report = run_soak(
+        &inp.tables,
+        &inp.catalog,
+        &inp.cfg.exec(),
+        &inp.cfg
+            .exec()
+            .with_faults(faults)
+            .with_validation(ValidationPolicy::Quarantine),
+        &EngineConfig::caqe(),
+        &soak,
+    );
+    if report.unresolved > 0 || report.peak_depth > report.queue_bound {
+        eprintln!(
+            "soak violation: {} unresolved, peak depth {}/{}",
+            report.unresolved, report.peak_depth, report.queue_bound
+        );
+        std::process::exit(1);
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut obj = ObjectWriter::new();
+    obj.string("bench", "bench_pr9")
+        .uint("n", n as u64)
+        .uint("sessions", sessions as u64)
+        .uint("epoch_batch", batch as u64)
+        .uint("epochs", epochs as u64)
+        .uint("host_cores", cores as u64)
+        .uint("reps", reps as u64)
+        .string("measures", "serving")
+        .number("serve_wall_seconds", serve_secs)
+        .number("mean_satisfaction", mean_satisfaction)
+        .number("restart_recovery_wall_seconds", recovery_secs)
+        .uint("snapshot_version", u64::from(snap.version))
+        .uint("snapshot_completed", snap.completed.len() as u64)
+        .uint("snapshot_queued", snap.queued.len() as u64)
+        .bool("restore_identical", restore_identical)
+        .bool("deterministic", deterministic)
+        .uint("soak_clients", clients as u64)
+        .uint("soak_submits_per_client", submits as u64)
+        .string("soak_faults", &faults.to_spec())
+        .uint("soak_submitted", report.submitted)
+        .uint("soak_accepted", report.accepted)
+        .uint("soak_rejected", report.rejected)
+        .uint("queue_depth_peak", report.peak_depth)
+        .uint("queue_bound", report.queue_bound)
+        .number("soak_sat_retention", report.retention)
+        .number("soak_wall_seconds", report.wall_seconds);
+    let json = obj.finish();
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "serving: {sessions} sessions in {epochs} epochs, {serve_secs:.3}s clean; \
+         recovery {recovery_secs:.4}s (digests identical); soak peak {}/{} with {} rejects, \
+         retention {:.3} ({out_path})",
+        report.peak_depth, report.queue_bound, report.rejected, report.retention
+    );
+}

@@ -28,7 +28,13 @@ fn main() {
         cfg.faults = faults;
         cfg.validation = validation;
         if let Some(n) = cli_arg(&args, "--n") {
-            cfg.n = n.parse().expect("--n takes a number");
+            cfg.n = match n.parse() {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("bad --n value `{n}`: {e}");
+                    std::process::exit(2);
+                }
+            };
         } else if dist == Distribution::Anticorrelated {
             cfg.n = 1200;
         }

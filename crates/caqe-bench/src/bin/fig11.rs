@@ -35,11 +35,17 @@ fn main() {
             cfg.validation = validation;
             cfg.workload_size = size;
             if let Some(n) = cli_arg(&args, "--n") {
-                cfg.n = n.parse().expect("--n takes a number");
+                cfg.n = match n.parse() {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("bad --n value `{n}`: {e}");
+                        std::process::exit(2);
+                    }
+                };
             }
             let r = *reference.get_or_insert_with(|| {
                 let mut probe = cfg.clone();
-                probe.workload_size = *sizes.last().unwrap();
+                probe.workload_size = sizes.last().copied().unwrap_or(cfg.workload_size);
                 probe.reference_seconds()
             });
             cfg.reference_secs = Some(r);

@@ -45,13 +45,25 @@ fn main() {
             cfg.faults = faults;
             cfg.validation = validation;
             if let Some(n) = cli_arg(&args, "--n") {
-                cfg.n = n.parse().expect("--n takes a number");
+                cfg.n = match n.parse() {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("bad --n value `{n}`: {e}");
+                        std::process::exit(2);
+                    }
+                };
             } else if dist == Distribution::Anticorrelated {
                 // The skyline worst case: keep the default panel tractable.
                 cfg.n = 1200;
             }
             if let Some(k) = cli_arg(&args, "--queries") {
-                cfg.workload_size = k.parse().expect("--queries takes a number");
+                cfg.workload_size = match k.parse() {
+                    Ok(v) => v,
+                    Err(e) => {
+                        eprintln!("bad --queries value `{k}`: {e}");
+                        std::process::exit(2);
+                    }
+                };
             }
             // One calibration probe per panel, shared across contracts.
             let r = *reference.get_or_insert_with(|| cfg.reference_seconds());

@@ -134,6 +134,13 @@ fn reconcile(snap: &Snapshot, tc: &TraceCounts) -> Vec<String> {
         (names::ESTIMATE_AUDITS, "estimate"),
         (names::FAULTS, "fault"),
         (names::INGEST_AUDITS, "ingest"),
+        // Serving-layer events (wall-clock front door, DESIGN.md §18):
+        // every reject/shutdown/restore in the server trace must be
+        // counted, and each shutdown writes exactly one snapshot.
+        (names::SERVE_REJECTS, "reject"),
+        (names::SERVE_SHUTDOWNS, "shutdown"),
+        (names::SERVE_SNAPSHOTS, "shutdown"),
+        (names::SERVE_RESTORES, "restore"),
     ] {
         claim(&mut problems, name, counter(name), event(kind));
     }
@@ -241,6 +248,22 @@ fn dashboard(label: &str, snap: &Snapshot) {
             .map(|(k, v)| format!("{k}={v}"))
             .collect();
         println!("  lifecycle: {}", parts.join("  "));
+    }
+    let serving = [
+        ("submits", counter(names::SERVE_SUBMITS)),
+        ("rejects", counter(names::SERVE_REJECTS)),
+        ("epochs", counter(names::SERVE_EPOCHS)),
+        ("snapshots", counter(names::SERVE_SNAPSHOTS)),
+        ("restores", counter(names::SERVE_RESTORES)),
+        ("expired", counter(names::SERVE_DEADLINE_EXPIRED)),
+    ];
+    if serving.iter().any(|(_, v)| *v > 0) {
+        let parts: Vec<String> = serving
+            .iter()
+            .filter(|(_, v)| *v > 0)
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        println!("  serving: {}", parts.join("  "));
     }
     let phases = ["build", "probe", "insert", "emit"];
     let ticks: Vec<u64> = phases

@@ -22,7 +22,7 @@
 //! bit-identity assertions then cover the churn path too.
 
 use caqe_bench::json::ObjectWriter;
-use caqe_bench::report::{cli_arg, cli_chaos, cli_metrics, cli_trace};
+use caqe_bench::report::{cli_arg, cli_chaos, cli_metrics, cli_parse, cli_trace};
 use caqe_contract::Contract;
 use caqe_core::{
     try_run_engine_online_traced, EngineConfig, EventStream, ExecConfig, QuerySpec, RunOutcome,
@@ -143,10 +143,10 @@ fn measure_traced(
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let n: usize = cli_arg(&args, "--n").map_or(2500, |s| s.parse().expect("--n"));
-    let threads: usize = cli_arg(&args, "--threads").map_or(4, |s| s.parse().expect("--threads"));
-    let cells: usize = cli_arg(&args, "--cells").map_or(22, |s| s.parse().expect("--cells"));
-    let reps: usize = cli_arg(&args, "--reps").map_or(3, |s| s.parse().expect("--reps"));
+    let n: usize = cli_parse(&args, "--n", 2500);
+    let threads: usize = cli_parse(&args, "--threads", 4);
+    let cells: usize = cli_parse(&args, "--cells", 22);
+    let reps: usize = cli_parse(&args, "--reps", 3);
     let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR2.json".to_string());
     let trace_dir = cli_trace(&args);
     let metrics_dir = cli_metrics(&args);
@@ -157,7 +157,13 @@ fn main() {
     let (r, t) = (gen.generate("R"), gen.generate("T"));
     let w = workload();
     let events = match cli_arg(&args, "--events") {
-        Some(spec) => EventStream::parse(&spec, w.queries()).expect("--events"),
+        Some(spec) => match EventStream::parse(&spec, w.queries()) {
+            Ok(ev) => ev,
+            Err(e) => {
+                eprintln!("bad --events spec `{spec}`: {e}");
+                std::process::exit(2);
+            }
+        },
         None => EventStream::empty(),
     };
     let (faults, validation) = cli_chaos(&args);

@@ -11,7 +11,8 @@
 //! ```
 
 use caqe_bench::report::{
-    cli_arg, cli_chaos, cli_flag, cli_metrics, cli_threads, cli_trace, render_jsonl, render_table,
+    cli_arg, cli_chaos, cli_flag, cli_metrics, cli_parse, cli_threads, cli_trace, render_jsonl,
+    render_table,
 };
 use caqe_bench::{run_comparison_observed, ComparisonRow, ExperimentConfig};
 use caqe_data::Distribution;
@@ -20,11 +21,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let axis = cli_arg(&args, "--axis").unwrap_or_else(|| "n".to_string());
     let dist = cli_arg(&args, "--dist")
-        .map(|d| Distribution::parse(&d).expect("unknown distribution"))
+        .map(|d| match Distribution::parse(&d) {
+            Some(dist) => dist,
+            None => {
+                eprintln!(
+                    "bad --dist value `{d}` (expected independent|correlated|anticorrelated)"
+                );
+                std::process::exit(2);
+            }
+        })
         .unwrap_or(Distribution::Independent);
-    let contract: usize = cli_arg(&args, "--contract")
-        .map(|c| c.parse().expect("--contract takes 1..=5"))
-        .unwrap_or(2);
+    let contract: usize = cli_parse(&args, "--contract", 2);
     let json = cli_flag(&args, "--json");
     let (faults, validation) = cli_chaos(&args);
     let trace_dir = cli_trace(&args);

@@ -62,6 +62,13 @@ struct Digest {
     /// `null` values in the stream — the JSON exporter writes non-finite
     /// floats as `null`, so every one is a dropped number worth a warning.
     nulls: u64,
+    /// Serving-layer admission rejects (`reject` events).
+    rejects: u64,
+    /// Line a `shutdown` event was seen at; nothing may execute after it.
+    shutdown_line: Option<usize>,
+    /// Whether any `decision`/`emit` activity was seen yet — a `restore`
+    /// must precede all of it (a server restores before serving).
+    activity_seen: bool,
     problems: Vec<String>,
 }
 
@@ -113,6 +120,13 @@ fn digest(path: &Path) -> Digest {
                 d.initial_queries = v["queries"].as_f64().unwrap_or(0.0) as u64;
             }
             "emit" => {
+                d.activity_seen = true;
+                if let Some(at) = d.shutdown_line {
+                    d.problems.push(format!(
+                        "line {}: emission after the shutdown at line {at}",
+                        lineno + 1
+                    ));
+                }
                 let tick = v["tick"].as_f64().unwrap_or(-1.0) as u64;
                 if tick < last_emit_tick {
                     d.problems.push(format!(
@@ -169,6 +183,13 @@ fn digest(path: &Path) -> Digest {
                 d.estimator.2 = d.estimator.2.max(err);
             }
             "decision" => {
+                d.activity_seen = true;
+                if let Some(at) = d.shutdown_line {
+                    d.problems.push(format!(
+                        "line {}: scheduling decision after the shutdown at line {at}",
+                        lineno + 1
+                    ));
+                }
                 // A shed region must never be scheduled again: shedding
                 // retires it from the dependency graph, so any later
                 // Decision naming it means the degradation path leaked.
@@ -235,6 +256,39 @@ fn digest(path: &Path) -> Digest {
                         .push(format!("line {}: query {q} departed twice", lineno + 1));
                 }
                 d.departed.insert(q, tick);
+            }
+            "reject" => {
+                d.rejects += 1;
+                // A queue-full reject is only honest backpressure when the
+                // queue really was at its bound.
+                if v["reason"].as_str() == Some("full") {
+                    let depth = v["depth"].as_f64().unwrap_or(-1.0);
+                    let bound = v["bound"].as_f64().unwrap_or(f64::INFINITY);
+                    if depth < bound {
+                        d.problems.push(format!(
+                            "line {}: queue-full reject at depth {depth} below bound {bound}",
+                            lineno + 1
+                        ));
+                    }
+                }
+            }
+            "shutdown" => {
+                if d.shutdown_line.is_some() {
+                    d.problems
+                        .push(format!("line {}: second shutdown event", lineno + 1));
+                }
+                d.shutdown_line = Some(lineno + 1);
+            }
+            "restore" => {
+                // A restore happens before the server serves anything:
+                // decision/emit activity before it means the stream mixes a
+                // live run with a restored one.
+                if d.activity_seen {
+                    d.problems.push(format!(
+                        "line {}: restore after decision/emission activity",
+                        lineno + 1
+                    ));
+                }
             }
             other => {
                 d.problems
@@ -312,6 +366,15 @@ fn main() -> ExitCode {
                 "  session: {} admission(s), {} departure(s)",
                 d.admitted.len(),
                 d.departed.len()
+            );
+        }
+        let serving = |kind: &str| d.counts.get(kind).copied().unwrap_or(0);
+        if d.rejects + serving("shutdown") + serving("restore") > 0 {
+            println!(
+                "  serving: {} reject(s), {} shutdown(s), {} restore(s)",
+                d.rejects,
+                serving("shutdown"),
+                serving("restore")
             );
         }
         if d.estimator.0 > 0 {

@@ -87,6 +87,26 @@ pub fn cli_arg(args: &[String], key: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// Parses `--key value` into any `FromStr` type, falling back to `default`
+/// when the flag is absent. A present-but-unparsable value exits with code
+/// 2 and a contextual message naming the flag and the offending text —
+/// drivers must never panic on user input.
+pub fn cli_parse<T: std::str::FromStr>(args: &[String], key: &str, default: T) -> T
+where
+    T::Err: std::fmt::Display,
+{
+    match cli_arg(args, key) {
+        Some(text) => match text.parse() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bad {key} value `{text}`: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => default,
+    }
+}
+
 /// Whether a bare flag is present.
 pub fn cli_flag(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == key)
@@ -95,7 +115,13 @@ pub fn cli_flag(args: &[String], key: &str) -> bool {
 /// Parses the shared `--threads <n>` knob (`0` = all cores; absent =
 /// serial).
 pub fn cli_threads(args: &[String]) -> Option<usize> {
-    cli_arg(args, "--threads").map(|s| s.parse().expect("--threads takes a number"))
+    cli_arg(args, "--threads").map(|text| match text.parse() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bad --threads value `{text}`: {e}");
+            std::process::exit(2);
+        }
+    })
 }
 
 /// Parses the shared `--trace <dir>` knob: when present, every run also

@@ -71,6 +71,41 @@ impl RunOutcome {
     pub fn total_results(&self) -> usize {
         self.per_query.iter().map(|q| q.count()).sum()
     }
+
+    /// FNV-1a digest of everything deterministic about the run: per-query
+    /// emission `(time, utility)` pairs (by exact bit pattern), result
+    /// provenance, and the virtual clock. Wall time is excluded by
+    /// construction.
+    ///
+    /// Two runs are observably equivalent iff their digests match; the
+    /// serving layer uses this to prove a snapshot/restore cycle
+    /// trace-equivalent to an uninterrupted run without retaining full
+    /// outcomes.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.per_query.len() as u64);
+        for q in &self.per_query {
+            mix(q.emissions.len() as u64);
+            for (ts, util) in &q.emissions {
+                mix(ts.to_bits());
+                mix(util.to_bits());
+            }
+            for (rid, tid) in &q.results {
+                mix(*rid);
+                mix(*tid);
+            }
+            mix(q.p_score.to_bits());
+            mix(q.satisfaction.to_bits());
+        }
+        mix(self.virtual_seconds.to_bits());
+        h
+    }
 }
 
 #[cfg(test)]
@@ -112,5 +147,22 @@ mod tests {
         assert_eq!(o.per_query[0].first_emission(), Some(1.0));
         assert_eq!(o.per_query[0].last_emission(), Some(2.0));
         assert_eq!(o.per_query[1].first_emission(), None);
+    }
+
+    #[test]
+    fn digest_ignores_wall_time_but_sees_everything_else() {
+        let a = outcome();
+        let mut b = outcome();
+        b.wall_seconds = 123.0;
+        assert_eq!(a.digest(), b.digest(), "wall time must not matter");
+        let mut c = outcome();
+        c.per_query[0].emissions[1].1 = 0.5000001;
+        assert_ne!(a.digest(), c.digest(), "utility changes must matter");
+        let mut d = outcome();
+        d.per_query[1].results.push((9, 9));
+        assert_ne!(a.digest(), d.digest(), "result sets must matter");
+        let mut e = outcome();
+        e.virtual_seconds = 3.0;
+        assert_ne!(a.digest(), e.digest(), "the virtual clock must matter");
     }
 }

@@ -44,22 +44,138 @@ pub struct InjectedPanic {
     pub attempt: u32,
 }
 
+/// Whether a panic payload is an [`InjectedPanic`] from a chaos plan.
+///
+/// The predicate the silencer filters on, exported so drivers with their
+/// own panic-logging hooks (e.g. the `caqe-serve` wall-clock driver) can
+/// apply the same classification without re-implementing the downcast.
+pub fn is_injected_panic(payload: &dyn std::any::Any) -> bool {
+    payload.downcast_ref::<InjectedPanic>().is_some()
+}
+
 /// Installs a process-wide panic hook that suppresses the default panic
-/// banner for *injected* panics only — genuine panics still print. The
-/// engine catches every [`InjectedPanic`] with `catch_unwind`, so without
-/// this hook a chaos run sprays panic messages over its report even though
-/// nothing actually failed. Idempotent; safe to call from every driver and
-/// test that enables a fault plan.
+/// banner for *injected* panics only — genuine panics still print.
+///
+/// The engine catches every [`InjectedPanic`] with `catch_unwind`, so
+/// without this hook a chaos run sprays panic messages over its report even
+/// though nothing actually failed. Idempotent; safe to call from every
+/// driver and test that enables a fault plan.
+///
+/// **Composability**: the silencer *chains* — it wraps whatever hook is
+/// installed at the moment of its (single effective) installation and
+/// forwards every genuine panic to it, and hooks installed *afterwards*
+/// (a server's own panic logger, say) wrap the silencer in turn and keep
+/// working. For a reversible installation use
+/// [`scoped_silence_injected_panics`], which restores the previous hook's
+/// behaviour when the guard drops.
 pub fn silence_injected_panics() {
-    static ONCE: std::sync::Once = std::sync::Once::new();
-    ONCE.call_once(|| {
-        let default_hook = std::panic::take_hook();
-        std::panic::set_hook(Box::new(move |info| {
-            if info.payload().downcast_ref::<InjectedPanic>().is_none() {
-                default_hook(info);
-            }
-        }));
-    });
+    use std::sync::atomic::{AtomicBool, Ordering};
+    static INSTALLED: AtomicBool = AtomicBool::new(false);
+    if INSTALLED.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        if !is_injected_panic(info.payload()) {
+            previous(info);
+        }
+    }));
+}
+
+/// Scope guard for a reversible panic-hook installation; created by
+/// [`scoped_silence_injected_panics`]. Dropping the guard restores the
+/// behaviour of the hook that was installed when the guard was created.
+///
+/// Guards should be dropped in reverse creation order (LIFO). The restore
+/// is *behavioural*: the previous hook is re-wrapped rather than moved
+/// back, so dropping out of order composes instead of panicking — the
+/// hooks installed in between simply stay chained.
+#[must_use = "dropping the guard immediately restores the previous hook"]
+pub struct PanicHookGuard {
+    restore: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl std::fmt::Debug for PanicHookGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PanicHookGuard")
+            .field("armed", &self.restore.is_some())
+            .finish()
+    }
+}
+
+impl Drop for PanicHookGuard {
+    fn drop(&mut self) {
+        if let Some(restore) = self.restore.take() {
+            restore();
+        }
+    }
+}
+
+/// Installs the injected-panic silencer *reversibly*: genuine panics are
+/// forwarded to the hook that was current at call time, and dropping the
+/// returned guard reinstates that hook's behaviour. This is what lets the
+/// serving driver's panic logging and the chaos suite's silencing coexist
+/// in either installation order.
+pub fn scoped_silence_injected_panics() -> PanicHookGuard {
+    use std::sync::Arc;
+    let previous = Arc::new(std::panic::take_hook());
+    let chained = Arc::clone(&previous);
+    std::panic::set_hook(Box::new(move |info| {
+        if !is_injected_panic(info.payload()) {
+            chained(info);
+        }
+    }));
+    PanicHookGuard {
+        restore: Some(Box::new(move || {
+            // Behavioural restore: drop whatever is currently installed
+            // (ourselves, in LIFO discipline) and re-wrap the prior hook.
+            drop(std::panic::take_hook());
+            std::panic::set_hook(Box::new(move |info| previous(info)));
+        })),
+    }
+}
+
+/// Wall-clock retry/backoff policy for the serving driver (`caqe-serve`).
+///
+/// The virtual-tick `RecoveryPolicy` inside the engine
+/// governs *deterministic* in-run recovery; this policy governs the
+/// wall-clock loop *around* engine runs: how many times a driver re-submits
+/// an epoch after a transient failure and how long it sleeps in between.
+/// Exponential with a cap, mirroring the tick-domain policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallRetryPolicy {
+    /// Attempts before the failure is declared terminal (≥ 1).
+    pub max_attempts: u32,
+    /// Sleep after the first failure, doubling per retry, in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Ceiling on the exponential backoff, in milliseconds.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for WallRetryPolicy {
+    fn default() -> Self {
+        WallRetryPolicy {
+            max_attempts: 3,
+            backoff_base_ms: 10,
+            backoff_cap_ms: 250,
+        }
+    }
+}
+
+impl WallRetryPolicy {
+    /// Backoff after the `attempt`-th failure (1-based):
+    /// `base · 2^(attempt−1)` ms, capped.
+    pub fn backoff_ms(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(32);
+        self.backoff_base_ms
+            .saturating_mul(1u64 << shift)
+            .min(self.backoff_cap_ms)
+    }
+
+    /// [`backoff_ms`](WallRetryPolicy::backoff_ms) as a `Duration`.
+    pub fn backoff(&self, attempt: u32) -> std::time::Duration {
+        std::time::Duration::from_millis(self.backoff_ms(attempt))
+    }
 }
 
 /// A seeded, virtual-clock-keyed fault plan.

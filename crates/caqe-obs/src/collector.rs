@@ -97,6 +97,33 @@ pub mod names {
     /// Prefix for raw end-of-run `Stats` counters
     /// (`caqe_stats_<field>`; per-query emissions carry a `query` label).
     pub const STATS_PREFIX: &str = "caqe_stats_";
+    /// Counter: submissions accepted by the serving layer.
+    pub const SERVE_SUBMITS: &str = "caqe_serve_submits_total";
+    /// Counter: submissions rejected (total, plus a per-`reason` family).
+    pub const SERVE_REJECTS: &str = "caqe_serve_rejects_total";
+    /// Gauge: current admission-queue depth.
+    pub const SERVE_QUEUE_DEPTH: &str = "caqe_serve_queue_depth";
+    /// Gauge: high-water admission-queue depth.
+    pub const SERVE_QUEUE_DEPTH_PEAK: &str = "caqe_serve_queue_depth_peak";
+    /// Counter: serving epochs (deterministic engine runs) completed.
+    pub const SERVE_EPOCHS: &str = "caqe_serve_epochs_total";
+    /// Counter: epoch retries after transient failures or caught panics.
+    pub const SERVE_EPOCH_RETRIES: &str = "caqe_serve_epoch_retries_total";
+    /// Counter: snapshots written on graceful shutdown.
+    pub const SERVE_SNAPSHOTS: &str = "caqe_serve_snapshots_total";
+    /// Counter: restores from a snapshot.
+    pub const SERVE_RESTORES: &str = "caqe_serve_restores_total";
+    /// Counter: graceful shutdowns drained.
+    pub const SERVE_SHUTDOWNS: &str = "caqe_serve_shutdowns_total";
+    /// Counter: sessions expired by the wall-clock deadline watchdog.
+    pub const SERVE_DEADLINE_EXPIRED: &str = "caqe_serve_deadline_expired_total";
+    /// Counter family: sessions by terminal `state`
+    /// (`done`/`failed`/`cancelled`/`expired`).
+    pub const SERVE_SESSIONS: &str = "caqe_serve_sessions_total";
+    /// Gauge: wall-clock milliseconds of the last snapshot restore.
+    pub const SERVE_RECOVERY_MS: &str = "caqe_serve_recovery_ms";
+    /// Gauge: mean final satisfaction over completed sessions.
+    pub const SERVE_MEAN_SATISFACTION: &str = "caqe_serve_mean_satisfaction";
 }
 
 /// What the SLO monitor knows about one query.
@@ -478,6 +505,20 @@ fn registry_update(reg: &mut MetricsRegistry, ev: &TraceEvent) {
             reg.inc(names::DEPARTS, 1);
             reg.inc(names::DEPART_REGIONS_RETIRED, u64::from(*regions_retired));
         }
+        TraceEvent::AdmissionReject { reason, depth, .. } => {
+            reg.inc(names::SERVE_REJECTS, 1);
+            reg.inc(&key(names::SERVE_REJECTS, &[("reason", reason)]), 1);
+            reg.set_gauge(names::SERVE_QUEUE_DEPTH, f64::from(*depth));
+        }
+        TraceEvent::ServerShutdown { queued, .. } => {
+            reg.inc(names::SERVE_SHUTDOWNS, 1);
+            reg.inc(names::SERVE_SNAPSHOTS, 1);
+            reg.set_gauge(names::SERVE_QUEUE_DEPTH, f64::from(*queued));
+        }
+        TraceEvent::ServerRestore { queued, .. } => {
+            reg.inc(names::SERVE_RESTORES, 1);
+            reg.set_gauge(names::SERVE_QUEUE_DEPTH, f64::from(*queued));
+        }
         TraceEvent::IngestAudit {
             quarantined,
             clamped,
@@ -577,6 +618,53 @@ mod tests {
             1.0e6,
             0.9,
         )
+    }
+
+    #[test]
+    fn serving_events_count_into_serve_metrics() {
+        let mut c = ObsCollector::new(ObsConfig::default());
+        c.ingest_events(&[
+            TraceEvent::AdmissionReject {
+                tick: 1,
+                session: 4,
+                reason: "full",
+                depth: 8,
+                bound: 8,
+            },
+            TraceEvent::AdmissionReject {
+                tick: 2,
+                session: 5,
+                reason: "shed",
+                depth: 3,
+                bound: 8,
+            },
+            TraceEvent::ServerShutdown {
+                tick: 9,
+                queued: 2,
+                drained: 6,
+                snapshot_version: 1,
+            },
+            TraceEvent::ServerRestore {
+                tick: 0,
+                snapshot_version: 1,
+                queued: 2,
+                completed: 6,
+            },
+        ]);
+        let reg = c.registry();
+        assert_eq!(reg.counter(names::SERVE_REJECTS), Some(2));
+        assert_eq!(
+            reg.counter(&key(names::SERVE_REJECTS, &[("reason", "full")])),
+            Some(1)
+        );
+        assert_eq!(
+            reg.counter(&key(names::SERVE_REJECTS, &[("reason", "shed")])),
+            Some(1)
+        );
+        assert_eq!(reg.counter(names::SERVE_SHUTDOWNS), Some(1));
+        assert_eq!(reg.counter(names::SERVE_SNAPSHOTS), Some(1));
+        assert_eq!(reg.counter(names::SERVE_RESTORES), Some(1));
+        assert_eq!(reg.gauge(names::SERVE_QUEUE_DEPTH), Some(2.0));
     }
 
     #[test]

@@ -1,0 +1,605 @@
+//! Versioned, checksummed, crash-safe server snapshots.
+//!
+//! A snapshot captures everything the serving layer needs to resume after
+//! a restart: the session counter, completed-session digests (the
+//! equivalence witnesses) and the queued sessions in FIFO order with their
+//! negotiated contracts. Plan/region state is deliberately *not*
+//! serialized — the deterministic core rebuilds it bit-identically from
+//! the workload, which is what makes the restore trace-equivalence proof
+//! possible at all.
+//!
+//! The format is a line-oriented text file: a header naming the version, a
+//! body of `key value...` lines, and an FNV-1a checksum footer over the
+//! body bytes. Floats are serialized as `to_bits` hex so a round trip is
+//! exact. Writes go through temp file + `fsync` + atomic rename (+ parent
+//! directory fsync), so a crash at any point leaves either the old
+//! snapshot or the new one — never a torn file; and a torn or tampered
+//! file never loads, because the header, version and checksum are all
+//! verified first.
+
+use caqe_contract::Contract;
+use std::fmt;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const HEADER: &str = "caqe-serve-snapshot";
+
+/// Serializable mirror of the Table 2 contract classes.
+///
+/// `Piecewise`/`Product` contracts never reach a snapshot: negotiation
+/// downgrades them at admission
+/// ([`NegotiationPolicy`](crate::NegotiationPolicy)).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ContractSpec {
+    /// C1 — hard deadline.
+    Deadline {
+        /// Hard deadline in virtual seconds.
+        t_hard: f64,
+    },
+    /// C2 — logarithmic decay.
+    LogDecay,
+    /// C3 — soft deadline.
+    SoftDeadline {
+        /// Decay start in virtual seconds.
+        t_soft: f64,
+    },
+    /// C4 — cardinality quota.
+    Quota {
+        /// Fraction due per interval.
+        frac: f64,
+        /// Interval in virtual seconds.
+        interval: f64,
+    },
+    /// C5 — quota × time hybrid.
+    Hybrid {
+        /// Fraction due per interval.
+        frac: f64,
+        /// Interval in virtual seconds.
+        interval: f64,
+    },
+}
+
+impl ContractSpec {
+    /// Captures a granted contract, or `None` for the classes negotiation
+    /// is required to have eliminated.
+    pub fn from_contract(c: &Contract) -> Option<ContractSpec> {
+        match c {
+            Contract::Deadline { t_hard } => Some(ContractSpec::Deadline { t_hard: *t_hard }),
+            Contract::LogDecay => Some(ContractSpec::LogDecay),
+            Contract::SoftDeadline { t_soft } => {
+                Some(ContractSpec::SoftDeadline { t_soft: *t_soft })
+            }
+            Contract::Quota { frac, interval } => Some(ContractSpec::Quota {
+                frac: *frac,
+                interval: *interval,
+            }),
+            Contract::Hybrid { frac, interval } => Some(ContractSpec::Hybrid {
+                frac: *frac,
+                interval: *interval,
+            }),
+            Contract::Piecewise { .. } | Contract::Product(..) => None,
+        }
+    }
+
+    /// Reconstructs the engine contract, exactly.
+    pub fn to_contract(&self) -> Contract {
+        match self {
+            ContractSpec::Deadline { t_hard } => Contract::Deadline { t_hard: *t_hard },
+            ContractSpec::LogDecay => Contract::LogDecay,
+            ContractSpec::SoftDeadline { t_soft } => Contract::SoftDeadline { t_soft: *t_soft },
+            ContractSpec::Quota { frac, interval } => Contract::Quota {
+                frac: *frac,
+                interval: *interval,
+            },
+            ContractSpec::Hybrid { frac, interval } => Contract::Hybrid {
+                frac: *frac,
+                interval: *interval,
+            },
+        }
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            ContractSpec::Deadline { t_hard } => {
+                let _ = write!(out, "deadline {:016x}", t_hard.to_bits());
+            }
+            ContractSpec::LogDecay => out.push_str("log_decay"),
+            ContractSpec::SoftDeadline { t_soft } => {
+                let _ = write!(out, "soft_deadline {:016x}", t_soft.to_bits());
+            }
+            ContractSpec::Quota { frac, interval } => {
+                let _ = write!(
+                    out,
+                    "quota {:016x} {:016x}",
+                    frac.to_bits(),
+                    interval.to_bits()
+                );
+            }
+            ContractSpec::Hybrid { frac, interval } => {
+                let _ = write!(
+                    out,
+                    "hybrid {:016x} {:016x}",
+                    frac.to_bits(),
+                    interval.to_bits()
+                );
+            }
+        }
+    }
+
+    fn parse(tokens: &[&str]) -> Result<ContractSpec, SnapshotError> {
+        let f = |t: &str| -> Result<f64, SnapshotError> {
+            u64::from_str_radix(t, 16)
+                .map(f64::from_bits)
+                .map_err(|_| corrupt(format!("bad float bits {t:?}")))
+        };
+        match tokens {
+            ["deadline", b] => Ok(ContractSpec::Deadline { t_hard: f(b)? }),
+            ["log_decay"] => Ok(ContractSpec::LogDecay),
+            ["soft_deadline", b] => Ok(ContractSpec::SoftDeadline { t_soft: f(b)? }),
+            ["quota", a, b] => Ok(ContractSpec::Quota {
+                frac: f(a)?,
+                interval: f(b)?,
+            }),
+            ["hybrid", a, b] => Ok(ContractSpec::Hybrid {
+                frac: f(a)?,
+                interval: f(b)?,
+            }),
+            other => Err(corrupt(format!("bad contract spec {other:?}"))),
+        }
+    }
+}
+
+/// One queued session as captured at shutdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionRecord {
+    /// Server-assigned session id.
+    pub id: u64,
+    /// Index into the server's prepared-statement catalog.
+    pub catalog: usize,
+    /// Query priority `pr_i ∈ [0, 1]`.
+    pub priority: f64,
+    /// The *negotiated* contract (what the server granted, not what the
+    /// client asked for).
+    pub contract: ContractSpec,
+}
+
+/// One completed session's observables, carried across restarts so
+/// `attach` keeps answering and equivalence stays checkable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedRecord {
+    /// Server-assigned session id.
+    pub id: u64,
+    /// [`RunOutcome`-style](caqe_core::RunOutcome::digest) per-session
+    /// digest of emissions + results.
+    pub digest: u64,
+    /// Final satisfaction.
+    pub satisfaction: f64,
+    /// Results emitted.
+    pub results: u64,
+}
+
+/// Everything a restarted server needs to continue the workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Format version (readers reject anything but [`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Next session id to assign.
+    pub next_session: u64,
+    /// Serving epochs completed before the shutdown.
+    pub epochs: u64,
+    /// Completed sessions, in completion order.
+    pub completed: Vec<CompletedRecord>,
+    /// Queued sessions, front of the queue first.
+    pub queued: Vec<SessionRecord>,
+}
+
+/// Why a snapshot failed to write or load.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file exists but is not a valid snapshot (torn write, bad
+    /// checksum, malformed body).
+    Corrupt {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A valid snapshot of a version this build does not speak.
+    Version {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The test-only crash hook fired before the atomic rename — the
+    /// snapshot at the target path is untouched.
+    SimulatedCrash,
+}
+
+fn corrupt(reason: String) -> SnapshotError {
+    SnapshotError::Corrupt { reason }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io error: {e}"),
+            SnapshotError::Corrupt { reason } => write!(f, "corrupt snapshot: {reason}"),
+            SnapshotError::Version { found } => write!(
+                f,
+                "unsupported snapshot version {found} (this build speaks {SNAPSHOT_VERSION})"
+            ),
+            SnapshotError::SimulatedCrash => {
+                write!(f, "simulated crash before rename (test hook)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Where the test-only crash hook interrupts
+/// [`write_snapshot_with_crash`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// No crash: the full temp-write → fsync → rename path runs.
+    None,
+    /// Crash after the temp file is written (and synced) but before the
+    /// atomic rename: simulates power loss at the worst moment. The
+    /// target path must be left untouched.
+    BeforeRename,
+    /// Crash mid-write: the temp file holds a truncated body. The target
+    /// path must be left untouched and the torn temp file must never
+    /// parse as a snapshot.
+    MidWrite,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Snapshot {
+    /// Serializes to the versioned text format (body + checksum footer).
+    pub fn to_text(&self) -> String {
+        let mut body = String::new();
+        let _ = writeln!(body, "{HEADER} v{}", self.version);
+        let _ = writeln!(body, "next_session {}", self.next_session);
+        let _ = writeln!(body, "epochs {}", self.epochs);
+        for c in &self.completed {
+            let _ = writeln!(
+                body,
+                "completed {} {:016x} {:016x} {}",
+                c.id,
+                c.digest,
+                c.satisfaction.to_bits(),
+                c.results
+            );
+        }
+        for s in &self.queued {
+            let mut line = format!(
+                "queued {} {} {:016x} ",
+                s.id,
+                s.catalog,
+                s.priority.to_bits()
+            );
+            s.contract.write_into(&mut line);
+            body.push_str(&line);
+            body.push('\n');
+        }
+        let checksum = fnv1a(body.as_bytes());
+        let _ = writeln!(body, "checksum {checksum:016x}");
+        body
+    }
+
+    /// Parses and verifies the text format (header, version, checksum,
+    /// body) — any deviation is a typed [`SnapshotError`], never a panic
+    /// and never a half-loaded snapshot.
+    pub fn from_text(text: &str) -> Result<Snapshot, SnapshotError> {
+        let body_end = text
+            .rfind("checksum ")
+            .ok_or_else(|| corrupt("missing checksum footer".to_string()))?;
+        let (body, footer) = text.split_at(body_end);
+        let footer = footer.trim_end();
+        let stated = footer
+            .strip_prefix("checksum ")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| corrupt(format!("bad checksum footer {footer:?}")))?;
+        let actual = fnv1a(body.as_bytes());
+        if stated != actual {
+            return Err(corrupt(format!(
+                "checksum mismatch: stated {stated:016x}, computed {actual:016x}"
+            )));
+        }
+        let mut lines = body.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| corrupt("empty snapshot".to_string()))?;
+        let version = header
+            .strip_prefix(HEADER)
+            .map(str::trim)
+            .and_then(|v| v.strip_prefix('v'))
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| corrupt(format!("bad header {header:?}")))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Version { found: version });
+        }
+        let mut snap = Snapshot {
+            version,
+            next_session: 0,
+            epochs: 0,
+            completed: Vec::new(),
+            queued: Vec::new(),
+        };
+        for line in lines {
+            let tokens: Vec<&str> = line.split_whitespace().collect();
+            match tokens.as_slice() {
+                ["next_session", v] => {
+                    snap.next_session = v
+                        .parse()
+                        .map_err(|_| corrupt(format!("bad line {line:?}")))?;
+                }
+                ["epochs", v] => {
+                    snap.epochs = v
+                        .parse()
+                        .map_err(|_| corrupt(format!("bad line {line:?}")))?;
+                }
+                ["completed", id, digest, sat, results] => {
+                    snap.completed.push(CompletedRecord {
+                        id: id
+                            .parse()
+                            .map_err(|_| corrupt(format!("bad line {line:?}")))?,
+                        digest: u64::from_str_radix(digest, 16)
+                            .map_err(|_| corrupt(format!("bad line {line:?}")))?,
+                        satisfaction: u64::from_str_radix(sat, 16)
+                            .map(f64::from_bits)
+                            .map_err(|_| corrupt(format!("bad line {line:?}")))?,
+                        results: results
+                            .parse()
+                            .map_err(|_| corrupt(format!("bad line {line:?}")))?,
+                    });
+                }
+                ["queued", id, catalog, priority, rest @ ..] => {
+                    snap.queued.push(SessionRecord {
+                        id: id
+                            .parse()
+                            .map_err(|_| corrupt(format!("bad line {line:?}")))?,
+                        catalog: catalog
+                            .parse()
+                            .map_err(|_| corrupt(format!("bad line {line:?}")))?,
+                        priority: u64::from_str_radix(priority, 16)
+                            .map(f64::from_bits)
+                            .map_err(|_| corrupt(format!("bad line {line:?}")))?,
+                        contract: ContractSpec::parse(rest)?,
+                    });
+                }
+                [] => {}
+                _ => return Err(corrupt(format!("unknown line {line:?}"))),
+            }
+        }
+        Ok(snap)
+    }
+}
+
+/// Crash-safely writes `snap` to `path`: temp file in the same directory,
+/// `write_all` + `sync_all`, atomic rename, parent-directory fsync.
+pub fn write_snapshot(path: &Path, snap: &Snapshot) -> Result<(), SnapshotError> {
+    write_snapshot_with_crash(path, snap, CrashPoint::None)
+}
+
+/// [`write_snapshot`] with a test hook that aborts at a chosen point, for
+/// proving that a crash mid-write never corrupts the snapshot at `path`.
+pub fn write_snapshot_with_crash(
+    path: &Path,
+    snap: &Snapshot,
+    crash: CrashPoint,
+) -> Result<(), SnapshotError> {
+    let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| corrupt("snapshot path has no file name".to_string()))?;
+    let tmp = path.with_file_name(format!("{}.tmp", file_name.to_string_lossy()));
+    let text = snap.to_text();
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        if crash == CrashPoint::MidWrite {
+            // Torn write: half the body, no checksum, then "power loss".
+            f.write_all(&text.as_bytes()[..text.len() / 2])?;
+            f.sync_all()?;
+            return Err(SnapshotError::SimulatedCrash);
+        }
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    if crash == CrashPoint::BeforeRename {
+        return Err(SnapshotError::SimulatedCrash);
+    }
+    std::fs::rename(&tmp, path)?;
+    if let Some(dir) = dir {
+        // Persist the rename itself: fsync the directory entry. Best
+        // effort — some filesystems refuse directory handles.
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Loads and fully verifies a snapshot; a file that fails *any* check
+/// (header, version, checksum, body grammar) yields a typed error and is
+/// never partially applied.
+pub fn load_snapshot(path: &Path) -> Result<Snapshot, SnapshotError> {
+    let text = std::fs::read_to_string(path)?;
+    Snapshot::from_text(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        Snapshot {
+            version: SNAPSHOT_VERSION,
+            next_session: 7,
+            epochs: 2,
+            completed: vec![
+                CompletedRecord {
+                    id: 0,
+                    digest: 0xdead_beef,
+                    satisfaction: 0.875,
+                    results: 41,
+                },
+                CompletedRecord {
+                    id: 1,
+                    digest: 0x1234,
+                    satisfaction: 1.0,
+                    results: 3,
+                },
+            ],
+            queued: vec![
+                SessionRecord {
+                    id: 5,
+                    catalog: 2,
+                    priority: 0.7,
+                    contract: ContractSpec::Deadline { t_hard: 30.0 },
+                },
+                SessionRecord {
+                    id: 6,
+                    catalog: 0,
+                    priority: 0.4,
+                    contract: ContractSpec::Hybrid {
+                        frac: 0.1,
+                        interval: 12.5,
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let s = sample();
+        let parsed = Snapshot::from_text(&s.to_text()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn every_contract_class_round_trips() {
+        for spec in [
+            ContractSpec::Deadline { t_hard: 0.1 + 0.2 },
+            ContractSpec::LogDecay,
+            ContractSpec::SoftDeadline { t_soft: 1e-300 },
+            ContractSpec::Quota {
+                frac: 0.1,
+                interval: 3.3,
+            },
+            ContractSpec::Hybrid {
+                frac: 0.1,
+                interval: 7.7,
+            },
+        ] {
+            let mut s = sample();
+            s.queued[0].contract = spec;
+            let parsed = Snapshot::from_text(&s.to_text()).unwrap();
+            assert_eq!(parsed.queued[0].contract, spec);
+            // And through the engine type and back, bit-exactly.
+            let c = spec.to_contract();
+            assert_eq!(ContractSpec::from_contract(&c), Some(spec));
+        }
+    }
+
+    #[test]
+    fn piecewise_and_product_are_not_serializable() {
+        use caqe_contract::Contract;
+        assert_eq!(
+            ContractSpec::from_contract(&Contract::Piecewise {
+                steps: vec![(1.0, 1.0)],
+                tail: 0.0,
+            }),
+            None
+        );
+        assert_eq!(
+            ContractSpec::from_contract(&Contract::Product(
+                Box::new(Contract::LogDecay),
+                Box::new(Contract::LogDecay),
+            )),
+            None
+        );
+    }
+
+    #[test]
+    fn corruption_is_always_detected() {
+        let text = sample().to_text();
+        // Flip one character anywhere in the body → checksum mismatch.
+        let mut flipped = text.clone().into_bytes();
+        flipped[HEADER.len() + 5] ^= 1;
+        let e = Snapshot::from_text(&String::from_utf8(flipped).unwrap()).unwrap_err();
+        assert!(matches!(e, SnapshotError::Corrupt { .. }), "{e}");
+        // Truncation → missing/invalid footer.
+        let e = Snapshot::from_text(&text[..text.len() / 2]).unwrap_err();
+        assert!(matches!(e, SnapshotError::Corrupt { .. }), "{e}");
+        // Empty file.
+        let e = Snapshot::from_text("").unwrap_err();
+        assert!(matches!(e, SnapshotError::Corrupt { .. }), "{e}");
+    }
+
+    #[test]
+    fn future_versions_are_rejected_with_a_typed_error() {
+        let text = sample().to_text().replace(
+            &format!("{HEADER} v{SNAPSHOT_VERSION}"),
+            &format!("{HEADER} v99"),
+        );
+        // Re-seal the tampered body so only the version check can fail.
+        let body_end = text.rfind("checksum ").unwrap();
+        let body = &text[..body_end];
+        let resealed = format!("{body}checksum {:016x}\n", fnv1a(body.as_bytes()));
+        match Snapshot::from_text(&resealed).unwrap_err() {
+            SnapshotError::Version { found } => assert_eq!(found, 99),
+            other => panic!("expected Version error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn write_is_atomic_and_crash_leaves_old_snapshot_intact() {
+        let dir = std::env::temp_dir().join(format!("caqe_snap_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("server.snapshot");
+
+        // First write succeeds and loads back.
+        let old = sample();
+        write_snapshot(&path, &old).unwrap();
+        assert_eq!(load_snapshot(&path).unwrap(), old);
+
+        // A crash before rename leaves the old snapshot untouched.
+        let mut new = sample();
+        new.next_session = 99;
+        let e = write_snapshot_with_crash(&path, &new, CrashPoint::BeforeRename).unwrap_err();
+        assert!(matches!(e, SnapshotError::SimulatedCrash));
+        assert_eq!(load_snapshot(&path).unwrap(), old, "old snapshot survives");
+
+        // A torn mid-write crash also leaves the old snapshot untouched,
+        // and the torn temp file never parses as a snapshot.
+        let e = write_snapshot_with_crash(&path, &new, CrashPoint::MidWrite).unwrap_err();
+        assert!(matches!(e, SnapshotError::SimulatedCrash));
+        assert_eq!(load_snapshot(&path).unwrap(), old);
+        let tmp = dir.join("server.snapshot.tmp");
+        assert!(load_snapshot(&tmp).is_err(), "torn temp file must not load");
+
+        // A clean retry completes the update.
+        write_snapshot(&path, &new).unwrap();
+        assert_eq!(load_snapshot(&path).unwrap().next_session, 99);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

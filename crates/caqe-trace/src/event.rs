@@ -170,6 +170,41 @@ pub enum TraceEvent {
         /// remaining consumer.
         regions_retired: u32,
     },
+    /// The serving layer refused a submission: the admission queue was at
+    /// its bound or the shed signal was active. Emitted by the wall-clock
+    /// driver (`caqe-serve`), never by the deterministic core.
+    AdmissionReject {
+        tick: Ticks,
+        /// Server-assigned session identifier of the rejected submission.
+        session: u64,
+        /// Why it was refused: `"full"` (queue at bound) or `"shed"`
+        /// (degradation floor breached).
+        reason: &'static str,
+        /// Queue depth observed at rejection time.
+        depth: u32,
+        /// Configured queue bound.
+        bound: u32,
+    },
+    /// The serving layer drained its queue into a snapshot and stopped.
+    ServerShutdown {
+        tick: Ticks,
+        /// Sessions still queued (captured into the snapshot).
+        queued: u32,
+        /// Sessions completed before the shutdown.
+        drained: u32,
+        /// Snapshot format version written.
+        snapshot_version: u32,
+    },
+    /// The serving layer restored queued sessions from a snapshot.
+    ServerRestore {
+        tick: Ticks,
+        /// Snapshot format version read.
+        snapshot_version: u32,
+        /// Sessions re-queued from the snapshot.
+        queued: u32,
+        /// Sessions already recorded complete at snapshot time.
+        completed: u32,
+    },
     /// Ingestion validation summary for one input table. Only emitted when
     /// a fault plan is active or violations were found.
     IngestAudit {
@@ -215,6 +250,9 @@ impl TraceEvent {
             TraceEvent::RegionShed { tick, .. } => *tick += base,
             TraceEvent::Admit { tick, .. } => *tick += base,
             TraceEvent::Depart { tick, .. } => *tick += base,
+            TraceEvent::AdmissionReject { tick, .. } => *tick += base,
+            TraceEvent::ServerShutdown { tick, .. } => *tick += base,
+            TraceEvent::ServerRestore { tick, .. } => *tick += base,
             TraceEvent::IngestAudit { tick, .. } => *tick += base,
         }
     }
@@ -233,6 +271,9 @@ impl TraceEvent {
             TraceEvent::RegionShed { tick, .. } => *tick,
             TraceEvent::Admit { tick, .. } => *tick,
             TraceEvent::Depart { tick, .. } => *tick,
+            TraceEvent::AdmissionReject { tick, .. } => *tick,
+            TraceEvent::ServerShutdown { tick, .. } => *tick,
+            TraceEvent::ServerRestore { tick, .. } => *tick,
             TraceEvent::IngestAudit { tick, .. } => *tick,
         }
     }
@@ -274,6 +315,34 @@ mod tests {
         };
         ev.offset_ticks(13);
         assert_eq!(ev.tick(), 20);
+    }
+
+    #[test]
+    fn serving_events_offset_and_tick() {
+        let mut ev = TraceEvent::AdmissionReject {
+            tick: 5,
+            session: 9,
+            reason: "full",
+            depth: 8,
+            bound: 8,
+        };
+        ev.offset_ticks(10);
+        assert_eq!(ev.tick(), 15);
+        let mut ev = TraceEvent::ServerShutdown {
+            tick: 100,
+            queued: 3,
+            drained: 7,
+            snapshot_version: 1,
+        };
+        ev.offset_ticks(1);
+        assert_eq!(ev.tick(), 101);
+        let ev = TraceEvent::ServerRestore {
+            tick: 0,
+            snapshot_version: 1,
+            queued: 3,
+            completed: 7,
+        };
+        assert_eq!(ev.tick(), 0);
     }
 
     #[test]

@@ -202,6 +202,36 @@ pub fn event_json(ev: &TraceEvent) -> String {
         } => format!(
             "{{\"ev\":\"depart\",\"tick\":{tick},\"query\":{query},\"regions_retired\":{regions_retired}}}"
         ),
+        TraceEvent::AdmissionReject {
+            tick,
+            session,
+            reason,
+            depth,
+            bound,
+        } => format!(
+            "{{\"ev\":\"reject\",\"tick\":{},\"session\":{},\"reason\":{},\"depth\":{},\"bound\":{}}}",
+            tick,
+            session,
+            json_str(reason),
+            depth,
+            bound
+        ),
+        TraceEvent::ServerShutdown {
+            tick,
+            queued,
+            drained,
+            snapshot_version,
+        } => format!(
+            "{{\"ev\":\"shutdown\",\"tick\":{tick},\"queued\":{queued},\"drained\":{drained},\"snapshot_version\":{snapshot_version}}}"
+        ),
+        TraceEvent::ServerRestore {
+            tick,
+            snapshot_version,
+            queued,
+            completed,
+        } => format!(
+            "{{\"ev\":\"restore\",\"tick\":{tick},\"snapshot_version\":{snapshot_version},\"queued\":{queued},\"completed\":{completed}}}"
+        ),
         TraceEvent::IngestAudit {
             tick,
             table,
@@ -544,6 +574,36 @@ mod tests {
         };
         ev.offset_ticks(5);
         assert_eq!(ev.tick(), 15);
+    }
+
+    #[test]
+    fn serving_events_serialize_with_stable_kinds() {
+        let reject = event_json(&TraceEvent::AdmissionReject {
+            tick: 12,
+            session: 7,
+            reason: "full",
+            depth: 8,
+            bound: 8,
+        });
+        assert!(reject.contains("\"ev\":\"reject\""), "{reject}");
+        assert!(reject.contains("\"reason\":\"full\""));
+        assert!(reject.contains("\"depth\":8") && reject.contains("\"bound\":8"));
+        let shutdown = event_json(&TraceEvent::ServerShutdown {
+            tick: 90,
+            queued: 2,
+            drained: 5,
+            snapshot_version: 1,
+        });
+        assert!(shutdown.contains("\"ev\":\"shutdown\""), "{shutdown}");
+        assert!(shutdown.contains("\"snapshot_version\":1"));
+        let restore = event_json(&TraceEvent::ServerRestore {
+            tick: 0,
+            snapshot_version: 1,
+            queued: 2,
+            completed: 5,
+        });
+        assert!(restore.contains("\"ev\":\"restore\""), "{restore}");
+        assert!(restore.contains("\"queued\":2") && restore.contains("\"completed\":5"));
     }
 
     #[test]

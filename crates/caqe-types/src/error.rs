@@ -61,6 +61,18 @@ pub enum EngineError {
     },
 }
 
+impl EngineError {
+    /// Whether a wall-clock driver should retry the run that produced this
+    /// error. [`RegionFailed`](EngineError::RegionFailed) reports exhausted
+    /// in-run recovery of a panicking processing unit — under real (non
+    /// seeded-chaos) conditions that is environmental and worth re-running.
+    /// Everything else describes the *request* (malformed input, workload
+    /// or spec) and will fail identically on every attempt.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, EngineError::RegionFailed { .. })
+    }
+}
+
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -128,6 +140,31 @@ mod tests {
             reason: "tick must be an integer".into(),
         };
         assert!(e.to_string().contains("admit@x"));
+    }
+
+    #[test]
+    fn only_region_failures_are_transient() {
+        assert!(EngineError::RegionFailed {
+            group: 0,
+            region: 1,
+            attempts: 3,
+        }
+        .is_transient());
+        assert!(!EngineError::InvalidWorkload {
+            reason: "empty".into(),
+        }
+        .is_transient());
+        assert!(!EngineError::BadEventSpec {
+            fragment: "depart@1=9".into(),
+            reason: "unknown query".into(),
+        }
+        .is_transient());
+        assert!(!EngineError::CorruptInput {
+            table: "R".into(),
+            non_finite: 1,
+            duplicates: 0,
+        }
+        .is_transient());
     }
 
     #[test]

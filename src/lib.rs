@@ -56,3 +56,7 @@ pub use caqe_parallel as parallel;
 /// Live observability: deterministic metrics registry, contract-SLO
 /// monitor, phase profiler and exporters.
 pub use caqe_obs as obs;
+
+/// Wall-clock serving layer: session front door, admission control,
+/// deadline watchdogs and crash-safe snapshot/restore.
+pub use caqe_serve as serve;

@@ -434,6 +434,141 @@ fn admission_faults_delay_but_never_desync() {
     }
 }
 
+/// Satellite: `BadEventSpec` must render both the offending fragment and
+/// a reason a user can act on — CI logs are where these surface.
+#[test]
+fn bad_event_specs_render_fragment_and_reason() {
+    let pool = workload().queries().to_vec();
+    for (spec, fragment, reason) in [
+        ("admit@500", "admit@500", "expected key=value"),
+        ("admit500=0", "admit500=0", "expected kind@tick"),
+        ("admit@soon=0", "admit@soon=0", "tick must be a u64"),
+        ("admit@500=99", "admit@500=99", "pool index out of range"),
+        ("retire@500=0", "retire@500=0", "unknown event kind"),
+        ("depart@500=x", "depart@500=x", "query id must be a u16"),
+    ] {
+        match EventStream::parse(spec, &pool) {
+            Err(e @ caqe::types::EngineError::BadEventSpec { .. }) => {
+                let rendered = e.to_string();
+                assert!(
+                    rendered.contains(fragment) && rendered.contains(reason),
+                    "spec {spec:?} rendered as {rendered:?}, wanted fragment \
+                     {fragment:?} and reason {reason:?}"
+                );
+            }
+            other => panic!("spec {spec:?}: expected BadEventSpec, got {other:?}"),
+        }
+    }
+}
+
+/// Satellite: admitting the same pool spec twice creates two *distinct*
+/// live queries — separate ids in the trace, separate result sets — and
+/// departing one copy leaves the other emitting.
+#[test]
+fn duplicate_admit_creates_distinct_live_queries() {
+    let w = workload();
+    let pool = w.queries().to_vec();
+    let (r, t) = tables(400, Distribution::Independent, 7);
+    let exec = ExecConfig::default().with_target_cells(400, 8);
+    // Same pool entry admitted twice; the first copy (global id 3) departs
+    // later, the second (id 4) stays live to the end.
+    let events =
+        EventStream::parse("admit@100=0,admit@200=0,depart@2000000=3", &pool).expect("valid spec");
+    let mut sink = RecordingSink::new();
+    let out = try_run_engine_online_traced(
+        "CAQE",
+        &r,
+        &t,
+        &w,
+        &events,
+        &exec,
+        &EngineConfig::caqe(),
+        0,
+        &mut sink,
+    )
+    .expect("clean input");
+    assert_eq!(out.per_query.len(), 5, "3 initial + 2 duplicate admits");
+    let admitted: Vec<u16> = sink
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Admit { query, .. } => Some(*query),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(admitted, vec![3, 4], "duplicate admits must get fresh ids");
+    assert!(
+        out.per_query[4].count() > 0,
+        "surviving duplicate emitted nothing"
+    );
+    // The two copies ran the same spec: identical final result sets, held
+    // independently (departure of one did not drain the other).
+    assert_eq!(
+        sorted_results(&out, 3),
+        sorted_results(&out, 4),
+        "duplicate admissions of one spec diverged"
+    );
+}
+
+/// Satellite: at an equal tick, departures apply before admissions — the
+/// trace shows the depart first, and a depart targeting the id being
+/// admitted at that very tick is rejected up front by `validate`.
+#[test]
+fn equal_tick_departs_apply_before_admits() {
+    let w = workload();
+    let pool = w.queries().to_vec();
+    let (r, t) = tables(400, Distribution::Independent, 7);
+    let exec = ExecConfig::default().with_target_cells(400, 8);
+    let tick = 500_000u64;
+    let events =
+        EventStream::parse(&format!("admit@{tick}=0,depart@{tick}=1"), &pool).expect("valid spec");
+    // The stream itself already orders the depart first.
+    assert!(
+        matches!(events.events()[0], SessionEvent::Depart { .. }),
+        "tie-break must order the depart before the admit"
+    );
+    let mut sink = RecordingSink::new();
+    try_run_engine_online_traced(
+        "CAQE",
+        &r,
+        &t,
+        &w,
+        &events,
+        &exec,
+        &EngineConfig::caqe(),
+        0,
+        &mut sink,
+    )
+    .expect("clean input");
+    let order: Vec<&'static str> = sink
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Admit { .. } => Some("admit"),
+            TraceEvent::Depart { .. } => Some("depart"),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        order,
+        vec!["depart", "admit"],
+        "equal-tick depart must be applied (and traced) before the admit"
+    );
+    // Departing the id the admit itself creates at the same tick is
+    // unsatisfiable under that ordering: typed error, not a hang.
+    let bad =
+        EventStream::parse(&format!("admit@{tick}=0,depart@{tick}=3"), &pool).expect("parses fine");
+    match bad.validate(w.len()) {
+        Err(caqe::types::EngineError::BadEventSpec { reason, .. }) => {
+            assert!(
+                reason.contains("departures apply before admissions"),
+                "reason: {reason}"
+            );
+        }
+        other => panic!("expected BadEventSpec, got {other:?}"),
+    }
+}
+
 #[test]
 fn bad_departures_surface_typed_errors() {
     let w = workload();
