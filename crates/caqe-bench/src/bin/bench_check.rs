@@ -33,6 +33,12 @@
 //!    `queue_bound >= 1` with `queue_depth_peak <= queue_bound` (the
 //!    admission bound must demonstrably hold in the committed run), and a
 //!    finite `*retention*` key (SLO retention under chaos is the headline).
+//!    Additionally, any artifact claiming `*restore_identical: true` must
+//!    commit the digest pair the claim compared: at least two `*digest*`
+//!    keys, two of which are equal — an equivalence claim without its
+//!    witnesses is unverifiable. `measures: "warm-start"` artifacts must
+//!    commit both arms' wall times (`cold_build_wall_seconds`,
+//!    `warm_load_wall_seconds`) and carry the `restore_identical` claim.
 //!
 //! Any violation prints `FAIL` with the reason and exits non-zero.
 
@@ -175,6 +181,58 @@ fn validate(v: &JsonValue) -> Vec<String> {
             .any(|(k, val)| k.contains("retention") && val.as_f64().is_some_and(f64::is_finite));
         if !retention {
             problems.push("serving artifact has no finite `*retention*` key".to_string());
+        }
+    }
+    // Layer 4 (continued): an identity claim must carry its witnesses.
+    // A true `*restore_identical` asserts that a digest comparison held;
+    // the compared pair must be committed (as strings or integers) and
+    // must actually agree — otherwise the claim is unverifiable.
+    let claims_restore = map
+        .iter()
+        .any(|(k, val)| k.ends_with("restore_identical") && matches!(val, JsonValue::Bool(true)));
+    if claims_restore {
+        let digests: Vec<String> = map
+            .iter()
+            .filter(|(k, _)| k.contains("digest"))
+            .filter_map(|(_, val)| {
+                val.as_str()
+                    .map(str::to_string)
+                    .or_else(|| as_uint(val).map(|u| u.to_string()))
+            })
+            .collect();
+        if digests.len() < 2 {
+            problems.push(
+                "`restore_identical` is true but the compared `*digest*` pair is not committed"
+                    .to_string(),
+            );
+        } else if !digests
+            .iter()
+            .enumerate()
+            .any(|(i, a)| digests[i + 1..].iter().any(|b| a == b))
+        {
+            problems.push(
+                "`restore_identical` is true but no two committed `*digest*` values agree"
+                    .to_string(),
+            );
+        }
+    }
+    // Warm-start artifacts price a rebuild avoided: both arms' wall times
+    // must be committed so the speedup is auditable from the raw numbers.
+    if v["measures"].as_str() == Some("warm-start") {
+        for key in ["cold_build_wall_seconds", "warm_load_wall_seconds"] {
+            match v[key].as_f64() {
+                Some(s) if s.is_finite() && s > 0.0 => {}
+                _ => problems.push(format!(
+                    "warm-start artifact missing finite positive number key `{key}`"
+                )),
+            }
+        }
+        if !claims_restore {
+            problems.push(
+                "warm-start artifact must claim `restore_identical: true` (the warm arm must \
+                 prove it reproduced the cold arm before its time can be compared)"
+                    .to_string(),
+            );
         }
     }
     problems

@@ -1,0 +1,204 @@
+//! Warm-start benchmark for PR 10 (`BENCH_PR10.json`): prices the
+//! cold-restart rebuild gap that the on-disk plan snapshot (DESIGN.md §19)
+//! closes, and proves the warm arm is *observationally free* in the same
+//! artifact.
+//!
+//! Two arms over the same inputs, one JSON object:
+//!
+//! * **Cold** — `PreparedPlan::build` + per-group memoization from raw
+//!   tables, timed best-of-`--reps`; the resulting plan is written to disk
+//!   through the crash-safe snapshot path.
+//! * **Warm** — `PreparedPlan::load` parses, checksums and revalidates the
+//!   snapshot against the live tables, timed best-of-`--reps`.
+//!
+//! The headline `warm_start_speedup` is the exact ratio of the two
+//! committed wall times. The honesty witness: both arms drive a full
+//! traced engine run and the artifact commits the FNV-1a digest of each
+//! trace — `restore_identical` is true only if the warm trace is
+//! byte-identical to the cold one.
+//!
+//! ```text
+//! cargo run --release -p caqe-bench --bin bench_pr10 -- [--n <rows>]
+//!     [--reps <r>] [--out <path>]
+//! ```
+
+use caqe_bench::json::ObjectWriter;
+use caqe_bench::report::{cli_arg, cli_parse};
+use caqe_bench::ExperimentConfig;
+use caqe_core::{
+    try_run_engine_online_prepared, EngineConfig, EventStream, ExecConfig, PreparedPlan,
+    SchedulingPolicy, Workload,
+};
+use caqe_data::{Distribution, Table};
+use caqe_trace::{to_jsonl, RecordingSink};
+use std::num::NonZeroUsize;
+use std::time::Instant;
+
+/// FNV-1a over a trace's JSONL bytes: the committed witness behind the
+/// `restore_identical` claim.
+fn trace_digest(jsonl: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in jsonl.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Builds and memoizes the plan exactly as `CaqeServer::build_plan` does
+/// for a single-shot workload.
+fn cold_build(
+    r: &Table,
+    t: &Table,
+    w: &Workload,
+    exec: &ExecConfig,
+    eng: &EngineConfig,
+) -> PreparedPlan {
+    let needs_dg =
+        eng.progressive_emission || eng.dominance_discard || eng.policy != SchedulingPolicy::Fifo;
+    let mut plan = PreparedPlan::build(r, t, exec);
+    plan.memoize(w, exec, eng.coarse_pruning, needs_dg, false);
+    plan
+}
+
+/// One traced engine run, optionally warm-started, serialized to JSONL.
+fn run_jsonl(
+    r: &Table,
+    t: &Table,
+    w: &Workload,
+    exec: &ExecConfig,
+    eng: &EngineConfig,
+    plan: Option<&PreparedPlan>,
+) -> String {
+    let mut sink = RecordingSink::new();
+    let out = try_run_engine_online_prepared(
+        "CAQE",
+        r,
+        t,
+        w,
+        &EventStream::empty(),
+        exec,
+        eng,
+        0,
+        plan,
+        &mut sink,
+    );
+    match out {
+        Ok(out) if out.total_results() > 0 => {}
+        Ok(_) => {
+            eprintln!("degenerate workload: no results");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("engine run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    to_jsonl(sink.events())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n: usize = cli_parse(&args, "--n", 3000);
+    let cells: usize = cli_parse(&args, "--cells", 32);
+    let reps: usize = cli_parse(&args, "--reps", 3).max(1);
+    let out_path = cli_arg(&args, "--out").unwrap_or_else(|| "BENCH_PR10.json".to_string());
+
+    // Anti-correlated attributes maximize skyline sizes, which is exactly
+    // the work the memoized plan lets a restart skip: the cold arm pays
+    // for dominance compute, the warm arm only pays for parsing.
+    let mut cfg = ExperimentConfig::new(Distribution::Anticorrelated, 2);
+    cfg.n = n;
+    cfg.cells_per_table = cells;
+    let (r, t) = cfg.tables();
+    let w = cfg.workload();
+    let exec = cfg.exec();
+    let eng = EngineConfig::caqe();
+
+    // Cold arm: full partition + per-group build from raw tables.
+    let mut cold_secs = f64::INFINITY;
+    let mut plan = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let built = cold_build(&r, &t, &w, &exec, &eng);
+        cold_secs = cold_secs.min(start.elapsed().as_secs_f64());
+        plan = Some(built);
+    }
+    let Some(plan) = plan else {
+        unreachable!("reps >= 1")
+    };
+
+    // Persist through the crash-safe path, then time the warm arm: parse,
+    // checksum, staleness fingerprints, structural revalidation.
+    let plan_path =
+        std::env::temp_dir().join(format!("bench_pr10_{}.caqeplan", std::process::id()));
+    if let Err(e) = plan.save(&plan_path) {
+        eprintln!("plan save failed: {e}");
+        std::process::exit(1);
+    }
+    let plan_bytes = std::fs::metadata(&plan_path).map(|m| m.len()).unwrap_or(0);
+    let mut warm_secs = f64::INFINITY;
+    let mut restored = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        match PreparedPlan::load(&plan_path, &r, &t, &exec) {
+            Ok(p) => {
+                warm_secs = warm_secs.min(start.elapsed().as_secs_f64());
+                restored = Some(p);
+            }
+            Err(e) => {
+                eprintln!("plan load failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let _ = std::fs::remove_file(&plan_path);
+    let Some(restored) = restored else {
+        unreachable!("reps >= 1")
+    };
+
+    // Honesty: the warm run must be byte-identical to the cold run.
+    let cold_trace = run_jsonl(&r, &t, &w, &exec, &eng, None);
+    let warm_trace = run_jsonl(&r, &t, &w, &exec, &eng, Some(&restored));
+    let restore_identical = cold_trace == warm_trace;
+    if !restore_identical {
+        eprintln!("warm-start trace diverged from the cold run — the memo replay is broken");
+        std::process::exit(1);
+    }
+
+    let speedup = cold_secs / warm_secs;
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut obj = ObjectWriter::new();
+    obj.string("bench", "bench_pr10")
+        .uint("n", n as u64)
+        .uint("queries", w.queries().len() as u64)
+        .uint("host_cores", cores as u64)
+        .uint("reps", reps as u64)
+        .string("measures", "warm-start")
+        .number("cold_build_wall_seconds", cold_secs)
+        .number("warm_load_wall_seconds", warm_secs)
+        .number("warm_start_speedup", speedup)
+        .uint("plan_file_bytes", plan_bytes)
+        .uint("plan_groups", plan.memos.len() as u64)
+        .bool("restore_identical", restore_identical)
+        .string(
+            "cold_trace_digest",
+            &format!("{:016x}", trace_digest(&cold_trace)),
+        )
+        .string(
+            "warm_trace_digest",
+            &format!("{:016x}", trace_digest(&warm_trace)),
+        );
+    let json = obj.finish();
+    if let Err(e) = std::fs::write(&out_path, format!("{json}\n")) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    println!(
+        "warm-start: cold build {cold_secs:.4}s vs warm load {warm_secs:.4}s — {speedup:.1}x; \
+         {} groups, {plan_bytes} bytes on disk, traces identical ({out_path})",
+        plan.memos.len()
+    );
+}

@@ -75,6 +75,19 @@ fn loaded_server(inp: &Inputs, serve: ServeConfig, sessions: usize) -> CaqeServe
     server
 }
 
+/// Order-sensitive FNV-1a fold over a run's sorted per-session digest
+/// pairs: the committed witness behind the `restore_identical` claim.
+fn sessions_digest(sessions: &[(u64, u64)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &(id, d) in sessions {
+        for b in id.to_le_bytes().into_iter().chain(d.to_le_bytes()) {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+    h
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let n: usize = cli_parse(&args, "--n", 600);
@@ -150,7 +163,8 @@ fn main() {
         }
     };
     restored.drain();
-    let restore_identical = restored.session_digests() == baseline_digests;
+    let restored_digests = restored.session_digests();
+    let restore_identical = restored_digests == baseline_digests;
     let _ = std::fs::remove_file(&snap_path);
     if !restore_identical {
         eprintln!("restored run's digests diverged from the uninterrupted run");
@@ -212,6 +226,14 @@ fn main() {
         .uint("snapshot_completed", snap.completed.len() as u64)
         .uint("snapshot_queued", snap.queued.len() as u64)
         .bool("restore_identical", restore_identical)
+        .string(
+            "baseline_sessions_digest",
+            &format!("{:016x}", sessions_digest(&baseline_digests)),
+        )
+        .string(
+            "restored_sessions_digest",
+            &format!("{:016x}", sessions_digest(&restored_digests)),
+        )
         .bool("deterministic", deterministic)
         .uint("soak_clients", clients as u64)
         .uint("soak_submits_per_client", submits as u64)

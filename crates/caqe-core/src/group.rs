@@ -71,6 +71,79 @@ impl JoinGroup {
     }
 }
 
+/// A memoized group build: everything a cold [`build_one_group`] produced
+/// that is expensive to recompute, plus the exact tick and counter deltas
+/// it charged — replaying a memo leaves the clock, stats and trace in the
+/// same state as rebuilding would.
+///
+/// The key is the full tuple `(join_col, mapping, queries, coarse_pruning,
+/// build_dg, keep_empty)`: a memo only ever replays for the group build it
+/// was recorded from.
+#[derive(Debug, Clone)]
+pub struct GroupMemo {
+    /// The group's shared join column.
+    pub join_col: usize,
+    /// The group's shared mapping functions.
+    pub mapping: MappingSet,
+    /// Member `(global id, preference)` pairs, in group-local order.
+    pub queries: Vec<(QueryId, DimMask)>,
+    /// Whether the look-ahead coarse skyline ran during the build.
+    pub coarse_pruning: bool,
+    /// Whether the dependency graph was materialized.
+    pub build_dg: bool,
+    /// Whether empty regions were kept as revivable husks (session mode).
+    pub keep_empty: bool,
+    /// The built region set (post-look-ahead state).
+    pub regions: RegionSet,
+    /// Threat in-edges; the full graph is reconstructed by transposition.
+    pub threats_in: Vec<Vec<Edge>>,
+    /// Structural digest of the min-max cuboid the preferences imply,
+    /// cross-checked when a persisted memo is loaded.
+    pub cuboid_digest: u64,
+    /// Virtual ticks the cold build charged.
+    pub ticks: u64,
+    /// Counter deltas the cold build charged (per-query stats untouched).
+    pub stats: Stats,
+}
+
+impl GroupMemo {
+    /// Whether this memo was recorded for exactly this group build.
+    pub fn matches(
+        &self,
+        join_col: usize,
+        mapping: &MappingSet,
+        queries: &[(QueryId, DimMask)],
+        coarse_pruning: bool,
+        build_dg: bool,
+        keep_empty: bool,
+    ) -> bool {
+        self.join_col == join_col
+            && self.coarse_pruning == coarse_pruning
+            && self.build_dg == build_dg
+            && self.keep_empty == keep_empty
+            && self.queries == queries
+            && self.mapping == *mapping
+    }
+}
+
+/// Partitions the workload into join groups by `(join column, mapping)`,
+/// preserving first-appearance order — the grouping every build and memo
+/// path must agree on.
+pub(crate) fn group_workload(workload: &Workload) -> Vec<(usize, MappingSet, Vec<QueryId>)> {
+    let mut groups: Vec<(usize, MappingSet, Vec<QueryId>)> = Vec::new();
+    for (i, q) in workload.queries().iter().enumerate() {
+        let qid = QueryId(i as u16);
+        match groups
+            .iter_mut()
+            .find(|(col, m, _)| *col == q.join_col && *m == q.mapping)
+        {
+            Some((_, _, members)) => members.push(qid),
+            None => groups.push((q.join_col, q.mapping.clone(), vec![qid])),
+        }
+    }
+    groups
+}
+
 /// Groups the workload's queries and builds per-group shared state.
 ///
 /// `coarse_pruning` controls whether the look-ahead coarse skyline runs
@@ -102,18 +175,45 @@ pub fn build_groups<S: TraceSink>(
     stats: &mut Stats,
     sink: &mut S,
 ) -> Vec<JoinGroup> {
+    build_groups_with_memos(
+        workload,
+        part_r,
+        part_t,
+        exec,
+        coarse_pruning,
+        build_dg,
+        keep_empty,
+        &[],
+        threads,
+        clock,
+        stats,
+        sink,
+    )
+}
+
+/// [`build_groups`] with a memo slice from a warm-started
+/// [`crate::plan::PreparedPlan`]: a group whose full key matches a memo is
+/// *replayed* (clock advanced by the recorded ticks, counters re-applied,
+/// identical spans recorded, state cloned) instead of rebuilt. Groups
+/// without a memo go through the cold path — mixing is safe because memos
+/// carry their exact deltas.
+#[allow(clippy::too_many_arguments)] // one engine toggle per argument
+pub(crate) fn build_groups_with_memos<S: TraceSink>(
+    workload: &Workload,
+    part_r: &Partitioning,
+    part_t: &Partitioning,
+    exec: &ExecConfig,
+    coarse_pruning: bool,
+    build_dg: bool,
+    keep_empty: bool,
+    memos: &[GroupMemo],
+    threads: Threads,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+    sink: &mut S,
+) -> Vec<JoinGroup> {
     // Group by (join column, mapping functions).
-    let mut groups: Vec<(usize, MappingSet, Vec<QueryId>)> = Vec::new();
-    for (i, q) in workload.queries().iter().enumerate() {
-        let qid = QueryId(i as u16);
-        match groups
-            .iter_mut()
-            .find(|(col, m, _)| *col == q.join_col && *m == q.mapping)
-        {
-            Some((_, _, members)) => members.push(qid),
-            None => groups.push((q.join_col, q.mapping.clone(), vec![qid])),
-        }
-    }
+    let groups = group_workload(workload);
 
     let model = *clock.model();
     let built = caqe_parallel::map_ordered(threads, groups, |gi, (join_col, mapping, members)| {
@@ -124,21 +224,34 @@ pub fn build_groups<S: TraceSink>(
             .iter()
             .map(|&q| (q, workload.query(q).pref))
             .collect();
-        let group = build_one_group(
-            part_r,
-            part_t,
-            exec,
-            coarse_pruning,
-            build_dg,
-            keep_empty,
-            gi as u32,
-            join_col,
-            mapping,
-            queries,
-            &mut wclock,
-            &mut wstats,
-            &mut buf,
-        );
+        let memo = memos.iter().find(|m| {
+            m.matches(
+                join_col,
+                &mapping,
+                &queries,
+                coarse_pruning,
+                build_dg,
+                keep_empty,
+            )
+        });
+        let group = match memo {
+            Some(m) => replay_group(m, exec, gi as u32, &mut wclock, &mut wstats, &mut buf),
+            None => build_one_group(
+                part_r,
+                part_t,
+                exec,
+                coarse_pruning,
+                build_dg,
+                keep_empty,
+                gi as u32,
+                join_col,
+                mapping,
+                queries,
+                &mut wclock,
+                &mut wstats,
+                &mut buf,
+            ),
+        };
         buf.record(TraceEvent::Span {
             kind: SpanKind::GroupBuild,
             group: Some(gi as u32),
@@ -226,6 +339,67 @@ pub(crate) fn build_one_group(
     JoinGroup {
         join_col,
         mapping,
+        members,
+        regions,
+        dg,
+        static_threats_in,
+        static_threats_out,
+        plan,
+        arena: Vec::new(),
+        points,
+        prog_cache,
+    }
+}
+
+/// Replays a memoized group build: charges the recorded tick/counter
+/// deltas, records the same `LookAhead` span the cold build would, and
+/// instantiates the group from the memo's persisted structures. The only
+/// recomputed pieces — the dependency-graph transpose, the min-max cuboid
+/// and the signature cache — are pure functions of the stored state, so
+/// the resulting group is indistinguishable from a cold build.
+pub(crate) fn replay_group(
+    memo: &GroupMemo,
+    exec: &ExecConfig,
+    gi: u32,
+    clock: &mut SimClock,
+    stats: &mut Stats,
+    buf: &mut TraceBuffer,
+) -> JoinGroup {
+    let la_start = clock.ticks();
+    clock.advance(memo.ticks);
+    *stats += memo.stats.clone();
+    buf.record(TraceEvent::Span {
+        kind: SpanKind::LookAhead,
+        group: Some(gi),
+        region: None,
+        start_tick: la_start,
+        end_tick: clock.ticks(),
+    });
+    let members: Vec<QueryId> = memo.queries.iter().map(|(q, _)| *q).collect();
+    let regions = memo.regions.clone();
+    let dg = DependencyGraph::from_threats_in(memo.threats_in.clone());
+    let static_threats_in = (0..regions.len())
+        .map(|i| dg.threats_in(caqe_types::RegionId(i as u32)).to_vec())
+        .collect();
+    let static_threats_out = (0..regions.len())
+        .map(|i| dg.threats_out(caqe_types::RegionId(i as u32)).to_vec())
+        .collect();
+    let prefs: Vec<DimMask> = memo.queries.iter().map(|(_, m)| *m).collect();
+    let cuboid = MinMaxCuboid::build(&prefs);
+    debug_assert_eq!(
+        cuboid.structure_digest(),
+        memo.cuboid_digest,
+        "memoized cuboid digest out of sync"
+    );
+    let mut plan = SharedSkylinePlan::new(cuboid, exec.assume_dva);
+    if let Some((lo, hi)) = regions.mapped_bounds() {
+        plan.enable_sig_cache(&lo, &hi);
+    }
+    let prog_cache = vec![None; regions.len()];
+    let points = PointStore::new(memo.mapping.output_dims());
+    JoinGroup {
+        join_col: memo.join_col,
+        mapping: memo.mapping.clone(),
         members,
         regions,
         dg,

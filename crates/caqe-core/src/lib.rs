@@ -29,6 +29,7 @@ pub mod engine;
 pub mod group;
 pub mod ingest;
 pub mod outcome;
+pub mod plan;
 pub mod session;
 pub mod strategy;
 pub mod workload;
@@ -36,10 +37,12 @@ pub mod workload;
 pub use config::{DegradationPolicy, EngineConfig, ExecConfig, RecoveryPolicy, SchedulingPolicy};
 pub use engine::{
     run_engine, run_engine_online, run_engine_traced, try_run_engine, try_run_engine_online,
-    try_run_engine_online_traced, try_run_engine_traced,
+    try_run_engine_online_prepared, try_run_engine_online_traced, try_run_engine_traced,
 };
+pub use group::GroupMemo;
 pub use ingest::{prepare_inputs, PreparedInputs};
 pub use outcome::{QueryOutcome, RunOutcome};
+pub use plan::{config_fingerprint, table_fingerprint, PlanError, PreparedPlan, PLAN_VERSION};
 pub use session::{EventStream, SessionEvent};
 pub use strategy::{CaqeStrategy, ExecutionStrategy};
 pub use workload::{QuerySpec, Workload, WorkloadBuilder};

@@ -550,6 +550,182 @@ impl PresortCache {
         self.entries.push((key, mask, built));
         self.entries[self.entries.len() - 1].2.as_ref()
     }
+
+    /// The interned entries in build order (for persistence).
+    pub fn entries(&self) -> &[(u64, DimMask, Option<CachedPresort>)] {
+        &self.entries
+    }
+
+    /// Serializes the cache in the line-oriented plan-snapshot form
+    /// (DESIGN.md §19): one `entry` line per interned key, followed by the
+    /// presort order, quantizer parts and signature column of positive
+    /// entries. All floats travel as IEEE-754 bit hex, so a restored cache
+    /// is bit-identical — including interned *negative* entries, which are
+    /// as much a deterministic observable as positive ones (they keep
+    /// repeat lookups from re-probing an unsupported subspace).
+    pub fn to_text(&self) -> String {
+        use caqe_types::persist::f64_hex;
+        use std::fmt::Write as _;
+        let mut out = format!("presortcache {}\n", self.entries.len());
+        for (key, mask, entry) in &self.entries {
+            let tag = if entry.is_some() { "some" } else { "none" };
+            let _ = writeln!(out, "entry {key:016x} {} {tag}", mask.0);
+            if let Some(cached) = entry {
+                out.push_str("order");
+                for &i in &cached.order {
+                    let _ = write!(out, " {i}");
+                }
+                out.push('\n');
+                let q = cached.table.quantizer().to_parts();
+                out.push_str("quant");
+                let _ = write!(out, " {}", q.dims.len());
+                for &d in &q.dims {
+                    let _ = write!(out, " {d}");
+                }
+                for v in q.lo.iter().chain(q.scale.iter()) {
+                    let _ = write!(out, " {}", f64_hex(*v));
+                }
+                let _ = writeln!(
+                    out,
+                    " {} {} {:016x} {:016x}",
+                    q.field_width, q.levels, q.high_mask, q.coarse_mask
+                );
+                out.push_str("sigs");
+                for s in cached.table.sigs() {
+                    let _ = write!(out, " {s:016x}");
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Parses the form produced by [`PresortCache::to_text`], returning a
+    /// reason on any structural mismatch — corrupt snapshot input must
+    /// never produce a cache that panics later.
+    pub fn from_text(text: &str) -> Result<PresortCache, String> {
+        use caqe_types::persist::{parse_f64_hex, parse_usize};
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty presort cache text")?;
+        let mut f = header.split_whitespace();
+        if f.next() != Some("presortcache") {
+            return Err("missing `presortcache` header".to_string());
+        }
+        let count = f.next().and_then(parse_usize).ok_or("bad entry count")?;
+        let mut entries = Vec::with_capacity(count);
+        for e in 0..count {
+            let line = lines.next().ok_or_else(|| format!("missing entry {e}"))?;
+            let mut f = line.split_whitespace();
+            if f.next() != Some("entry") {
+                return Err(format!("entry {e}: missing `entry` tag"));
+            }
+            let key = f
+                .next()
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .ok_or_else(|| format!("entry {e}: bad key"))?;
+            let mask = f
+                .next()
+                .and_then(|s| s.parse::<u32>().ok())
+                .map(DimMask)
+                .ok_or_else(|| format!("entry {e}: bad mask"))?;
+            let cached = match f.next() {
+                Some("none") => None,
+                Some("some") => {
+                    let order_line = lines.next().ok_or_else(|| format!("entry {e}: no order"))?;
+                    let mut o = order_line.split_whitespace();
+                    if o.next() != Some("order") {
+                        return Err(format!("entry {e}: missing `order` tag"));
+                    }
+                    let order: Vec<usize> = o
+                        .map(|s| parse_usize(s).ok_or_else(|| format!("entry {e}: bad order")))
+                        .collect::<Result<_, _>>()?;
+                    let quant_line = lines.next().ok_or_else(|| format!("entry {e}: no quant"))?;
+                    let mut q = quant_line.split_whitespace();
+                    if q.next() != Some("quant") {
+                        return Err(format!("entry {e}: missing `quant` tag"));
+                    }
+                    let d = q
+                        .next()
+                        .and_then(parse_usize)
+                        .ok_or_else(|| format!("entry {e}: bad quant width"))?;
+                    let mut take_usize = |what: &str| {
+                        q.next()
+                            .and_then(parse_usize)
+                            .ok_or_else(|| format!("entry {e}: bad quant {what}"))
+                    };
+                    let dims: Vec<usize> = (0..d)
+                        .map(|_| take_usize("dim"))
+                        .collect::<Result<_, _>>()?;
+                    let mut take_f64 = |what: &str| {
+                        q.next()
+                            .and_then(parse_f64_hex)
+                            .ok_or_else(|| format!("entry {e}: bad quant {what}"))
+                    };
+                    let lo: Vec<Value> =
+                        (0..d).map(|_| take_f64("lo")).collect::<Result<_, _>>()?;
+                    let scale: Vec<Value> = (0..d)
+                        .map(|_| take_f64("scale"))
+                        .collect::<Result<_, _>>()?;
+                    let field_width = q
+                        .next()
+                        .and_then(|s| s.parse::<u32>().ok())
+                        .ok_or_else(|| format!("entry {e}: bad field width"))?;
+                    let levels = q
+                        .next()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .ok_or_else(|| format!("entry {e}: bad levels"))?;
+                    let high_mask = q
+                        .next()
+                        .and_then(|s| u64::from_str_radix(s, 16).ok())
+                        .ok_or_else(|| format!("entry {e}: bad high mask"))?;
+                    let coarse_mask = q
+                        .next()
+                        .and_then(|s| u64::from_str_radix(s, 16).ok())
+                        .ok_or_else(|| format!("entry {e}: bad coarse mask"))?;
+                    if q.next().is_some() {
+                        return Err(format!("entry {e}: trailing quant fields"));
+                    }
+                    let quant = SigQuantizer::from_parts(caqe_types::SigQuantizerParts {
+                        dims,
+                        lo,
+                        scale,
+                        field_width,
+                        levels,
+                        high_mask,
+                        coarse_mask,
+                    })
+                    .ok_or_else(|| format!("entry {e}: inconsistent quantizer"))?;
+                    let sigs_line = lines.next().ok_or_else(|| format!("entry {e}: no sigs"))?;
+                    let mut s = sigs_line.split_whitespace();
+                    if s.next() != Some("sigs") {
+                        return Err(format!("entry {e}: missing `sigs` tag"));
+                    }
+                    let sigs: Vec<u64> = s
+                        .map(|v| {
+                            u64::from_str_radix(v, 16).map_err(|_| format!("entry {e}: bad sig"))
+                        })
+                        .collect::<Result<_, _>>()?;
+                    if sigs.len() != order.len() {
+                        return Err(format!(
+                            "entry {e}: {} sigs for {} ordered points",
+                            sigs.len(),
+                            order.len()
+                        ));
+                    }
+                    Some(CachedPresort {
+                        order,
+                        table: SigTable::from_parts(quant, sigs),
+                    })
+                }
+                _ => return Err(format!("entry {e}: bad some/none tag")),
+            };
+            entries.push((key, mask, cached));
+        }
+        if lines.next().is_some() {
+            return Err("trailing lines after last entry".to_string());
+        }
+        Ok(PresortCache { entries })
+    }
 }
 
 #[cfg(test)]
@@ -688,5 +864,53 @@ mod tests {
         cache.get_or_build(42, DimMask::from_dims([0, 1]), &store, &kernel, &mut stats);
         assert_eq!(stats.presort_cache_misses, 2);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn presort_cache_text_round_trips_bit_exactly() {
+        let store = random_store(48, 3, 11, false);
+        let mask = DimMask::full(3);
+        let kernel = DomKernel::new(mask, 3);
+        let mut cache = PresortCache::new();
+        let mut stats = Stats::new();
+        cache.get_or_build(7, mask, &store, &kernel, &mut stats);
+        cache.get_or_build(9, DimMask::from_dims([0, 2]), &store, &kernel, &mut stats);
+        // Interned negative entry: a NaN store refuses a signature table.
+        let poisoned = random_store(16, 3, 11, true);
+        let wide = SigQuantizer::from_store(&poisoned, mask);
+        assert!(wide.is_some(), "NaN rows poison sigs, not the quantizer");
+        let empty = PointStore::new(3);
+        cache.get_or_build(13, mask, &empty, &kernel, &mut stats);
+        assert!(cache.entries()[2].2.is_none(), "expected a negative entry");
+
+        let back = PresortCache::from_text(&cache.to_text()).unwrap();
+        assert_eq!(back.len(), cache.len());
+        for (a, b) in back.entries().iter().zip(cache.entries()) {
+            assert_eq!((a.0, a.1), (b.0, b.1));
+            match (&a.2, &b.2) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    assert_eq!(x.order, y.order);
+                    assert_eq!(x.table.sigs(), y.table.sigs());
+                    assert_eq!(x.table.quantizer(), y.table.quantizer());
+                }
+                _ => panic!("entry polarity diverged"),
+            }
+        }
+        // A restored positive entry answers lookups without rebuilding.
+        let mut restored = back;
+        let before = stats.presort_cache_misses;
+        restored
+            .get_or_build(7, mask, &store, &kernel, &mut stats)
+            .unwrap();
+        assert_eq!(stats.presort_cache_misses, before);
+
+        // Corruption is refused with a reason, never a panic.
+        let text = cache.to_text();
+        assert!(PresortCache::from_text("").is_err());
+        assert!(PresortCache::from_text("presortcache forty").is_err());
+        let truncated = &text[..text.len() / 2];
+        assert!(PresortCache::from_text(truncated).is_err());
+        assert!(PresortCache::from_text(&format!("{text}junk\n")).is_err());
     }
 }

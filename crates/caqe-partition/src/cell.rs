@@ -5,7 +5,7 @@ use caqe_data::Table;
 use caqe_types::{CellId, Rect};
 
 /// A leaf cell of one table's quad-tree partitioning.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LeafCell {
     /// Cell identifier within its partitioning.
     pub id: CellId,

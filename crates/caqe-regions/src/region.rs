@@ -10,7 +10,7 @@ pub const GRID_PARTS: usize = 2;
 
 /// A region of the multi-query output space: the image of one pair of input
 /// cells under the shared mapping functions.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct OutputRegion {
     /// Region identifier within its [`RegionSet`].
     pub id: RegionId,
@@ -164,7 +164,7 @@ impl OutputRegion {
 
 /// A collection of output regions for one join group, with shared workload
 /// metadata.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RegionSet {
     regions: Vec<OutputRegion>,
     /// `(global query id, preference subspace)` of every query served by

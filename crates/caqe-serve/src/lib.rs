@@ -36,8 +36,8 @@ pub mod soak;
 pub use negotiate::{Negotiated, NegotiationPolicy};
 pub use queue::{BoundedQueue, RejectReason};
 pub use server::{
-    with_retry, CaqeServer, EpochReport, ServeConfig, SessionFailure, SessionResult, SessionState,
-    SubmitRequest, SubmitResponse,
+    with_retry, CaqeServer, EpochReport, PlanProvenance, ServeConfig, SessionFailure,
+    SessionResult, SessionState, SubmitRequest, SubmitResponse,
 };
 pub use snapshot::{
     load_snapshot, write_snapshot, write_snapshot_with_crash, CompletedRecord, ContractSpec,

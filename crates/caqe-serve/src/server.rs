@@ -32,8 +32,8 @@ use crate::snapshot::{
 };
 use caqe_contract::Contract;
 use caqe_core::{
-    try_run_engine_online_traced, EngineConfig, EventStream, ExecConfig, QueryOutcome, QuerySpec,
-    RunOutcome, SessionEvent, Workload,
+    try_run_engine_online_prepared, EngineConfig, EventStream, ExecConfig, PlanError, PreparedPlan,
+    QueryOutcome, QuerySpec, RunOutcome, SchedulingPolicy, SessionEvent, Workload,
 };
 use caqe_data::Table;
 use caqe_faults::WallRetryPolicy;
@@ -282,6 +282,19 @@ impl Inner {
     }
 }
 
+/// Where the shared plan a restored server runs on came from — the
+/// warm-start observability hook: callers learn whether the persisted
+/// plan was consumed or why it was discarded.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanProvenance {
+    /// The persisted plan passed every integrity check and was installed.
+    Warm,
+    /// The persisted plan was rejected (typed reason) and the server
+    /// rebuilt the plan cold. Never a partial apply: rejection discards
+    /// the whole file.
+    Rebuilt(PlanError),
+}
+
 /// The wall-clock serving front door around the deterministic core.
 pub struct CaqeServer {
     tables: (Table, Table),
@@ -289,6 +302,7 @@ pub struct CaqeServer {
     exec: ExecConfig,
     engine: EngineConfig,
     cfg: ServeConfig,
+    plan: Option<PreparedPlan>,
     inner: Mutex<Inner>,
     cv: Condvar,
 }
@@ -391,6 +405,7 @@ impl CaqeServer {
             catalog,
             exec,
             engine,
+            plan: None,
             inner: Mutex::new(Inner {
                 queue: BoundedQueue::new(cfg.queue_bound),
                 states: BTreeMap::new(),
@@ -500,6 +515,92 @@ impl CaqeServer {
             g.depth_gauges();
         }
         Ok((server, snap))
+    }
+
+    /// Restores a server from `snap_path` (exactly like
+    /// [`restore`](CaqeServer::restore)) and *warm-starts* it from the
+    /// plan snapshot at `plan_path`: if the persisted plan passes every
+    /// integrity check against the given tables and config it is
+    /// installed and the first epoch skips the whole shared-plan build;
+    /// on any typed [`PlanError`] — corrupt, stale, future version, I/O —
+    /// the plan is rebuilt cold and the error is reported in the returned
+    /// [`PlanProvenance`]. Either way the server serves: plan trouble
+    /// never blocks a restore, and a rejected plan is never partially
+    /// applied.
+    #[allow(clippy::too_many_arguments)] // restore() plus the plan path
+    pub fn restore_with_plan(
+        tables: (Table, Table),
+        catalog: Vec<QuerySpec>,
+        exec: ExecConfig,
+        engine: EngineConfig,
+        cfg: ServeConfig,
+        snap_path: &Path,
+        plan_path: &Path,
+    ) -> Result<(CaqeServer, Snapshot, PlanProvenance), SnapshotError> {
+        let (mut server, snap) =
+            CaqeServer::restore(tables, catalog, exec, engine, cfg, snap_path)?;
+        let provenance =
+            match PreparedPlan::load(plan_path, &server.tables.0, &server.tables.1, &server.exec) {
+                Ok(plan) => {
+                    server.plan = Some(plan);
+                    PlanProvenance::Warm
+                }
+                Err(e) => {
+                    server.plan = Some(server.build_plan());
+                    PlanProvenance::Rebuilt(e)
+                }
+            };
+        Ok((server, snap, provenance))
+    }
+
+    /// Builds the shared plan for every catalog entry: partitionings plus
+    /// one group memo per `(catalog entry, session mode)` — epochs run a
+    /// singleton initial workload with the rest of the batch admitted
+    /// through the event stream, so both the single-session
+    /// (`keep_empty = false`) and session-mode (`keep_empty = true`)
+    /// variants are memoized. Priorities and contracts do not shape the
+    /// plan, so the memos cover every future submission mix.
+    pub fn build_plan(&self) -> PreparedPlan {
+        let mut plan = PreparedPlan::build(&self.tables.0, &self.tables.1, &self.exec);
+        let needs_dg = self.engine.progressive_emission
+            || self.engine.dominance_discard
+            || self.engine.policy != SchedulingPolicy::Fifo;
+        for spec in &self.catalog {
+            let w = Workload::new(vec![spec.clone()]);
+            for keep_empty in [false, true] {
+                plan.memoize(
+                    &w,
+                    &self.exec,
+                    self.engine.coarse_pruning,
+                    needs_dg,
+                    keep_empty,
+                );
+            }
+        }
+        plan
+    }
+
+    /// Installs a prepared plan (builder form); epochs consult it through
+    /// the engine's warm-start gate, so an ill-matched plan is ignored,
+    /// never wrong.
+    #[must_use]
+    pub fn with_plan(mut self, plan: PreparedPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Whether a prepared plan is installed.
+    pub fn has_plan(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Persists the installed plan (building it first if absent) to
+    /// `path` with the crash-safe snapshot write discipline.
+    pub fn write_plan(&self, path: &Path) -> Result<(), PlanError> {
+        match &self.plan {
+            Some(plan) => plan.save(path),
+            None => self.build_plan().save(path),
+        }
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
@@ -803,7 +904,7 @@ impl CaqeServer {
     ) -> Result<(RunOutcome, Vec<TraceEvent>), EngineError> {
         if self.cfg.keep_epoch_traces {
             let mut sink = RecordingSink::new();
-            let o = try_run_engine_online_traced(
+            let o = try_run_engine_online_prepared(
                 STRATEGY,
                 &self.tables.0,
                 &self.tables.1,
@@ -812,12 +913,13 @@ impl CaqeServer {
                 &self.exec,
                 &self.engine,
                 0,
+                self.plan.as_ref(),
                 &mut sink,
             )?;
             Ok((o, sink.into_events()))
         } else {
             let mut sink = NoopSink;
-            let o = try_run_engine_online_traced(
+            let o = try_run_engine_online_prepared(
                 STRATEGY,
                 &self.tables.0,
                 &self.tables.1,
@@ -826,6 +928,7 @@ impl CaqeServer {
                 &self.exec,
                 &self.engine,
                 0,
+                self.plan.as_ref(),
                 &mut sink,
             )?;
             Ok((o, Vec::new()))

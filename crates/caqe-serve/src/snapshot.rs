@@ -308,6 +308,23 @@ impl Snapshot {
     /// body) — any deviation is a typed [`SnapshotError`], never a panic
     /// and never a half-loaded snapshot.
     pub fn from_text(text: &str) -> Result<Snapshot, SnapshotError> {
+        // The header version gates everything else: a snapshot written by
+        // a *newer* build may have changed the body grammar or even the
+        // checksum scheme, so it must be reported as a version mismatch —
+        // checking the checksum first would misreport it as corruption.
+        let header = text
+            .lines()
+            .next()
+            .ok_or_else(|| corrupt("empty snapshot".to_string()))?;
+        let version = header
+            .strip_prefix(HEADER)
+            .map(str::trim)
+            .and_then(|v| v.strip_prefix('v'))
+            .and_then(|v| v.parse::<u32>().ok())
+            .ok_or_else(|| corrupt(format!("bad header {header:?}")))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::Version { found: version });
+        }
         let body_end = text
             .rfind("checksum ")
             .ok_or_else(|| corrupt("missing checksum footer".to_string()))?;
@@ -324,18 +341,8 @@ impl Snapshot {
             )));
         }
         let mut lines = body.lines();
-        let header = lines
-            .next()
-            .ok_or_else(|| corrupt("empty snapshot".to_string()))?;
-        let version = header
-            .strip_prefix(HEADER)
-            .map(str::trim)
-            .and_then(|v| v.strip_prefix('v'))
-            .and_then(|v| v.parse::<u32>().ok())
-            .ok_or_else(|| corrupt(format!("bad header {header:?}")))?;
-        if version != SNAPSHOT_VERSION {
-            return Err(SnapshotError::Version { found: version });
-        }
+        // Consume the already-validated header line.
+        let _ = lines.next();
         let mut snap = Snapshot {
             version,
             next_session: 0,
@@ -568,6 +575,36 @@ mod tests {
         match Snapshot::from_text(&resealed).unwrap_err() {
             SnapshotError::Version { found } => assert_eq!(found, 99),
             other => panic!("expected Version error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn future_version_wins_even_with_a_stale_checksum() {
+        // A snapshot from a newer build may have changed the body grammar
+        // or checksum scheme, so its footer will not verify under ours.
+        // The version gate must fire first: reporting Corrupt here would
+        // send operators chasing disk errors instead of a rollback.
+        let text = sample().to_text().replace(
+            &format!("{HEADER} v{SNAPSHOT_VERSION}"),
+            &format!("{HEADER} v99"),
+        );
+        // Deliberately NOT resealed — the checksum is stale.
+        match Snapshot::from_text(&text).unwrap_err() {
+            SnapshotError::Version { found } => assert_eq!(found, 99),
+            other => panic!("expected Version error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn truncation_before_the_checksum_line_is_typed_corruption() {
+        let text = sample().to_text();
+        let footer = text.rfind("checksum ").unwrap();
+        // Cut exactly at the footer boundary and at a few points inside
+        // the body: every prefix must parse to a typed error, never a
+        // panic and never a silently half-loaded snapshot.
+        for cut in [footer, footer - 1, footer / 2, HEADER.len() + 4] {
+            let e = Snapshot::from_text(&text[..cut]).unwrap_err();
+            assert!(matches!(e, SnapshotError::Corrupt { .. }), "cut {cut}: {e}");
         }
     }
 

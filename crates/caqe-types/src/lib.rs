@@ -27,6 +27,7 @@ pub mod clock;
 pub mod dominance;
 pub mod error;
 pub mod ids;
+pub mod persist;
 pub mod sig;
 pub mod stats;
 pub mod store;
@@ -40,7 +41,8 @@ pub use dominance::{
 };
 pub use error::EngineError;
 pub use ids::{CellId, QueryId, QuerySet, RegionId};
-pub use sig::{sig_relate, SigQuantizer, SigTable, SIG_MAX_DIMS, SIG_POISON};
+pub use persist::{f64_hex, fnv1a, parse_f64_hex, Fnv1a};
+pub use sig::{sig_relate, SigQuantizer, SigQuantizerParts, SigTable, SIG_MAX_DIMS, SIG_POISON};
 pub use stats::{PerQueryStats, Stats};
 pub use store::{PointId, PointStore, RankColumns, SwapStore};
 pub use subspace::DimMask;

@@ -177,6 +177,67 @@ impl SigQuantizer {
     pub fn width(&self) -> usize {
         self.dims.len()
     }
+
+    /// Decomposes the quantizer into its field values for persistence
+    /// (DESIGN.md §19). [`SigQuantizer::from_parts`] is the exact inverse.
+    pub fn to_parts(&self) -> SigQuantizerParts {
+        SigQuantizerParts {
+            dims: self.dims.clone(),
+            lo: self.lo.clone(),
+            scale: self.scale.clone(),
+            field_width: self.field_width,
+            levels: self.levels,
+            high_mask: self.high_mask,
+            coarse_mask: self.coarse_mask,
+        }
+    }
+
+    /// Reassembles a quantizer persisted via [`SigQuantizer::to_parts`].
+    /// Returns `None` when the parts are structurally inconsistent (length
+    /// mismatches or a zero field width), so corrupt snapshot input cannot
+    /// construct a quantizer that later panics.
+    pub fn from_parts(parts: SigQuantizerParts) -> Option<SigQuantizer> {
+        let d = parts.dims.len();
+        if d == 0
+            || d > SIG_MAX_DIMS
+            || parts.lo.len() != d
+            || parts.scale.len() != d
+            || parts.field_width == 0
+            || parts.field_width > 64
+        {
+            return None;
+        }
+        Some(SigQuantizer {
+            dims: parts.dims,
+            lo: parts.lo,
+            scale: parts.scale,
+            field_width: parts.field_width,
+            levels: parts.levels,
+            high_mask: parts.high_mask,
+            coarse_mask: parts.coarse_mask,
+        })
+    }
+}
+
+/// The field values of a [`SigQuantizer`], exposed for lossless
+/// persistence round-trips (the quantizer's fields stay private so in-memory
+/// construction keeps going through the validated builders).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SigQuantizerParts {
+    /// Signature dimensions, ascending.
+    pub dims: Vec<usize>,
+    /// Per-field lower quantization bound.
+    pub lo: Vec<Value>,
+    /// Per-field scale (`levels / (hi - lo)` or `0.0` when degenerate).
+    pub scale: Vec<Value>,
+    /// Bits per field, spare bit included.
+    pub field_width: u32,
+    /// Largest code a field can hold.
+    pub levels: u64,
+    /// The spare (top) bit of every field.
+    pub high_mask: u64,
+    /// The coarse bucket-key mask.
+    pub coarse_mask: u64,
 }
 
 /// Signature-level dominance test. `high` is the quantizer's spare-bit
@@ -191,8 +252,16 @@ impl SigQuantizer {
 /// unprovable — the caller falls back to the exact float test.
 #[inline]
 pub fn sig_relate(a: u64, b: u64, high: u64) -> Option<DomRelation> {
+    if a == SIG_POISON || b == SIG_POISON {
+        // Poison must refuse a verdict *unconditionally* — including the
+        // poison-vs-poison pair, and regardless of the caller's `high` mask
+        // (a degenerate `high == 0` would otherwise let two all-ones
+        // signatures "prove" a verdict below). NaN is unordered: the only
+        // sound answer is the float fallback.
+        return None;
+    }
     if (a | b) & high != 0 {
-        return None; // poisoned (or malformed) operand
+        return None; // malformed operand (spare bit set)
     }
     // Per-field borrow trick: the spare bit in the minuend guarantees the
     // field-local subtraction never goes negative, so no borrow crosses a
@@ -248,6 +317,19 @@ impl SigTable {
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
         self.sigs.is_empty()
+    }
+
+    /// All signatures in point order (for persistence).
+    pub fn sigs(&self) -> &[u64] {
+        &self.sigs
+    }
+
+    /// Reassembles a table persisted as quantizer parts plus the raw
+    /// signature column. Unlike [`SigTable::try_build`] this charges
+    /// nothing: a restored memo must not re-count builds the cold run
+    /// already counted.
+    pub fn from_parts(quant: SigQuantizer, sigs: Vec<u64>) -> SigTable {
+        SigTable { quant, sigs }
     }
 }
 
@@ -356,6 +438,57 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn poison_vs_poison_refuses_a_verdict() {
+        let mask = DimMask::from_dims([0, 1]);
+        let q = SigQuantizer::from_bounds(mask, &[0.0, 0.0], &[1.0, 1.0]).unwrap();
+        // Both operands NaN-poisoned: must be ambiguous, never a verdict.
+        assert_eq!(sig_relate(SIG_POISON, SIG_POISON, q.high_mask()), None);
+        assert_eq!(
+            sig_relate(q.sig(&[Value::NAN, 0.0]), SIG_POISON, q.high_mask()),
+            None
+        );
+        // Even a degenerate high mask cannot turn poison into a proof.
+        assert_eq!(sig_relate(SIG_POISON, SIG_POISON, 0), None);
+        assert_eq!(sig_relate(SIG_POISON, 0, 0), None);
+        assert_eq!(sig_relate(0, SIG_POISON, 0), None);
+    }
+
+    #[test]
+    fn quantizer_parts_round_trip() {
+        let mask = DimMask::from_dims([0, 2]);
+        let q = SigQuantizer::from_bounds(mask, &[0.0, 9.0, -1.0], &[1.0, 9.0, 4.0]).unwrap();
+        let back = SigQuantizer::from_parts(q.to_parts()).unwrap();
+        assert_eq!(back, q);
+        for p in [[0.3, 0.0, 2.0], [0.9, 0.0, -7.0], [Value::NAN, 0.0, 0.0]] {
+            assert_eq!(back.sig(&p), q.sig(&p));
+        }
+        // Inconsistent parts are refused.
+        let mut bad = q.to_parts();
+        bad.lo.pop();
+        assert!(SigQuantizer::from_parts(bad).is_none());
+        let mut bad = q.to_parts();
+        bad.field_width = 0;
+        assert!(SigQuantizer::from_parts(bad).is_none());
+    }
+
+    #[test]
+    fn sig_table_parts_round_trip_without_recharging() {
+        let mask = DimMask::from_dims([0, 1]);
+        let rows: Vec<Vec<Value>> = vec![vec![0.1, 0.9], vec![0.9, 0.1], vec![0.2, 0.2]];
+        let refs: Vec<&[Value]> = rows.iter().map(|r| r.as_slice()).collect();
+        let s = store(&refs);
+        let mut stats = Stats::new();
+        let t = SigTable::try_build(&s, mask, &mut stats).unwrap();
+        let back = SigTable::from_parts(
+            SigQuantizer::from_parts(t.quantizer().to_parts()).unwrap(),
+            t.sigs().to_vec(),
+        );
+        assert_eq!(back.sigs(), t.sigs());
+        assert_eq!(back.quantizer(), t.quantizer());
+        assert_eq!(stats.sig_builds, rows.len() as u64); // from_parts charged nothing
     }
 
     #[test]

@@ -118,11 +118,78 @@ pub struct Stats {
     pub per_query: Vec<PerQueryStats>,
 }
 
+/// Applies a caller macro to every scalar `u64` counter field, in
+/// declaration order. One source of truth for the name↔field mapping that
+/// [`Stats::counters`] and [`Stats::set_counter`] expose to the plan
+/// snapshot codec (DESIGN.md §19) — adding a counter here keeps persistence
+/// in sync automatically.
+macro_rules! with_counter_fields {
+    ($apply:ident) => {
+        $apply!(
+            join_probes,
+            join_results,
+            dom_comparisons,
+            region_comparisons,
+            map_evals,
+            tuples_emitted,
+            regions_processed,
+            regions_pruned,
+            tuples_discarded,
+            region_retries,
+            regions_quarantined,
+            regions_shed,
+            ingest_quarantined,
+            ingest_clamped,
+            build_ticks,
+            probe_ticks,
+            insert_ticks,
+            emit_ticks,
+            build_dom_cmps,
+            insert_dom_cmps,
+            emit_region_cmps,
+            block_kernel_ops,
+            scalar_kernel_ops,
+            sig_partitions_skipped,
+            sig_partitions_rejected,
+            sig_builds,
+            presort_cache_hits,
+            presort_cache_misses,
+            arena_tuples,
+            plan_points_interned
+        )
+    };
+}
+
 impl Stats {
     /// A zeroed counter set (workload-global totals only; call
     /// [`Stats::ensure_queries`] to open the per-query breakdown).
     pub fn new() -> Self {
         Stats::default()
+    }
+
+    /// Every scalar counter as a `(name, value)` pair, in declaration
+    /// order. The per-query breakdown is not included — worker-side stat
+    /// deltas (the thing the plan snapshot memoizes) carry it empty.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        macro_rules! list {
+            ($($f:ident),*) => { vec![$((stringify!($f), self.$f)),*] };
+        }
+        with_counter_fields!(list)
+    }
+
+    /// Sets the named scalar counter, returning `false` for an unknown
+    /// name (so snapshot parsers can reject stale field names instead of
+    /// silently dropping them).
+    pub fn set_counter(&mut self, name: &str, value: u64) -> bool {
+        macro_rules! set {
+            ($($f:ident),*) => {
+                match name {
+                    $(stringify!($f) => { self.$f = value; true })*
+                    _ => false,
+                }
+            };
+        }
+        with_counter_fields!(set)
     }
 
     /// Sizes the per-query breakdown to at least `n` entries.
@@ -325,6 +392,24 @@ mod tests {
         let snapshot = a.clone();
         a += Stats::new();
         assert_eq!(a.per_query, snapshot.per_query);
+    }
+
+    #[test]
+    fn counters_name_every_scalar_field() {
+        let mut s = Stats::new();
+        s.join_probes = 1;
+        s.plan_points_interned = 30;
+        let counters = s.counters();
+        assert_eq!(counters.len(), 30);
+        assert_eq!(counters[0], ("join_probes", 1));
+        assert_eq!(counters[29], ("plan_points_interned", 30));
+        // Round-trip: rebuilding from the pairs reproduces the struct.
+        let mut back = Stats::new();
+        for (name, v) in counters {
+            assert!(back.set_counter(name, v), "unknown counter {name}");
+        }
+        assert_eq!(back, s);
+        assert!(!back.set_counter("no_such_counter", 1));
     }
 
     #[test]

@@ -141,6 +141,70 @@ impl PointStore {
     pub fn clear(&mut self) {
         self.data.clear();
     }
+
+    /// Serializes the arena in the columnar snapshot form (DESIGN.md §19):
+    /// a header line `pointstore <stride> <points>` followed by one line
+    /// per dimension carrying the bit-exact hex of every point's value in
+    /// that dimension. Column-major layout keeps each line homogeneous and
+    /// round-trips `-0.0`, infinities and NaN payloads losslessly.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let n = self.len();
+        let mut out = format!("pointstore {} {}\n", self.stride, n);
+        for k in 0..self.stride {
+            out.push_str("col");
+            for i in 0..n {
+                let _ = write!(out, " {}", crate::persist::f64_hex(self.at(i)[k]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the columnar form produced by [`PointStore::to_text`],
+    /// returning a reason on any structural mismatch (wrong header, short
+    /// column, trailing data) — never panicking on corrupt input.
+    pub fn from_text(text: &str) -> Result<PointStore, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty point store text")?;
+        let mut f = header.split_whitespace();
+        if f.next() != Some("pointstore") {
+            return Err("missing `pointstore` header".to_string());
+        }
+        let stride = f
+            .next()
+            .and_then(crate::persist::parse_usize)
+            .ok_or("bad stride")?;
+        let points = f
+            .next()
+            .and_then(crate::persist::parse_usize)
+            .ok_or("bad point count")?;
+        if f.next().is_some() {
+            return Err("trailing fields in header".to_string());
+        }
+        let mut data = vec![0.0; stride * points];
+        for k in 0..stride {
+            let line = lines.next().ok_or_else(|| format!("missing column {k}"))?;
+            let mut vals = line.split_whitespace();
+            if vals.next() != Some("col") {
+                return Err(format!("column {k} missing `col` tag"));
+            }
+            for i in 0..points {
+                let v = vals
+                    .next()
+                    .and_then(crate::persist::parse_f64_hex)
+                    .ok_or_else(|| format!("column {k} truncated at point {i}"))?;
+                data[i * stride + k] = v;
+            }
+            if vals.next().is_some() {
+                return Err(format!("column {k} has trailing values"));
+            }
+        }
+        if lines.next().is_some() {
+            return Err("trailing lines after last column".to_string());
+        }
+        Ok(PointStore { stride, data })
+    }
 }
 
 /// Per-dimension dense rank columns over a frozen [`PointStore`] snapshot.
@@ -346,6 +410,38 @@ mod tests {
         let mut s = PointStore::new(2);
         s.push(&[1.0, f64::NAN]);
         assert!(RankColumns::try_build(&s).is_none());
+    }
+
+    #[test]
+    fn columnar_text_round_trips_bit_exactly() {
+        let mut s = PointStore::new(3);
+        s.push(&[1.0, -0.0, f64::INFINITY]);
+        s.push(&[f64::from_bits(0x7ff8_0000_0000_0001), 2.5e-300, -4.0]);
+        let back = PointStore::from_text(&s.to_text()).unwrap();
+        assert_eq!(back.stride(), 3);
+        assert_eq!(back.len(), 2);
+        for i in 0..2 {
+            for k in 0..3 {
+                assert_eq!(back.at(i)[k].to_bits(), s.at(i)[k].to_bits());
+            }
+        }
+        // Empty stores round-trip too.
+        let empty = PointStore::new(4);
+        assert_eq!(PointStore::from_text(&empty.to_text()).unwrap(), empty);
+    }
+
+    #[test]
+    fn columnar_text_rejects_corruption() {
+        let mut s = PointStore::new(2);
+        s.push(&[1.0, 2.0]);
+        let text = s.to_text();
+        assert!(PointStore::from_text("").is_err());
+        assert!(PointStore::from_text("bogus 2 1").is_err());
+        // Truncate the last column.
+        let cut = text.rfind(' ').unwrap();
+        assert!(PointStore::from_text(&text[..cut]).is_err());
+        // Trailing garbage.
+        assert!(PointStore::from_text(&format!("{text}junk\n")).is_err());
     }
 
     #[test]

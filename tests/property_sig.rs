@@ -11,7 +11,7 @@ use caqe::operators::{
     skyline_sfs_presorted_scalar, IncrementalSkyline, SigSkyline,
 };
 use caqe::parallel::Threads;
-use caqe::types::sig::{sig_relate, SigQuantizer, SigTable};
+use caqe::types::sig::{sig_relate, SigQuantizer, SigTable, SIG_POISON};
 use caqe::types::{relate_in, DimMask, DomKernel, PointStore, QueryId, SimClock, Stats, Value};
 use proptest::prelude::*;
 
@@ -79,6 +79,45 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// NaN on *both* sides: two poisoned points have no provable relation
+    /// in either direction — `sig_relate` must refuse a verdict for
+    /// poison-vs-poison (and poison-vs-clean) under every quantizer, and
+    /// under the degenerate `high_mask = 0` no caller should ever pass.
+    #[test]
+    fn poison_vs_poison_refuses_a_verdict(
+        (rows, _) in (2usize..=8).prop_flat_map(rows_strategy),
+        bits in 1u32..256,
+        (i_pick, j_pick) in (0usize..80, 0usize..80),
+    ) {
+        let d = rows[0].len();
+        let clean = store_of(&rows, 0, d);
+        let mask = mask_for(d, bits);
+        let Some(quant) = SigQuantizer::from_store(&clean, mask) else {
+            return Ok(());
+        };
+        let h = quant.high_mask();
+        // Poison one masked dimension of two arbitrary rows: their
+        // signatures both collapse to SIG_POISON.
+        let k = (0..d).find(|k| mask.contains(*k)).expect("non-empty mask");
+        let (i, j) = (i_pick % rows.len(), j_pick % rows.len());
+        let mut a_point = rows[i].clone();
+        let mut b_point = rows[j].clone();
+        a_point[k] = Value::NAN;
+        b_point[k] = Value::NAN;
+        let a = quant.sig(&a_point);
+        let b = quant.sig(&b_point);
+        prop_assert_eq!(a, SIG_POISON);
+        prop_assert_eq!(b, SIG_POISON);
+        prop_assert_eq!(sig_relate(a, b, h), None, "poison vs poison proved a verdict");
+        // Poison against a clean signature, both directions.
+        let c = quant.sig(&rows[j]);
+        prop_assert_eq!(sig_relate(a, c, h), None, "poison vs clean proved a verdict");
+        prop_assert_eq!(sig_relate(c, b, h), None, "clean vs poison proved a verdict");
+        // Hardened path: even a (hypothetical) caller passing high = 0
+        // must not extract a verdict from two poison values.
+        prop_assert_eq!(sig_relate(SIG_POISON, SIG_POISON, 0), None);
     }
 
     /// The pruned batch kernels and the pruned streaming skyline are
